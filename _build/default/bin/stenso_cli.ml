@@ -1,0 +1,160 @@
+(* Command-line entry point, mirroring the artifact's `stenso/main.py`:
+
+     stenso --program original.tdsl --synth-out optimized.tdsl \
+            --cost-estimator measured
+
+   The program file declares typed inputs and returns one expression;
+   see `examples/` and the README for the surface syntax. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let render_program env prog =
+  (* Emit the same surface syntax the parser accepts, so outputs can be
+     fed back in. *)
+  let render_vt (vt : Dsl.Types.vt) =
+    Printf.sprintf "%s[%s]"
+      (match vt.dtype with Dsl.Types.Float -> "f32" | Dsl.Types.Bool -> "bool")
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int vt.shape)))
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, vt) ->
+      Buffer.add_string buf
+        (Printf.sprintf "input %s : %s\n" name (render_vt vt)))
+    env;
+  Buffer.add_string buf (Format.asprintf "return %a\n" Dsl.Ast.pp prog);
+  Buffer.contents buf
+
+let run program_path synth_out estimator timeout no_bnb no_simplification
+    extended_ops cost_cache verbose =
+  let source =
+    match program_path with
+    | Some p -> read_file p
+    | None -> failwith "--program is required"
+  in
+  let env, prog = Dsl.Parser.program source in
+  ignore (Dsl.Types.infer env prog);
+  let model =
+    match estimator with
+    | "flops" -> Cost.Model.flops
+    | "roofline" -> Cost.Model.roofline ()
+    | "measured" -> Cost.Model.measured ?cache_file:cost_cache ()
+    | other -> failwith ("unknown cost estimator " ^ other)
+  in
+  let config =
+    {
+      Stenso.Search.default_config with
+      timeout;
+      use_bnb = not no_bnb;
+      use_simplification = not no_simplification;
+      stub_config =
+        {
+          Stenso.Search.default_config.stub_config with
+          extended_ops;
+        };
+    }
+  in
+  let outcome = Stenso.Superopt.superoptimize ~config ~model ~env prog in
+  if verbose then begin
+    let s = outcome.search.stats in
+    Format.printf
+      "# search: %d nodes, %d decompositions, %d simp-pruned, %d bnb-pruned,@\n\
+       # %.2fs, library of %d stubs%s@\n"
+      s.nodes s.decomps s.pruned_simp s.pruned_bnb s.elapsed s.library_size
+      (if s.timed_out then " (timed out)" else "")
+  end;
+  Format.printf "# original  (cost %.6g): %a@\n" outcome.original_cost
+    Dsl.Ast.pp outcome.original;
+  if outcome.improved then
+    Format.printf "# optimized (cost %.6g): %a@\n" outcome.optimized_cost
+      Dsl.Ast.pp outcome.optimized
+  else Format.printf "# no cheaper equivalent found; keeping the original@\n";
+  (match synth_out with
+  | Some path ->
+      write_file path (render_program env outcome.optimized);
+      Format.printf "# written to %s@\n" path
+  | None ->
+      Format.printf "%s" (render_program env outcome.optimized));
+  if outcome.improved && not outcome.verified then exit 2
+
+open Cmdliner
+
+let program_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "program" ] ~docv:"FILE" ~doc:"Source program to superoptimize.")
+
+let synth_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "synth_out"; "synth-out" ] ~docv:"FILE"
+        ~doc:"Output file for the synthesized program (stdout if omitted).")
+
+let estimator_arg =
+  Arg.(
+    value & opt string "measured"
+    & info
+        [ "cost_estimator"; "cost-estimator" ]
+        ~docv:"NAME"
+        ~doc:"Cost estimator: $(b,flops), $(b,roofline), or $(b,measured).")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 600.
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Synthesis time budget.")
+
+let no_bnb_arg =
+  Arg.(
+    value & flag
+    & info [ "no-bnb" ]
+        ~doc:"Disable branch-and-bound pruning (simplification only).")
+
+let no_simp_arg =
+  Arg.(
+    value & flag
+    & info [ "no-simplification" ]
+        ~doc:"Disable the simplification objective (not recommended).")
+
+let extended_ops_arg =
+  Arg.(
+    value & flag
+    & info [ "extended-ops" ]
+        ~doc:
+          "Include the masking operations (triu/tril/less/where) in the \
+           synthesis grammar.")
+
+let cost_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cost-cache" ] ~docv:"FILE"
+        ~doc:
+          "Persist the measured cost model's profiling table, amortizing \
+           the offline phase across runs.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print search statistics.")
+
+let cmd =
+  let doc = "STENSO: tensor-program superoptimization by symbolic synthesis" in
+  Cmd.v
+    (Cmd.info "stenso" ~doc)
+    Term.(
+      const run $ program_arg $ synth_out_arg $ estimator_arg $ timeout_arg
+      $ no_bnb_arg $ no_simp_arg $ extended_ops_arg $ cost_cache_arg
+      $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/astro_pipeline.ml: Cost Dsl Format Frameworks List Random Stenso Tensor Unix

@@ -1,0 +1,1 @@
+examples/astro_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/egraph_compiler.ml: Cost Dsl Egraph Format List Rules Stenso Superopt

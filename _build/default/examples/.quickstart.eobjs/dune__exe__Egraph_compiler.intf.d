@@ -1,0 +1,1 @@
+examples/egraph_compiler.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Dsl Format Stenso

@@ -1,0 +1,1 @@
+examples/rule_mining.ml: Cost Dsl Format List Stenso

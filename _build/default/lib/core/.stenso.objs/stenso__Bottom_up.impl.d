@@ -1,0 +1,1 @@
+lib/core/bottom_up.ml: Cost Dsl Stub Superopt Unix

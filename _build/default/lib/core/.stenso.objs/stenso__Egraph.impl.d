@@ -1,0 +1,1 @@
+lib/core/egraph.ml: Array Cost Dsl Fun Hashtbl List Rules

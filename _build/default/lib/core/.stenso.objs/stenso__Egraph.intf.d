@@ -1,0 +1,1 @@
+lib/core/egraph.mli: Cost Dsl Rules

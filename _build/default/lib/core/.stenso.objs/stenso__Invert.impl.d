@@ -1,0 +1,1 @@
+lib/core/invert.ml: Array Dsl Format Fun Hashtbl List Spec String Stub Symbolic Tensor

@@ -1,0 +1,1 @@
+lib/core/invert.mli: Dsl Format Spec Stub

@@ -1,0 +1,1 @@
+lib/core/rules.ml: Dsl Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/search.ml: Cost Dsl Hashtbl Invert List Set Spec String Stub Symbolic Tensor Unix

@@ -1,0 +1,1 @@
+lib/core/stub.ml: Array Cost Dsl Hashtbl List Spec Symbolic Tensor Unix

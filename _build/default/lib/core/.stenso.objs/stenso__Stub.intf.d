@@ -1,0 +1,1 @@
+lib/core/stub.mli: Cost Dsl Spec Symbolic

@@ -1,0 +1,1 @@
+lib/core/superopt.ml: Array Cost Dsl Float List Logs Random Search Tensor

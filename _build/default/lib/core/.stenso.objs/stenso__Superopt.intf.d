@@ -1,0 +1,1 @@
+lib/core/superopt.mli: Cost Dsl Search

@@ -1,0 +1,61 @@
+type result = {
+  program : Dsl.Ast.t option;
+  cost : float;
+  enumerated : int;
+  distinct : int;
+  elapsed : float;
+  gave_up : bool;
+  depth_reached : int;
+}
+
+let run ?(max_depth = 3) ?(max_programs = 300_000) ?(timeout = 600.) ~model
+    ~env prog =
+  let started = Unix.gettimeofday () in
+  let spec = Dsl.Sexec.exec_env env prog in
+  let original_cost = Cost.Model.program_cost model env prog in
+  let consts = Superopt.consts_of prog in
+  let best = ref None in
+  let best_cost = ref original_cost in
+  let enumerated = ref 0 in
+  let distinct = ref 0 in
+  let gave_up = ref false in
+  let depth_reached = ref 0 in
+  (try
+     for depth = 1 to max_depth do
+       if Unix.gettimeofday () -. started > timeout then raise Exit;
+       let config =
+         {
+           Stub.depth;
+           max_stubs = max_programs;
+           extended_ops = false;
+           full_binary = true;
+           deadline = Some (started +. timeout);
+         }
+       in
+       let lib = Stub.enumerate ~config ~model ~consts env in
+       depth_reached := depth;
+       enumerated := Stub.attempts lib;
+       distinct := Stub.size lib;
+       (* even a truncated enumeration may already contain a better
+          equivalent program *)
+       (match Stub.lookup_exact lib spec with
+       | Some s when s.Stub.cost < !best_cost ->
+           best := Some s.Stub.prog;
+           best_cost := s.Stub.cost
+       | _ -> ());
+       if Stub.truncated lib || Unix.gettimeofday () -. started > timeout
+       then begin
+         gave_up := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    program = !best;
+    cost = !best_cost;
+    enumerated = !enumerated;
+    distinct = !distinct;
+    elapsed = Unix.gettimeofday () -. started;
+    gave_up = !gave_up;
+    depth_reached = !depth_reached;
+  }

@@ -1,0 +1,30 @@
+(** TASO-style bottom-up enumeration baseline (Section VII-B, Fig. 5).
+
+    The baseline enumerates complete programs from the grammar by
+    iterative deepening — full pairwise combination at every level, no
+    sketches, no simplification objective, no branch-and-bound — and
+    returns the cheapest enumerated program semantically equal to the
+    specification.  It scales exponentially with depth and fails on the
+    benchmarks whose optimal variants exceed its enumerable depth or its
+    program budget, which is exactly the behaviour the paper contrasts
+    STENSO against. *)
+
+type result = {
+  program : Dsl.Ast.t option;
+  cost : float;
+  enumerated : int;  (** candidate programs examined (pre-dedup) *)
+  distinct : int;  (** semantically distinct programs retained *)
+  elapsed : float;
+  gave_up : bool;  (** hit the program budget or the timeout *)
+  depth_reached : int;
+}
+
+val run :
+  ?max_depth:int ->
+  ?max_programs:int ->
+  ?timeout:float ->
+  model:Cost.Model.t ->
+  env:Dsl.Types.env ->
+  Dsl.Ast.t ->
+  result
+(** Defaults: depth 3, 300k programs, 600 s. *)

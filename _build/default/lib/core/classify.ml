@@ -1,0 +1,64 @@
+module Ast = Dsl.Ast
+
+type klass =
+  | Algebraic_simplification
+  | Identity_replacement
+  | Redundancy_elimination
+  | Strength_reduction
+  | Vectorization
+
+let klass_name = function
+  | Algebraic_simplification -> "Algebraic Simplification"
+  | Identity_replacement -> "Identity Replacement"
+  | Redundancy_elimination -> "Redundancy Elimination"
+  | Strength_reduction -> "Strength Reduction"
+  | Vectorization -> "Vectorization"
+
+let rec has_loop (t : Ast.t) =
+  match t with
+  | For_stack _ -> true
+  | Input _ | Const _ -> false
+  | App (_, args) -> List.exists has_loop args
+
+type shape_kind = Layout | Expensive | Contraction | Reduction | Arith
+
+let op_kind (op : Ast.op) =
+  match op with
+  | Transpose _ | Reshape _ | Stack _ | Full _ -> Layout
+  | Pow_op | Exp | Log | Sqrt -> Expensive
+  | Dot | Tensordot _ -> Contraction
+  | Sum _ | Max _ | Diag | Trace | Triu | Tril -> Reduction
+  | Add | Sub | Mul | Div | Maximum | Where | Less -> Arith
+
+let count_kind kind t =
+  let rec go acc (t : Ast.t) =
+    match t with
+    | Input _ | Const _ -> acc
+    | App (op, args) ->
+        let acc = if op_kind op = kind then acc + 1 else acc in
+        List.fold_left go acc args
+    | For_stack { body; _ } -> go acc body
+  in
+  go 0 t
+
+let classify ~original ~optimized =
+  if has_loop original && not (has_loop optimized) then Vectorization
+  else
+    let d kind = count_kind kind original - count_kind kind optimized in
+    let layout_dropped = d Layout in
+    let expensive_dropped = d Expensive in
+    let contraction_delta = count_kind Contraction optimized
+                            - count_kind Contraction original in
+    let reduction_dropped = d Reduction in
+    if
+      expensive_dropped > 0
+      && count_kind Contraction original = count_kind Contraction optimized
+      && reduction_dropped <= 0
+    then Strength_reduction
+    else if
+      layout_dropped > 0 && expensive_dropped <= 0 && reduction_dropped <= 0
+      && contraction_delta >= 0
+    then Redundancy_elimination
+    else if contraction_delta <> 0 || reduction_dropped > 0 then
+      Identity_replacement
+    else Algebraic_simplification

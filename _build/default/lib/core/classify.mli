@@ -1,0 +1,21 @@
+(** Heuristic classification of discovered rewrites into the paper's
+    five transformation classes (Section VII-C, Fig. 6).
+
+    The paper classifies manually; this module reconstructs the same
+    grouping from the (original, optimized) pair's structure: loop
+    removal is Vectorization, dropping only layout operations is
+    Redundancy Elimination, trading transcendental/power operations for
+    arithmetic is Strength Reduction, changing the contraction/reduction
+    structure is Identity Replacement, and pure term-level rewriting is
+    Algebraic Simplification. *)
+
+type klass =
+  | Algebraic_simplification
+  | Identity_replacement
+  | Redundancy_elimination
+  | Strength_reduction
+  | Vectorization
+
+val klass_name : klass -> string
+
+val classify : original:Dsl.Ast.t -> optimized:Dsl.Ast.t -> klass

@@ -1,0 +1,789 @@
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+module St = Dsl.Sexec.Stensor
+module Shape = Tensor.Shape
+module Expr = Symbolic.Expr
+module Q = Symbolic.Q
+module Sym = Symbolic.Sym
+
+type part = P_hole of Spec.t | P_conc of Stub.t
+type decomposition = { op : Ast.op; parts : part list }
+type config = { max_conc_depth : int; max_split_terms : int }
+
+let default_config = { max_conc_depth = 1; max_split_terms = 64 }
+
+let hole_specs d =
+  List.filter_map (function P_hole s -> Some s | P_conc _ -> None) d.parts
+
+let conc_cost d =
+  List.fold_left
+    (fun acc p ->
+      match p with P_conc s -> acc +. s.Stub.cost | P_hole _ -> acc)
+    0. d.parts
+
+let reconstruct d progs =
+  let progs = ref progs in
+  let args =
+    List.map
+      (fun p ->
+        match p with
+        | P_conc s -> s.Stub.prog
+        | P_hole _ -> (
+            match !progs with
+            | p :: rest ->
+                progs := rest;
+                p
+            | [] -> invalid_arg "Invert.reconstruct: not enough programs"))
+      d.parts
+  in
+  Ast.App (d.op, args)
+
+let pp ppf d =
+  let part ppf = function
+    | P_hole s -> Format.fprintf ppf "??%a" Shape.pp (Spec.shape s)
+    | P_conc s -> Ast.pp ppf s.Stub.prog
+  in
+  Format.fprintf ppf "%s(%a)" (Ast.op_name d.op)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       part)
+    d.parts
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception No_solution
+
+(* Elementwise combination under broadcasting where the combiner may
+   fail; [None] when any element fails. *)
+let map2_opt f a b =
+  match
+    St.map2
+      (fun x y -> match f x y with Some v -> v | None -> raise No_solution)
+      a b
+  with
+  | t -> Some t
+  | exception (No_solution | Q.Overflow) -> None
+
+let spec_vars spec =
+  Array.fold_left
+    (fun acc e -> Sym.Set.union acc (Expr.vars e))
+    Sym.Set.empty (St.to_array spec)
+
+(* Does [c]'s shape broadcast to exactly the spec shape? *)
+let fits_within c_shape spec_shape =
+  match Shape.broadcast c_shape spec_shape with
+  | Some s -> Shape.equal s spec_shape
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* One-hole elementwise sketches                                       *)
+(* ------------------------------------------------------------------ *)
+
+let elementwise_candidates (conc : Stub.t) spec =
+  let c = conc.Stub.sem in
+  let mk op parts = { op; parts } in
+  let hole_first op h = mk op [ P_hole h; P_conc conc ] in
+  let hole_second op h = mk op [ P_conc conc; P_hole h ] in
+  let out = ref [] in
+  let push d = out := d :: !out in
+  (* add(??, c) — also covers add(c, ??) by commutativity. *)
+  push (hole_first Ast.Add (St.sub spec c));
+  (* sub(??, c) and sub(c, ??). *)
+  push (hole_first Ast.Sub (St.add spec c));
+  push (hole_second Ast.Sub (St.sub c spec));
+  (* mul(??, c): exact division. *)
+  (match map2_opt Expr.div_exact spec c with
+  | Some h -> push (hole_first Ast.Mul h)
+  | None -> ());
+  (* div(??, c). *)
+  push (hole_first Ast.Div (St.mul spec c));
+  (* div(c, ??): c / spec must be exact. *)
+  (match map2_opt Expr.div_exact c spec with
+  | Some h -> push (hole_second Ast.Div h)
+  | None -> ());
+  (* power(??, q) for a scalar rational exponent. *)
+  (match Spec.to_const c with
+  | Some q when not (Q.is_zero q) && St.numel c = 1 -> (
+      match
+        map2_opt (fun e _ -> Expr.root_exact e q) spec c
+      with
+      | Some h -> push (hole_first Ast.Pow_op h)
+      | None -> ())
+  | _ -> ());
+  (* power(c, ??): consistent exponent extraction. *)
+  (let exponent_of ce fe =
+     if Expr.equal ce fe then Some Q.one
+     else
+       match (ce, fe) with
+       | _, Expr.Pow (b, Expr.Rat n) when Expr.equal b ce -> Some n
+       | Expr.Pow (b1, Expr.Rat m), Expr.Pow (b2, Expr.Rat n)
+         when Expr.equal b1 b2 && not (Q.is_zero m) ->
+           Some (Q.div n m)
+       | _ -> None
+   in
+   let exps =
+     try
+       Some
+         (St.map2
+            (fun ce fe ->
+              match exponent_of ce fe with
+              | Some q -> Expr.rat q
+              | None -> raise No_solution)
+            c spec)
+     with No_solution | Invalid_argument _ | Q.Overflow -> None
+   in
+   match exps with
+   | Some e -> (
+       match Spec.is_uniform e with
+       | Some expq when not (Expr.is_one expq) ->
+           push (hole_second Ast.Pow_op (Spec.scalar expq))
+       | _ -> ())
+   | None -> ());
+  (* maximum(??, c): strip c from a max application. *)
+  (let strip ce fe =
+     match fe with
+     | Expr.App (Expr.Max, xs) when List.exists (Expr.equal ce) xs -> (
+         match List.filter (fun x -> not (Expr.equal ce x)) xs with
+         | [] -> Some ce
+         | [ x ] -> Some x
+         | x :: rest -> Some (List.fold_left Expr.max2 x rest))
+     | _ when Expr.equal ce fe -> Some ce
+     | _ -> None
+   in
+   match map2_opt strip c spec with
+   | Some h -> push (hole_first Ast.Maximum h)
+   | None -> ());
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Unary sketches                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let unary_candidates spec =
+  let out = ref [] in
+  let push op h = out := { op; parts = [ P_hole h ] } :: !out in
+  (* Squaring expands sums, after which the normal form cannot always
+     recognize the square root again; only offer the sketch when the
+     round trip is structurally exact. *)
+  let squared = St.map (fun e -> Expr.pow e (Expr.int 2)) spec in
+  if St.equal (St.sqrt squared) spec then push Ast.Sqrt squared;
+  push Ast.Exp (St.log spec);
+  push Ast.Log (St.exp spec);
+  if Shape.rank (St.shape spec) >= 2 then
+    push (Ast.Transpose None) (St.transpose spec);
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Sum splitting                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Uniform term count across all elements, or None. *)
+let uniform_term_count spec =
+  let arr = St.to_array spec in
+  if Array.length arr = 0 then None
+  else
+    let count e = List.length (Expr.terms e) in
+    let t = count arr.(0) in
+    if t >= 2 && Array.for_all (fun e -> count e = t) arr then Some t
+    else None
+
+let sum_axis_candidates cfg spec =
+  match uniform_term_count spec with
+  | Some t when t <= cfg.max_split_terms ->
+      let s = St.shape spec in
+      List.init
+        (Shape.rank s + 1)
+        (fun axis ->
+          let hole_shape = Shape.insert_axis s axis t in
+          let hole =
+            St.init hole_shape (fun idx ->
+                let j = idx.(axis) in
+                let src = Shape.remove_axis idx axis in
+                List.nth (Expr.terms (St.get spec src)) j)
+          in
+          (* Resulting axis in the original rank: summing [hole] over
+             [axis] restores the spec. *)
+          { op = Ast.Sum (Some axis); parts = [ P_hole hole ] })
+  | _ -> []
+
+let divisor_pairs t =
+  let rec go d acc =
+    if d > t then acc
+    else if t mod d = 0 then go (d + 1) ((d, t / d) :: acc)
+    else go (d + 1) acc
+  in
+  go 2 []
+
+let sum_all_candidates cfg spec =
+  if Shape.rank (St.shape spec) <> 0 then []
+  else
+    match uniform_term_count spec with
+    | Some t when t <= cfg.max_split_terms ->
+        let terms = Expr.terms (St.get spec [||]) in
+        let arr = Array.of_list terms in
+        let flat =
+          { op = Ast.Sum None; parts = [ P_hole (St.of_array [| t |] arr) ] }
+        in
+        let matrices =
+          List.filter_map
+            (fun (r, c) ->
+              if r = t then None
+              else Some { op = Ast.Sum None;
+                          parts = [ P_hole (St.of_array [| r; c |] arr) ] })
+            (divisor_pairs t)
+        in
+        flat :: matrices
+    | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Contractions: dot and tensordot                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The concrete operand of a contraction inversion must consist of
+   distinct symbols so coefficients are well-defined. *)
+let symbolic_elements c =
+  let arr = St.to_array c in
+  let ok =
+    Array.for_all (function Expr.Var _ -> true | _ -> false) arr
+  in
+  if not ok then None
+  else
+    let syms =
+      Array.map (function Expr.Var s -> s | _ -> assert false) arr
+    in
+    let distinct =
+      Array.length syms
+      = Sym.Set.cardinal (Array.fold_right Sym.Set.add syms Sym.Set.empty)
+    in
+    if distinct then Some syms else None
+
+(* Solve [phi = sum_j H_j * c_j] for the vector (H_j) by successive
+   linear-coefficient extraction; every coefficient must be free of the
+   contraction symbols and the remainder must vanish. *)
+let linear_solve_element phi (csyms : Sym.t array) =
+  let cset = Array.fold_right Sym.Set.add csyms Sym.Set.empty in
+  let rest = ref phi in
+  let coeffs =
+    Array.map
+      (fun s ->
+        match Expr.linear_coeff !rest s with
+        | None -> raise No_solution
+        | Some (c, r) ->
+            if not (Sym.Set.is_empty (Sym.Set.inter (Expr.vars c) cset)) then
+              raise No_solution;
+            rest := r;
+            c)
+      csyms
+  in
+  if Expr.is_zero !rest then coeffs else raise No_solution
+
+(* Fallback for specs nonlinear in the contraction symbols (e.g. the
+   quadratic form x^T A x): assign each term of phi to one contraction
+   index by exact division.  Ambiguous terms prefer the index whose
+   quotient contains a symbol with matching leading index — the
+   heuristic that recovers H = A@x from x_i * A_ij * x_j.  The caller
+   verifies the assignment by reconstruction. *)
+let assign_solve_element phi (csyms : Sym.t array) =
+  let n = Array.length csyms in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun term ->
+      let candidates =
+        List.filter_map
+          (fun j ->
+            match Expr.div_exact term (Expr.var csyms.(j)) with
+            | Some q -> Some (j, q)
+            | None -> None)
+          (List.init n Fun.id)
+      in
+      let chosen =
+        match candidates with
+        | [] -> raise No_solution
+        | [ c ] -> Some c
+        | cands -> (
+            let aligned =
+              List.filter
+                (fun (j, q) ->
+                  Sym.Set.exists
+                    (fun s ->
+                      Array.length s.Sym.indices > 0 && s.Sym.indices.(0) = j)
+                    (Expr.vars q))
+                cands
+            in
+            match aligned with a :: _ -> Some a | [] -> Some (List.hd cands))
+      in
+      match chosen with
+      | Some (j, q) -> buckets.(j) <- q :: buckets.(j)
+      | None -> raise No_solution)
+    (Expr.terms phi);
+  Array.map (fun ts -> Expr.add ts) buckets
+
+(* dot(??, c): out = H[:-1] ++ (c minus its contraction axis). *)
+let dot_hole_left spec (conc : Stub.t) =
+  let c = conc.Stub.sem in
+  let cs = St.shape c in
+  let rc = Shape.rank cs in
+  if rc = 0 then []
+  else
+    match symbolic_elements c with
+    | None -> []
+    | Some _ ->
+        let s = St.shape spec in
+        let rs = Shape.rank s in
+        let c_rest = rc - 1 in
+        if rs < c_rest then []
+        else
+          let lead = Array.sub s 0 (rs - c_rest) in
+          let trail = Array.sub s (rs - c_rest) c_rest in
+          let contraction_axis = if rc = 1 then 0 else rc - 2 in
+          let expected_trail = Shape.remove_axis cs contraction_axis in
+          if not (Shape.equal trail expected_trail) then []
+          else
+            let k = cs.(contraction_axis) in
+            let hole_shape = Array.append lead [| k |] in
+            let solve_strategy strategy =
+              try
+                let hole = St.create hole_shape Expr.zero in
+                let seen = Hashtbl.create 16 in
+                Shape.iter_indices s (fun idx ->
+                    let lead_idx = Array.sub idx 0 (Array.length lead) in
+                    let trail_idx = Array.sub idx (Array.length lead) c_rest in
+                    let csyms =
+                      Array.init k (fun j ->
+                          let cidx =
+                            Shape.insert_axis trail_idx contraction_axis j
+                          in
+                          match St.get c cidx with
+                          | Expr.Var v -> v
+                          | _ -> raise No_solution)
+                    in
+                    let coeffs = strategy (St.get spec idx) csyms in
+                    Array.iteri
+                      (fun j coeff ->
+                        let hidx = Array.append lead_idx [| j |] in
+                        match Hashtbl.find_opt seen hidx with
+                        | Some prev ->
+                            if not (Expr.equal prev coeff) then
+                              raise No_solution
+                        | None ->
+                            Hashtbl.replace seen (Array.copy hidx) coeff;
+                            St.set hole hidx coeff)
+                      coeffs);
+                (* Verify by reconstruction. *)
+                if St.equal (St.dot hole c) spec then
+                  Some { op = Ast.Dot; parts = [ P_hole hole; P_conc conc ] }
+                else None
+              with No_solution | Invalid_argument _ | Q.Overflow -> None
+            in
+            List.filter_map solve_strategy
+              [ linear_solve_element; assign_solve_element ]
+
+(* dot(c, ??): out = c[:-1] ++ (H minus its contraction axis); we try
+   hole ranks 1 and 2. *)
+let dot_hole_right spec (conc : Stub.t) =
+  let c = conc.Stub.sem in
+  let cs = St.shape c in
+  let rc = Shape.rank cs in
+  if rc = 0 then []
+  else
+    match symbolic_elements c with
+    | None -> []
+    | Some _ ->
+        let s = St.shape spec in
+        let rs = Shape.rank s in
+        let c_lead = rc - 1 in
+        if rs < c_lead then []
+        else if not (Shape.equal (Array.sub s 0 c_lead) (Array.sub cs 0 c_lead))
+        then []
+        else
+          let k = cs.(rc - 1) in
+          let hole_shapes =
+            if rs = c_lead then [ [| k |] ]
+            else if rs = c_lead + 1 then [ [| k; s.(rs - 1) |] ]
+            else []
+          in
+          List.filter_map
+            (fun hole_shape ->
+              try
+                let hole = St.create hole_shape Expr.zero in
+                let seen = Hashtbl.create 16 in
+                Shape.iter_indices s (fun idx ->
+                    let lead_idx = Array.sub idx 0 c_lead in
+                    let csyms =
+                      Array.init k (fun j ->
+                          match St.get c (Array.append lead_idx [| j |]) with
+                          | Expr.Var v -> v
+                          | _ -> raise No_solution)
+                    in
+                    let coeffs =
+                      try linear_solve_element (St.get spec idx) csyms
+                      with No_solution ->
+                        assign_solve_element (St.get spec idx) csyms
+                    in
+                    Array.iteri
+                      (fun j coeff ->
+                        let hidx =
+                          if Array.length hole_shape = 1 then [| j |]
+                          else [| j; idx.(rs - 1) |]
+                        in
+                        match Hashtbl.find_opt seen hidx with
+                        | Some prev ->
+                            if not (Expr.equal prev coeff) then
+                              raise No_solution
+                        | None ->
+                            Hashtbl.replace seen (Array.copy hidx) coeff;
+                            St.set hole hidx coeff)
+                      coeffs);
+                if St.equal (St.dot c hole) spec then
+                  Some { op = Ast.Dot; parts = [ P_conc conc; P_hole hole ] }
+                else None
+              with No_solution | Invalid_argument _ | Q.Overflow -> None)
+            hole_shapes
+
+(* tensordot(c, ??, ([0],[0])): out = c[1:] ++ H[1:]. *)
+let tensordot_hole_right spec (conc : Stub.t) =
+  let c = conc.Stub.sem in
+  let cs = St.shape c in
+  let rc = Shape.rank cs in
+  if rc = 0 then []
+  else
+    match symbolic_elements c with
+    | None -> []
+    | Some _ ->
+        let s = St.shape spec in
+        let rs = Shape.rank s in
+        let c_rest = rc - 1 in
+        if rs < c_rest then []
+        else if
+          not
+            (Shape.equal (Array.sub s 0 c_rest)
+               (Array.sub cs 1 c_rest))
+        then []
+        else
+          let k = cs.(0) in
+          let hole_shape = Array.append [| k |] (Array.sub s c_rest (rs - c_rest)) in
+          try
+            let hole = St.create hole_shape Expr.zero in
+            let seen = Hashtbl.create 16 in
+            Shape.iter_indices s (fun idx ->
+                let lead_idx = Array.sub idx 0 c_rest in
+                let tail_idx = Array.sub idx c_rest (rs - c_rest) in
+                let csyms =
+                  Array.init k (fun j ->
+                      match St.get c (Array.append [| j |] lead_idx) with
+                      | Expr.Var v -> v
+                      | _ -> raise No_solution)
+                in
+                let coeffs =
+                  try linear_solve_element (St.get spec idx) csyms
+                  with No_solution ->
+                    assign_solve_element (St.get spec idx) csyms
+                in
+                Array.iteri
+                  (fun j coeff ->
+                    let hidx = Array.append [| j |] tail_idx in
+                    match Hashtbl.find_opt seen hidx with
+                    | Some prev ->
+                        if not (Expr.equal prev coeff) then raise No_solution
+                    | None ->
+                        Hashtbl.replace seen (Array.copy hidx) coeff;
+                        St.set hole hidx coeff)
+                  coeffs);
+            if St.equal (St.tensordot c hole ~axes_a:[ 0 ] ~axes_b:[ 0 ]) spec
+            then
+              [
+                {
+                  op = Ast.Tensordot ([ 0 ], [ 0 ]);
+                  parts = [ P_conc conc; P_hole hole ];
+                };
+              ]
+            else []
+          with No_solution | Invalid_argument _ | Q.Overflow -> []
+
+(* tensordot(??, c, ([0],[0])): out = H[1:] ++ c[1:]. *)
+let tensordot_hole_left spec (conc : Stub.t) =
+  let c = conc.Stub.sem in
+  let cs = St.shape c in
+  let rc = Shape.rank cs in
+  if rc = 0 then []
+  else
+    match symbolic_elements c with
+    | None -> []
+    | Some _ ->
+        let s = St.shape spec in
+        let rs = Shape.rank s in
+        let c_rest = rc - 1 in
+        if rs < c_rest then []
+        else if
+          not
+            (Shape.equal
+               (Array.sub s (rs - c_rest) c_rest)
+               (Array.sub cs 1 c_rest))
+        then []
+        else
+          let k = cs.(0) in
+          let lead = Array.sub s 0 (rs - c_rest) in
+          let hole_shape = Array.append [| k |] lead in
+          try
+            let hole = St.create hole_shape Expr.zero in
+            let seen = Hashtbl.create 16 in
+            Shape.iter_indices s (fun idx ->
+                let lead_idx = Array.sub idx 0 (Array.length lead) in
+                let tail_idx =
+                  Array.sub idx (Array.length lead) c_rest
+                in
+                let csyms =
+                  Array.init k (fun j ->
+                      match St.get c (Array.append [| j |] tail_idx) with
+                      | Expr.Var v -> v
+                      | _ -> raise No_solution)
+                in
+                let coeffs =
+                  try linear_solve_element (St.get spec idx) csyms
+                  with No_solution ->
+                    assign_solve_element (St.get spec idx) csyms
+                in
+                Array.iteri
+                  (fun j coeff ->
+                    let hidx = Array.append [| j |] lead_idx in
+                    match Hashtbl.find_opt seen hidx with
+                    | Some prev ->
+                        if not (Expr.equal prev coeff) then raise No_solution
+                    | None ->
+                        Hashtbl.replace seen (Array.copy hidx) coeff;
+                        St.set hole hidx coeff)
+                  coeffs);
+            if
+              St.equal
+                (St.tensordot hole c ~axes_a:[ 0 ] ~axes_b:[ 0 ])
+                spec
+            then
+              [
+                {
+                  op = Ast.Tensordot ([ 0 ], [ 0 ]);
+                  parts = [ P_hole hole; P_conc conc ];
+                };
+              ]
+            else []
+          with No_solution | Invalid_argument _ | Q.Overflow -> []
+
+(* ------------------------------------------------------------------ *)
+(* Two-hole splits                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let nonzero_somewhere t =
+  Array.exists (fun e -> not (Expr.is_zero e)) (St.to_array t)
+
+(* Split every element's terms by a predicate on terms. *)
+let term_split spec pred =
+  let left = St.map (fun e -> Expr.add (List.filter pred (Expr.terms e))) spec in
+  let right =
+    St.map
+      (fun e -> Expr.add (List.filter (fun t -> not (pred t)) (Expr.terms e)))
+      spec
+  in
+  (left, right)
+
+let add_split_candidates cfg spec =
+  match uniform_term_count spec with
+  | None -> []
+  | Some t when t > cfg.max_split_terms -> []
+  | Some _ ->
+      let bases =
+        List.sort_uniq String.compare
+          (Array.to_list (St.to_array spec)
+          |> List.concat_map (fun e -> Expr.base_names e))
+      in
+      let by_var =
+        List.filter_map
+          (fun v ->
+            let pred term = List.mem v (Expr.base_names term) in
+            let l, r = term_split spec pred in
+            if nonzero_somewhere l && nonzero_somewhere r then
+              Some { op = Ast.Add; parts = [ P_hole l; P_hole r ] }
+            else None)
+          bases
+      in
+      let by_sign =
+        let pred term =
+          let q, _ = Expr.split_coeff term in
+          Q.sign q >= 0
+        in
+        let l, r = term_split spec pred in
+        if nonzero_somewhere l && nonzero_somewhere r then
+          [ { op = Ast.Sub; parts = [ P_hole l; P_hole (St.neg r) ] } ]
+        else []
+      in
+      by_var @ by_sign
+
+let mul_split_candidates spec =
+  let bases =
+    List.sort_uniq String.compare
+      (Array.to_list (St.to_array spec)
+      |> List.concat_map (fun e -> Expr.base_names e))
+  in
+  List.filter_map
+    (fun v ->
+      let split_elem e =
+        let fs = Expr.factors e in
+        let l, r =
+          List.partition (fun f -> List.mem v (Expr.base_names f)) fs
+        in
+        (Expr.mul l, Expr.mul r)
+      in
+      let left = St.map (fun e -> fst (split_elem e)) spec in
+      let right = St.map (fun e -> snd (split_elem e)) spec in
+      let trivial t =
+        Array.for_all Expr.is_one (St.to_array t)
+        || Array.exists Expr.is_zero (St.to_array t)
+      in
+      if trivial left || trivial right then None
+      else Some { op = Ast.Mul; parts = [ P_hole left; P_hole right ] })
+    bases
+
+(* ------------------------------------------------------------------ *)
+(* Masking (Section V-A's density-driven cases)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* When the spec is partially zero, a masking operation applied to a
+   dense library value may reproduce it exactly: this hole-less
+   completion is how [triu(A) + triu(B)] becomes [triu(A + B)] — the
+   search cannot conjure the masked-away elements, but the library
+   can. *)
+let masked_candidates lib spec svars =
+  ignore svars;
+  let s = St.shape spec in
+  if Shape.rank s <> 2 then []
+  else
+    let has_zero = Array.exists Expr.is_zero (St.to_array spec) in
+    if not has_zero then []
+    else
+      (* The completion is allowed to mention element symbols the mask
+         discards (that is its purpose), but only from inputs the spec
+         actually draws on. *)
+      let spec_names =
+        List.concat_map Expr.base_names (Array.to_list (St.to_array spec))
+        |> List.sort_uniq String.compare
+      in
+      let names_ok sem =
+        List.for_all
+          (fun n -> List.mem n spec_names)
+          (List.concat_map Expr.base_names (Array.to_list (St.to_array sem)))
+      in
+      List.concat_map
+        (fun (c : Stub.t) ->
+          if
+            c.vt.dtype = Types.Float
+            && Shape.equal (St.shape c.sem) s
+            && names_ok c.sem
+          then
+            List.filter_map
+              (fun op ->
+                match Dsl.Sexec.apply_op op [ c.sem ] with
+                | masked when St.equal masked spec ->
+                    Some { op; parts = [ P_conc c ] }
+                | _ -> None
+                | exception (Invalid_argument _ | Dsl.Sexec.Eval_error _) ->
+                    None)
+              [ Ast.Triu; Ast.Tril ]
+          else [])
+        (Stub.stubs lib)
+
+(* where(c, ??, ??) against a boolean mask from the library: each hole
+   keeps the elements its branch selects (zero elsewhere), which lowers
+   both branches' density — the mechanism the paper's complexity metric
+   supports masking with. *)
+let where_candidates lib spec svars =
+  let s = St.shape spec in
+  List.filter_map
+    (fun (c : Stub.t) ->
+      if
+        c.vt.dtype = Types.Bool
+        && fits_within (St.shape c.sem) s
+        && Sym.Set.subset (spec_vars c.sem) svars
+      then
+        let taken = St.where c.sem spec (St.create s Expr.zero) in
+        let other = St.where c.sem (St.create s Expr.zero) spec in
+        if nonzero_somewhere taken && nonzero_somewhere other then
+          Some
+            { op = Ast.Where; parts = [ P_conc c; P_hole taken; P_hole other ] }
+        else None
+      else None)
+    (Stub.stubs lib)
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A decomposition is only usable if recombining its parts reproduces
+   the spec *structurally* — mathematically-exact candidates that the
+   normal form cannot re-cancel (e.g. dividing by a sum expands into a
+   rational function) would send the recursion after sub-programs whose
+   assembly later fails verification. *)
+let recombines spec d =
+  (* Additive residuals, term partitions and contraction solutions are
+     exact by construction (sums re-merge canonically; the contraction
+     solvers verify internally), so only the remaining operation kinds
+     pay for re-execution here. *)
+  let exact_by_construction =
+    match d.op with
+    | Ast.Add | Ast.Sub | Ast.Sum _ | Ast.Dot | Ast.Tensordot _ -> true
+    | Ast.Mul | Ast.Div | Ast.Pow_op | Ast.Maximum | Ast.Sqrt | Ast.Exp
+    | Ast.Log | Ast.Transpose _ | Ast.Max _ | Ast.Stack _ | Ast.Where
+    | Ast.Less | Ast.Triu | Ast.Tril | Ast.Diag | Ast.Trace | Ast.Reshape _
+    | Ast.Full _ ->
+        false
+  in
+  exact_by_construction
+  ||
+  let args =
+    List.map
+      (function P_hole h -> h | P_conc (s : Stub.t) -> s.sem)
+      d.parts
+  in
+  match Dsl.Sexec.apply_op d.op args with
+  | result -> St.equal result spec
+  | exception (Invalid_argument _ | Dsl.Sexec.Eval_error _ | Q.Overflow) ->
+      false
+
+let decompositions ?(config = default_config) lib spec =
+  let svars = spec_vars spec in
+  let spec_shape = St.shape spec in
+  let concs =
+    List.filter
+      (fun (s : Stub.t) ->
+        s.depth <= config.max_conc_depth
+        && s.vt.dtype = Types.Float
+        && (not (St.equal s.sem spec))
+        && nonzero_somewhere s.sem
+        && Sym.Set.subset (spec_vars s.sem) svars)
+      (Stub.stubs lib)
+  in
+  let elementwise =
+    List.concat_map
+      (fun (c : Stub.t) ->
+        if fits_within (St.shape c.sem) spec_shape then
+          elementwise_candidates c spec
+        else [])
+      concs
+  in
+  let contractions =
+    List.concat_map
+      (fun (c : Stub.t) ->
+        if Shape.rank (St.shape c.sem) >= 1 then
+          dot_hole_left spec c @ dot_hole_right spec c
+          @ tensordot_hole_right spec c @ tensordot_hole_left spec c
+        else [])
+      concs
+  in
+  List.filter (recombines spec)
+    (unary_candidates spec
+    @ sum_axis_candidates config spec
+    @ sum_all_candidates config spec
+    @ add_split_candidates config spec
+    @ mul_split_candidates spec
+    @ masked_candidates lib spec svars
+    @ where_candidates lib spec svars
+    @ elementwise @ contractions)

@@ -1,0 +1,55 @@
+(** The symbolic-algebra solver behind [SOLVE] (Section V-A).
+
+    Given the current specification [Φ] and a sketch — a grammar
+    operation whose operands are holes or concrete stubs — the solver
+    determines the {e hole specification}: the symbolic value each hole
+    must take for the sketch's output to equal [Φ].  Each operation has
+    an inverse semantics:
+
+    - elementwise [add]/[sub]/[div] invert by the opposite operation;
+    - [mul] inverts by exact symbolic division ({!Symbolic.Expr.div_exact});
+    - [power] inverts by exact root extraction or exponent matching;
+    - [dot]/[tensordot] invert by linear-coefficient extraction over the
+      concrete operand's symbols, with a term-assignment fallback for
+      specifications that are nonlinear in those symbols (e.g. the
+      quadratic form [xᵀAx]); every contraction solution is verified by
+      symbolic reconstruction;
+    - [sum] inverts by partitioning each element's terms in canonical
+      order into a new axis;
+    - two-hole [add]/[sub]/[mul] sketches split the specification by
+      input-variable occurrence or by sign.
+
+    All returned decompositions are exact: recombining the parts under
+    the operation yields a tensor symbolically equal to [Φ]. *)
+
+type part = P_hole of Spec.t | P_conc of Stub.t
+
+type decomposition = {
+  op : Dsl.Ast.op;
+  parts : part list;  (** in operation-argument order *)
+}
+
+type config = {
+  max_conc_depth : int;
+      (** maximum stub depth usable as a concrete sketch operand; the
+          paper's depth-2 stub library yields depth-1 concrete parts *)
+  max_split_terms : int;  (** cap on term count for sum/add splitting *)
+}
+
+val default_config : config
+
+val decompositions :
+  ?config:config -> Stub.library -> Spec.t -> decomposition list
+(** All sketch decompositions of the spec, each with exact hole specs.
+    The list is unpruned; the search applies the simplification and
+    branch-and-bound filters. *)
+
+val hole_specs : decomposition -> Spec.t list
+val conc_cost : decomposition -> float
+(** Summed cost of the concrete operands. *)
+
+val reconstruct : decomposition -> Dsl.Ast.t list -> Dsl.Ast.t
+(** Rebuild a program from the decomposition with synthesized programs
+    substituted for the holes (in {!hole_specs} order). *)
+
+val pp : Format.formatter -> decomposition -> unit

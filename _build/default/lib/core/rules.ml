@@ -1,0 +1,99 @@
+module Ast = Dsl.Ast
+
+type t = {
+  lhs : Ast.t;
+  rhs : Ast.t;
+  metavars : (string * string) list;
+}
+
+let metavar_names = [ "X"; "Y"; "Z"; "W"; "V"; "U"; "T"; "S" ]
+
+let generalize original optimized =
+  let inputs = Ast.inputs original in
+  let metavars =
+    List.mapi
+      (fun i name ->
+        let mv =
+          if i < List.length metavar_names then List.nth metavar_names i
+          else Printf.sprintf "X%d" i
+        in
+        (name, mv))
+      inputs
+  in
+  let abstract prog =
+    List.fold_left
+      (fun p (name, mv) -> Ast.subst_input name (Ast.Input mv) p)
+      prog metavars
+  in
+  { lhs = abstract original; rhs = abstract optimized; metavars }
+
+let specialize rule bindings =
+  let instantiate prog =
+    List.fold_left
+      (fun p (mv, replacement) -> Ast.subst_input mv replacement p)
+      prog bindings
+  in
+  (instantiate rule.lhs, instantiate rule.rhs)
+
+let matches rule prog =
+  let exception Mismatch in
+  let bindings : (string, Ast.t) Hashtbl.t = Hashtbl.create 8 in
+  let is_metavar name = List.exists (fun (_, mv) -> mv = name) rule.metavars in
+  let rec go (pat : Ast.t) (t : Ast.t) =
+    match (pat, t) with
+    | Input mv, _ when is_metavar mv -> (
+        match Hashtbl.find_opt bindings mv with
+        | Some bound -> if not (Ast.equal bound t) then raise Mismatch
+        | None -> Hashtbl.replace bindings mv t)
+    | Input a, Input b -> if a <> b then raise Mismatch
+    | Const a, Const b -> if a <> b then raise Mismatch
+    | App (op1, args1), App (op2, args2) ->
+        if op1 <> op2 || List.length args1 <> List.length args2 then
+          raise Mismatch;
+        List.iter2 go args1 args2
+    | For_stack f1, For_stack f2 ->
+        (* comprehension variables must coincide for a syntactic match *)
+        if f1.var <> f2.var || f1.iter <> f2.iter then raise Mismatch;
+        go f1.body f2.body
+    | (Input _ | Const _ | App _ | For_stack _), _ -> raise Mismatch
+  in
+  match go rule.lhs prog with
+  | () -> Some (Hashtbl.fold (fun k v acc -> (k, v) :: acc) bindings [])
+  | exception Mismatch -> None
+
+let rec apply_once rule prog =
+  match matches rule prog with
+  | Some bindings -> Some (snd (specialize rule bindings))
+  | None ->
+      let rewritten = ref false in
+      let prog' =
+        Ast.map_children
+          (fun child ->
+            if !rewritten then child
+            else
+              match apply_once rule child with
+              | Some c ->
+                  rewritten := true;
+                  c
+              | None -> child)
+          prog
+      in
+      if !rewritten then Some prog' else None
+
+let apply_fixpoint ?(max_steps = 32) rules prog =
+  let step prog =
+    List.fold_left
+      (fun acc rule ->
+        match acc with
+        | Some _ -> acc
+        | None -> apply_once rule prog)
+      None rules
+  in
+  let rec go n prog =
+    if n = 0 then prog
+    else match step prog with Some p -> go (n - 1) p | None -> prog
+  in
+  go max_steps prog
+
+let pp ppf rule = Format.fprintf ppf "%a  ==>  %a" Ast.pp rule.lhs Ast.pp rule.rhs
+let to_string rule = Format.asprintf "%a" pp rule

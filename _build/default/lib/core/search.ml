@@ -1,0 +1,343 @@
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+module St = Dsl.Sexec.Stensor
+module Shape = Tensor.Shape
+module Expr = Symbolic.Expr
+
+type config = {
+  stub_config : Stub.config;
+  invert_config : Invert.config;
+  use_bnb : bool;
+  use_simplification : bool;
+  node_budget : int;
+  timeout : float;
+  max_depth : int;
+  memoize : bool;
+}
+
+let default_config =
+  {
+    stub_config = Stub.default_config;
+    invert_config = Invert.default_config;
+    use_bnb = true;
+    use_simplification = true;
+    node_budget = 200_000;
+    timeout = 600.;
+    max_depth = 12;
+    memoize = true;
+  }
+
+type stats = {
+  nodes : int;
+  decomps : int;
+  pruned_simp : int;
+  pruned_bnb : int;
+  elapsed : float;
+  timed_out : bool;
+  library_size : int;
+}
+
+type result = { program : Dsl.Ast.t option; cost : float; stats : stats }
+
+exception Out_of_budget
+
+module Sset = Set.Make (String)
+
+type state = {
+  cfg : config;
+  model : Cost.Model.t;
+  lib : Stub.library;
+  started : float;
+  mutable cost_min : float;
+  mutable nodes : int;
+  mutable decomps : int;
+  mutable pruned_simp : int;
+  mutable pruned_bnb : int;
+  memo : (string, Dsl.Ast.t * float) Hashtbl.t;
+  (* Specs that failed to synthesize, keyed with the smallest
+     accumulated cost at which they failed: the global bound only ever
+     tightens, so failing at cost c implies failing at any cost >= c.
+     Only recorded when no candidate was suppressed by the path's
+     visited set (such failures are path-dependent). *)
+  memo_fail : (string, float) Hashtbl.t;
+}
+
+let check_budget st =
+  if
+    st.nodes > st.cfg.node_budget
+    || Unix.gettimeofday () -. st.started > st.cfg.timeout
+  then raise Out_of_budget
+
+(* Cheapest base-case match for a spec: a library stub (exact shape; or,
+   in hole position, one that broadcasts to it), a conjured constant, or
+   a [full] of a conjured constant at top level. *)
+let match_spec st ~top spec =
+  let candidates = ref [] in
+  let consider prog cost = candidates := (prog, cost) :: !candidates in
+  (match Stub.lookup_exact st.lib spec with
+  | Some s -> consider s.Stub.prog s.Stub.cost
+  | None -> ());
+  (if not top then
+     match Stub.lookup_broadcast st.lib spec with
+     | Some s -> consider s.Stub.prog s.Stub.cost
+     | None -> ());
+  (match Spec.to_const spec with
+  | Some q ->
+      let c = Ast.Const (Symbolic.Q.to_float q) in
+      let shape = Spec.shape spec in
+      if (not top) || Shape.rank shape = 0 then consider c 0.
+      else
+        consider
+          (Ast.App (Ast.Full shape, [ c ]))
+          (st.model.Cost.Model.op_cost (Ast.Full shape) [ Types.scalar_f ])
+  | None -> ());
+  match List.sort (fun (_, c1) (_, c2) -> compare c1 c2) !candidates with
+  | (prog, cost) :: _ -> Some (prog, cost)
+  | [] -> None
+
+let structural_tie_op = function
+  | Ast.Transpose _ -> true
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow_op | Ast.Maximum
+  | Ast.Sqrt | Ast.Exp | Ast.Log | Ast.Dot | Ast.Tensordot _ | Ast.Sum _
+  | Ast.Max _ | Ast.Stack _ | Ast.Where | Ast.Less | Ast.Triu | Ast.Tril
+  | Ast.Diag | Ast.Trace | Ast.Reshape _ | Ast.Full _ ->
+      false
+
+(* A hole whose spec is uniform along some axes will be realized by a
+   broadcastable (collapsed) operand — e.g. a residual tensor of all 4s
+   becomes the scalar constant 4 — so the operation is costed at the
+   collapsed shape. *)
+let vt_of_spec spec : Types.vt =
+  Types.float_t (Spec.shape (Spec.collapse spec))
+
+let decomp_op_cost st (d : Invert.decomposition) =
+  let arg_ts =
+    List.map
+      (function
+        | Invert.P_hole h -> vt_of_spec h
+        | Invert.P_conc s -> s.Stub.vt)
+      d.parts
+  in
+  match st.model.Cost.Model.op_cost d.op arg_ts with
+  | c -> Some c
+  | exception Types.Type_error _ -> None
+
+(* Algorithm 2. *)
+let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
+  st.nodes <- st.nodes + 1;
+  check_budget st;
+  let top = level = 0 in
+  (* Base case: direct template match (Algorithm 2 lines 2-8).  A match
+     ends the branch only when it is free (an input, constant, or other
+     zero-cost leaf) — those cannot be beaten.  An expensive matching
+     stub (the library also contains e.g. the original program itself)
+     instead seeds the bound while decomposition continues, otherwise
+     the search could never improve on a library entry. *)
+  match match_spec st ~top spec with
+  | Some (prog, cost) when (not top) && cost = 0. -> Some (prog, cost)
+  | matched ->
+      if level >= st.cfg.max_depth then matched
+      else
+        let key = Spec.key spec in
+        let memo_hit =
+          if st.cfg.memoize then Hashtbl.find_opt st.memo key else None
+        in
+        (match memo_hit with
+        | Some (prog, cost) ->
+            if (not st.cfg.use_bnb) || cost_in +. cost < st.cost_min then
+              Some (prog, cost)
+            else None
+        | None
+          when (not top)
+               && matched = None
+               &&
+               match Hashtbl.find_opt st.memo_fail key with
+               | Some c -> cost_in >= c
+               | None -> false ->
+            None
+        | None ->
+            let visited = Sset.add key visited in
+            let spec_cx = Spec.complexity spec in
+            let ds = Invert.decompositions ~config:st.cfg.invert_config st.lib spec in
+            st.decomps <- st.decomps + List.length ds;
+            (* Keep decompositions that simplify (or structurally tie on
+               unvisited specs), annotated with their immediate cost. *)
+            let visited_blocked = ref false in
+            let viable =
+              List.filter_map
+                (fun (d : Invert.decomposition) ->
+                  let holes = Invert.hole_specs d in
+                  let hole_keys = List.map Spec.key holes in
+                  if List.exists (fun k -> Sset.mem k visited) hole_keys then begin
+                    visited_blocked := true;
+                    None
+                  end
+                  else
+                    let simplifies =
+                      if not st.cfg.use_simplification then true
+                      else
+                        let cxs = List.map Spec.complexity holes in
+                        let avg =
+                          List.fold_left ( +. ) 0. cxs
+                          /. float_of_int (max 1 (List.length cxs))
+                        in
+                        avg < spec_cx
+                        || (avg = spec_cx && structural_tie_op d.op)
+                    in
+                    if not simplifies then begin
+                      st.pruned_simp <- st.pruned_simp + 1;
+                      None
+                    end
+                    else
+                      match decomp_op_cost st d with
+                      | None -> None
+                      | Some opc ->
+                          Some (d, holes, opc +. Invert.conc_cost d))
+                ds
+            in
+            let viable =
+              List.sort (fun (_, _, c1) (_, _, c2) -> compare c1 c2) viable
+            in
+            let best = ref None in
+            let best_cost = ref infinity in
+            (match matched with
+            | Some (prog, cost) ->
+                best := Some prog;
+                best_cost := cost;
+                (* Only a top-level match is a complete program; deeper
+                   in the tree, [cost_in] excludes sibling holes that
+                   are still unsynthesized, so tightening the global
+                   bound here would over-prune. *)
+                if top && st.cfg.use_bnb && cost < st.cost_min then
+                  st.cost_min <- cost
+            | None -> ());
+            List.iter
+              (fun (d, holes, immediate) ->
+                let cost_total = ref (cost_in +. immediate) in
+                (* Local bound: holes cost at least zero, so a sketch
+                   whose own operations already reach this node's best
+                   candidate (often the direct match) cannot win. *)
+                if immediate >= !best_cost then
+                  st.pruned_bnb <- st.pruned_bnb + 1
+                else if st.cfg.use_bnb && !cost_total >= st.cost_min then
+                  st.pruned_bnb <- st.pruned_bnb + 1
+                else begin
+                  let progs = ref [] in
+                  let ok = ref true in
+                  List.iter
+                    (fun hole ->
+                      if !ok then
+                        if st.cfg.use_bnb && !cost_total >= st.cost_min then begin
+                          st.pruned_bnb <- st.pruned_bnb + 1;
+                          ok := false
+                        end
+                        else
+                          match
+                            dfs st ~level:(level + 1) ~visited
+                              ~cost_in:!cost_total hole
+                          with
+                          | None -> ok := false
+                          | Some (p, c) ->
+                              progs := p :: !progs;
+                              cost_total := !cost_total +. c)
+                    holes;
+                  if !ok then begin
+                    let local = !cost_total -. cost_in in
+                    let prog = Invert.reconstruct d (List.rev !progs) in
+                    (* A hole may have been filled by a broadcastable
+                       (collapsed) program; that is only legitimate
+                       where the assembled sketch still produces the
+                       spec's value — ill-typed combinations and shape
+                       mismatches are rejected here.  Non-top results
+                       may broadcast to the spec (their elementwise
+                       consumers restore the full extent). *)
+                    let shape_ok =
+                      match Types.check (Stub.env st.lib) prog with
+                      | Error _ -> false
+                      | Ok vt ->
+                          let sshape = Spec.shape spec in
+                          Shape.equal vt.shape sshape
+                          || (not top)
+                             &&
+                             (match Shape.broadcast vt.shape sshape with
+                             | Some s -> Shape.equal s sshape
+                             | None -> false)
+                    in
+                    if not shape_ok then ok := false;
+                    if !ok then begin
+                    (* Ties (common under the integral FLOPs model, e.g.
+                       a zero-cost transpose pair) break toward the
+                       syntactically smaller program. *)
+                    let better =
+                      local < !best_cost
+                      || local = !best_cost
+                         &&
+                         match !best with
+                         | Some b -> Ast.size prog < Ast.size b
+                         | None -> true
+                    in
+                    if better then begin
+                      best_cost := local;
+                      best := Some prog
+                    end;
+                    if top && st.cfg.use_bnb && !cost_total < st.cost_min then
+                      st.cost_min <- !cost_total
+                    end
+                  end
+                end)
+              viable;
+            (match !best with
+            | Some prog ->
+                if st.cfg.memoize then
+                  Hashtbl.replace st.memo key (prog, !best_cost);
+                Some (prog, !best_cost)
+            | None ->
+                if st.cfg.memoize && not !visited_blocked then
+                  (match Hashtbl.find_opt st.memo_fail key with
+                  | Some c when c <= cost_in -> ()
+                  | _ -> Hashtbl.replace st.memo_fail key cost_in);
+                None))
+
+let run ?(config = default_config) ~model ~env ~spec ~initial_bound ~consts () =
+  let started = Unix.gettimeofday () in
+  let stub_config =
+    {
+      config.stub_config with
+      Stub.deadline = Some (started +. config.timeout);
+    }
+  in
+  let lib = Stub.enumerate ~config:stub_config ~model ~consts env in
+  let st =
+    {
+      cfg = config;
+      model;
+      lib;
+      started;
+      cost_min = initial_bound;
+      nodes = 0;
+      decomps = 0;
+      pruned_simp = 0;
+      pruned_bnb = 0;
+      memo = Hashtbl.create 256;
+      memo_fail = Hashtbl.create 256;
+    }
+  in
+  let outcome, timed_out =
+    match dfs st ~level:0 ~visited:Sset.empty ~cost_in:0. spec with
+    | r -> (r, false)
+    | exception Out_of_budget -> (None, true)
+  in
+  let stats =
+    {
+      nodes = st.nodes;
+      decomps = st.decomps;
+      pruned_simp = st.pruned_simp;
+      pruned_bnb = st.pruned_bnb;
+      elapsed = Unix.gettimeofday () -. started;
+      timed_out;
+      library_size = Stub.size lib;
+    }
+  in
+  match outcome with
+  | Some (program, cost) -> { program = Some program; cost; stats }
+  | None -> { program = None; cost = infinity; stats }

@@ -1,0 +1,60 @@
+(** Top-down synthesis via recursive sketch simplification with
+    branch-and-bound pruning — Algorithm 2 of the paper.
+
+    The search decomposes the specification with sketches from
+    {!Invert}, recursing on each hole specification.  Two admissible
+    filters keep it tractable:
+
+    - {e simplification pruning} ([use_simplification]): only
+      decompositions whose average hole complexity is below the current
+      spec's complexity are explored (structural operations such as
+      [transpose] may tie, guarded by a visited set on the path);
+    - {e branch and bound} ([use_bnb]): a path whose accumulated cost
+      reaches the best complete program's cost is abandoned.
+
+    Both can be disabled independently to reproduce the paper's
+    simplification-only configuration (Fig. 5). *)
+
+type config = {
+  stub_config : Stub.config;
+  invert_config : Invert.config;
+  use_bnb : bool;
+  use_simplification : bool;
+  node_budget : int;  (** maximum DFS nodes before giving up *)
+  timeout : float;  (** wall-clock seconds before giving up *)
+  max_depth : int;  (** recursion depth cap *)
+  memoize : bool;  (** cache synthesized sub-programs per spec *)
+}
+
+val default_config : config
+
+type stats = {
+  nodes : int;  (** DFS invocations *)
+  decomps : int;  (** decompositions examined *)
+  pruned_simp : int;  (** decompositions cut by the simplification objective *)
+  pruned_bnb : int;  (** branches cut by branch-and-bound *)
+  elapsed : float;
+  timed_out : bool;
+  library_size : int;
+}
+
+type result = {
+  program : Dsl.Ast.t option;
+      (** best synthesized program, [None] if nothing was found within
+          budget *)
+  cost : float;  (** its estimated cost (meaningful when program set) *)
+  stats : stats;
+}
+
+val run :
+  ?config:config ->
+  model:Cost.Model.t ->
+  env:Dsl.Types.env ->
+  spec:Spec.t ->
+  initial_bound:float ->
+  consts:float list ->
+  unit ->
+  result
+(** Synthesize a program equivalent to [spec] with estimated cost below
+    [initial_bound].  [consts] seeds the grammar's constant terminals
+    (the constants of the original program). *)

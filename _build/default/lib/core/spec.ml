@@ -1,0 +1,77 @@
+module St = Dsl.Sexec.Stensor
+module Expr = Symbolic.Expr
+module Shape = Tensor.Shape
+
+type t = St.t
+
+let shape = St.shape
+let equal = St.equal
+
+let key t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Shape.to_string (St.shape t));
+  Array.iter
+    (fun e ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (Expr.to_string e))
+    (St.to_array t);
+  Buffer.contents buf
+
+let complexity = Dsl.Sexec.complexity
+
+let axis_uniform t axis =
+  (* Are all slices along [axis] identical? *)
+  let s = St.shape t in
+  let n = s.(axis) in
+  n > 1
+  &&
+  let ok = ref true in
+  Shape.iter_indices s (fun idx ->
+      if !ok && idx.(axis) > 0 then begin
+        let first = Array.copy idx in
+        first.(axis) <- 0;
+        if not (Expr.equal (St.get t idx) (St.get t first)) then ok := false
+      end);
+  !ok
+
+let shrink_axis t axis =
+  let s = St.shape t in
+  let s' = Array.copy s in
+  s'.(axis) <- 1;
+  St.init s' (fun idx -> St.get t idx)
+
+let collapse t =
+  let t = ref t in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let s = St.shape !t in
+    for axis = 0 to Shape.rank s - 1 do
+      if axis_uniform !t axis then begin
+        t := shrink_axis !t axis;
+        changed := true
+      end
+    done
+  done;
+  (* Drop leading unit axes (broadcast-neutral). *)
+  let s = St.shape !t in
+  let lead = ref 0 in
+  while !lead < Shape.rank s && s.(!lead) = 1 do
+    incr lead
+  done;
+  if !lead = 0 then !t
+  else
+    St.reshape !t (Array.sub s !lead (Shape.rank s - !lead))
+
+let is_uniform t =
+  if St.numel t = 0 then None
+  else
+    let arr = St.to_array t in
+    let first = arr.(0) in
+    if Array.for_all (Expr.equal first) arr then Some first else None
+
+let to_const t =
+  match is_uniform t with Some e -> Expr.to_const e | None -> None
+
+let scalar e = St.scalar e
+let pp = St.pp

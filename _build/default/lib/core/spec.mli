@@ -1,0 +1,36 @@
+(** Specification tensors and the simplification metric.
+
+    A specification is a symbolic tensor [Φ] (the result of symbolically
+    executing a program).  The synthesis search manipulates specs:
+    computing their complexity (Section V-A of the paper), hashing them
+    for memoization and visited-set checks, and collapsing broadcastable
+    uniformity (a residual tensor whose elements are all [4] is better
+    synthesized as the scalar constant [4]). *)
+
+type t = Dsl.Sexec.Stensor.t
+
+val shape : t -> Tensor.Shape.t
+val equal : t -> t -> bool
+
+val key : t -> string
+(** Canonical rendering usable as a hash key; equal specs have equal
+    keys. *)
+
+val complexity : t -> float
+(** [|var(Φ)| * density(Φ)] — mean per-element distinct-symbol count
+    times the fraction of nonzero elements (Section V-A). *)
+
+val collapse : t -> t
+(** Shrink axes along which all slices are identical to size 1 and drop
+    leading unit axes.  The result broadcasts back to the original
+    shape, so it is interchangeable in elementwise positions. *)
+
+val is_uniform : t -> Symbolic.Expr.t option
+(** [Some e] when every element equals [e]. *)
+
+val to_const : t -> Symbolic.Q.t option
+(** [Some q] when every element is the rational constant [q]. *)
+
+val scalar : Symbolic.Expr.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+module Sexec = Dsl.Sexec
+module Shape = Tensor.Shape
+
+type t = {
+  prog : Ast.t;
+  vt : Types.vt;
+  sem : Spec.t;
+  cost : float;
+  depth : int;
+}
+
+type config = {
+  depth : int;
+  max_stubs : int;
+  extended_ops : bool;
+  full_binary : bool;
+  deadline : float option;
+}
+
+let default_config =
+  {
+    depth = 2;
+    max_stubs = 20_000;
+    extended_ops = false;
+    full_binary = false;
+    deadline = None;
+  }
+
+exception Stop_enumeration
+
+type library = {
+  all : t list;
+  atom_list : t list;
+  by_sem : (string, t) Hashtbl.t;
+  lib_env : Types.env;
+  hit_cap : bool;
+  attempts : int;  (* candidate programs examined before deduplication *)
+}
+
+let stubs l = l.all
+let attempts l = l.attempts
+let atoms l = l.atom_list
+let size l = List.length l.all
+let env l = l.lib_env
+let truncated l = l.hit_cap
+
+(* Candidate operations for a given argument count, specialized by the
+   ranks available.  Attribute-carrying ops are expanded per rank. *)
+let unary_ops ~extended rank =
+  let axes = List.init rank (fun i -> Some i) in
+  let sums = List.map (fun a -> Ast.Sum a) (None :: axes) in
+  let maxes = List.map (fun a -> Ast.Max a) (None :: axes) in
+  let base = [ Ast.Sqrt; Ast.Exp; Ast.Log ] in
+  let structural =
+    (if rank >= 2 then [ Ast.Transpose None; Ast.Diag; Ast.Trace ] else [])
+    @ (if rank >= 1 then sums @ maxes else [])
+  in
+  let masks = if extended && rank = 2 then [ Ast.Triu; Ast.Tril ] else [] in
+  base @ structural @ masks
+
+let binary_ops ~extended =
+  [
+    Ast.Add;
+    Ast.Sub;
+    Ast.Mul;
+    Ast.Div;
+    Ast.Pow_op;
+    Ast.Maximum;
+    Ast.Dot;
+    Ast.Tensordot ([ 0 ], [ 0 ]);
+  ]
+  @ if extended then [ Ast.Less ] else []
+
+let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
+  let sym_inputs = Sexec.sym_env env in
+  let sym_lookup name =
+    match List.assoc_opt name sym_inputs with
+    | Some v -> v
+    | None -> raise (Sexec.Eval_error ("unbound input " ^ name))
+  in
+  let by_sem : (string, t) Hashtbl.t = Hashtbl.create 4096 in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  let hit_cap = ref false in
+  let levels : t list array = Array.make (config.depth + 1) [] in
+  let register stub =
+    let key = Spec.key stub.sem in
+    match Hashtbl.find_opt by_sem key with
+    | Some existing when existing.cost <= stub.cost -> false
+    | Some _ ->
+        (* Cheaper implementation of a known value: replace the
+           representative but do not re-expand it. *)
+        Hashtbl.replace by_sem key stub;
+        false
+    | None ->
+        if !count >= config.max_stubs then begin
+          hit_cap := true;
+          false
+        end
+        else begin
+          Hashtbl.replace by_sem key stub;
+          incr count;
+          true
+        end
+  in
+  (* Depth 0: inputs and program constants. *)
+  let atom_list =
+    List.filter_map
+      (fun (name, vt) ->
+        let stub =
+          {
+            prog = Ast.Input name;
+            vt;
+            sem = sym_lookup name;
+            cost = 0.;
+            depth = 0;
+          }
+        in
+        if register stub then Some stub else None)
+      env
+    @ List.filter_map
+        (fun c ->
+          let stub =
+            {
+              prog = Ast.Const c;
+              vt = Types.scalar_f;
+              sem = Sexec.exec (fun _ -> assert false) (Ast.Const c);
+              cost = 0.;
+              depth = 0;
+            }
+          in
+          if register stub then Some stub else None)
+        (List.sort_uniq compare consts)
+  in
+  levels.(0) <- atom_list;
+  let try_apply op (args : t list) depth acc =
+    incr attempts;
+    if !count >= config.max_stubs then begin
+      hit_cap := true;
+      raise Stop_enumeration
+    end;
+    (match config.deadline with
+    | Some d when !attempts land 1023 = 0 && Unix.gettimeofday () > d ->
+        hit_cap := true;
+        raise Stop_enumeration
+    | _ -> ());
+    match Types.check env (Ast.App (op, List.map (fun s -> s.prog) args)) with
+    | Error _ -> acc
+    | Ok vt -> (
+        match Sexec.apply_op op (List.map (fun s -> s.sem) args) with
+        | exception
+            ( Sexec.Eval_error _ | Invalid_argument _
+            | Symbolic.Q.Overflow (* e.g. pow towers of constants *) ) ->
+            acc
+        | sem ->
+            let arg_ts = List.map (fun s -> s.vt) args in
+            let cost =
+              List.fold_left (fun a s -> a +. s.cost) 0. args
+              +. model.Cost.Model.op_cost op arg_ts
+            in
+            let stub =
+              { prog = Ast.App (op, List.map (fun s -> s.prog) args);
+                vt; sem; cost; depth }
+            in
+            if register stub then stub :: acc else acc)
+  in
+  (try
+  for d = 1 to config.depth do
+    let lower = List.concat (Array.to_list (Array.sub levels 0 d)) in
+    let newest = levels.(d - 1) in
+    let produced = ref [] in
+    (* Unary ops applied to the newest level (lower levels were already
+       expanded at previous depths). *)
+    List.iter
+      (fun (a : t) ->
+        if a.vt.dtype = Types.Float then
+          List.iter
+            (fun op -> produced := try_apply op [ a ] d !produced)
+            (unary_ops ~extended:config.extended_ops
+               (Shape.rank a.vt.shape)))
+      newest;
+    (* Binary ops: at least one operand from the newest level. *)
+    let binaries = binary_ops ~extended:config.extended_ops in
+    let consider a b =
+      List.iter
+        (fun op ->
+          (* Restrict power exponents to scalars: the grammar's
+             [power] is used with scalar exponents and tensor-tensor
+             powers explode the atom vocabulary without ever being
+             cheaper. *)
+          let skip =
+            op = Ast.Pow_op && Shape.rank (b : t).vt.shape > 0
+          in
+          if not skip then produced := try_apply op [ a; b ] d !produced)
+        binaries
+    in
+    (* Beyond depth 1, non-atom x non-atom products are redundant with
+       what the recursive search reconstructs through sketches; unless
+       [full_binary] is set (the TASO-style baseline), one operand must
+       be an atom. *)
+    let pairs_ok (a : t) (b : t) =
+      d = 1 || config.full_binary || a.depth = 0 || b.depth = 0
+    in
+    let consider a b = if pairs_ok a b then consider a b in
+    List.iter
+      (fun a ->
+        List.iter (fun b -> consider a b) lower;
+        List.iter (fun b -> consider a b) newest)
+      newest;
+    List.iter (fun a -> List.iter (fun b -> consider a b) newest) lower;
+    levels.(d) <- !produced
+  done
+  with Stop_enumeration -> ());
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) by_sem [] in
+  let all = List.sort (fun a b -> compare (a.cost, a.depth) (b.cost, b.depth)) all in
+  { all; atom_list; by_sem; lib_env = env; hit_cap = !hit_cap;
+    attempts = !attempts }
+
+let lookup_exact lib spec = Hashtbl.find_opt lib.by_sem (Spec.key spec)
+
+let lookup_broadcast lib spec =
+  (* Only the collapsed lookup: exact matches are the caller's business
+     (it compares both by cost; returning the exact match here would let
+     an expensive same-shape stub shadow a zero-cost broadcastable
+     atom). *)
+  let collapsed = Spec.collapse spec in
+  if Shape.equal (Spec.shape collapsed) (Spec.shape spec) then None
+  else Hashtbl.find_opt lib.by_sem (Spec.key collapsed)
+
+let const_stub lib q =
+  let prog = Ast.Const (Symbolic.Q.to_float q) in
+  let sem = Spec.scalar (Symbolic.Expr.rat q) in
+  let fresh = { prog; vt = Types.scalar_f; sem; cost = 0.; depth = 0 } in
+  (* A library stub may share the semantics (e.g. sum(A/A) is the
+     constant 4 on a 2x2 input) but a literal is never more expensive. *)
+  match lookup_exact lib sem with
+  | Some s when s.cost < fresh.cost -> Some s
+  | Some _ | None -> Some fresh

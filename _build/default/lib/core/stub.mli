@@ -1,0 +1,73 @@
+(** Bottom-up enumeration of program stubs (Section IV-B).
+
+    A {e stub} is a small, hole-free program from the grammar, paired
+    with its symbolic semantics and estimated cost.  Stubs are the base
+    material of the synthesis search: the recursion's base case matches
+    the remaining specification against the stub library, and sketches
+    are formed by pairing grammar operations with stub operands.
+
+    Enumeration is type-directed (ill-shaped candidates are discarded,
+    as in the paper) and semantically deduplicated: among stubs with
+    identical symbolic values only the cheapest survives, so e.g.
+    [transpose(transpose(A))] is subsumed by [A]. *)
+
+type t = {
+  prog : Dsl.Ast.t;
+  vt : Dsl.Types.vt;
+  sem : Spec.t;
+  cost : float;
+  depth : int;
+}
+
+type config = {
+  depth : int;  (** bottom-up iterations; the paper fixes 2 *)
+  max_stubs : int;  (** enumeration budget *)
+  extended_ops : bool;  (** include triu/tril/less/where *)
+  full_binary : bool;
+      (** combine arbitrary stub pairs at every depth (full bottom-up
+          enumeration, used by the TASO-style baseline); the default
+          requires one atom operand beyond depth 1, a redundancy cut
+          that the recursive sketch search compensates for *)
+  deadline : float option;
+      (** absolute wall-clock instant (as [Unix.gettimeofday]) after
+          which enumeration stops and reports truncation *)
+}
+
+val default_config : config
+
+type library
+
+val enumerate :
+  ?config:config ->
+  model:Cost.Model.t ->
+  consts:float list ->
+  Dsl.Types.env ->
+  library
+(** Build the stub library for a set of inputs plus the constants that
+    occur in the original program (the grammar's [FCons] terminals). *)
+
+val stubs : library -> t list
+val atoms : library -> t list
+val size : library -> int
+
+val attempts : library -> int
+(** Candidate programs examined during enumeration, before semantic
+    deduplication. *)
+
+val env : library -> Dsl.Types.env
+val truncated : library -> bool
+(** Did enumeration hit [max_stubs]? *)
+
+val lookup_exact : library -> Spec.t -> t option
+(** Cheapest stub whose symbolic value (and shape) equals the spec. *)
+
+val lookup_broadcast : library -> Spec.t -> t option
+(** A stub matching the {e collapsed} spec — a value that broadcasts to
+    the spec (safe in elementwise positions).  Exact-shape matches are
+    deliberately not consulted; callers combine this with
+    {!lookup_exact} and pick the cheaper. *)
+
+val const_stub : library -> Symbolic.Q.t -> t option
+(** A [Const] leaf for a uniform-constant spec (the solver may conjure
+    constants not present in the library, e.g. the 4 in
+    [AB + 3AB -> 4AB]). *)

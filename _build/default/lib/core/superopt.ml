@@ -1,0 +1,140 @@
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+
+type outcome = {
+  original : Ast.t;
+  optimized : Ast.t;
+  improved : bool;
+  original_cost : float;
+  optimized_cost : float;
+  search : Search.result;
+  verified : bool;
+}
+
+let consts_of prog =
+  let rec go acc (t : Ast.t) =
+    match t with
+    | Const f -> f :: acc
+    | Input _ -> acc
+    | App (_, args) -> List.fold_left go acc args
+    | For_stack { body; _ } -> go acc body
+  in
+  List.sort_uniq compare (1.0 :: go [] prog)
+
+(* Second verification environment: every non-unit dimension bumped by
+   one.  Symbolic execution fixes concrete sizes, so an equivalence that
+   silently depended on a size coincidence (e.g. a term count happening
+   to match a dimension) passes at the synthesis shapes but fails
+   here. *)
+let perturbed_env (env : Types.env) : Types.env =
+  List.map
+    (fun (name, (vt : Types.vt)) ->
+      ( name,
+        {
+          vt with
+          Types.shape =
+            Array.map (fun d -> if d > 1 then d + 1 else d) vt.shape;
+        } ))
+    env
+
+let rec has_shape_attrs (t : Ast.t) =
+  match t with
+  | App ((Full _ | Reshape _), _) -> true
+  | Input _ | Const _ -> false
+  | App (_, args) -> List.exists has_shape_attrs args
+  | For_stack { body; _ } -> has_shape_attrs body
+
+let robust_equivalent ~env a b =
+  Dsl.Sexec.equivalent env a b
+  &&
+  let env' = perturbed_env env in
+  (* Programs that bake shapes into attributes ([full]/[reshape]) are
+     legitimately shape-specific, and anything that no longer
+     type-checks at the perturbed sizes cannot be compared there; the
+     primary check stands alone in those cases. *)
+  has_shape_attrs a || has_shape_attrs b
+  || (not (Types.well_typed env' a && Types.well_typed env' b))
+  || Dsl.Sexec.equivalent env' a b
+
+let superoptimize ?(config = Search.default_config) ~model ~env prog =
+  let original_cost = Cost.Model.program_cost model env prog in
+  let spec = Dsl.Sexec.exec_env env prog in
+  let search =
+    Search.run ~config ~model ~env ~spec ~initial_bound:original_cost
+      ~consts:(consts_of prog) ()
+  in
+  (* Re-estimate the synthesized program as a whole: search-time cost
+     accumulation prices holes at collapsed shapes, which is the right
+     search heuristic but can drift from the assembled program. *)
+  let final_cost prog = Cost.Model.program_cost model env prog in
+  let search =
+    match search.program with
+    | Some candidate -> { search with cost = final_cost candidate }
+    | None -> search
+  in
+  match search.program with
+  | Some candidate when search.cost < original_cost ->
+      (* Correctness by construction, re-checked end-to-end — at the
+         synthesis shapes and at perturbed shapes. *)
+      let verified = robust_equivalent ~env prog candidate in
+      if verified then
+        {
+          original = prog;
+          optimized = candidate;
+          improved = true;
+          original_cost;
+          optimized_cost = search.cost;
+          search;
+          verified;
+        }
+      else begin
+        (* The candidate failed re-verification (for example a rewrite
+           that only held at a shape coincidence of the synthesis
+           sizes): fall back to the original program rather than emit
+           wrong code.  The returned program is the original, so the
+           outcome is trivially verified. *)
+        Logs.warn (fun m ->
+            m "stenso: rejected unverifiable candidate %a" Ast.pp candidate);
+        {
+          original = prog;
+          optimized = prog;
+          improved = false;
+          original_cost;
+          optimized_cost = original_cost;
+          search;
+          verified = true;
+        }
+      end
+  | _ ->
+      {
+        original = prog;
+        optimized = prog;
+        improved = false;
+        original_cost;
+        optimized_cost = original_cost;
+        search;
+        verified = true;
+      }
+
+let validate_concrete ?(trials = 16) ~env a b =
+  let st = Random.State.make [| 0xbeef |] in
+  (* Rewrites hold on the engine's positive-value domain (see
+     {!Symbolic.Expr}); a trial whose original already produces
+     non-finite values (sqrt/log of a negative intermediate) is outside
+     that domain and carries no evidence either way, so it is skipped. *)
+  let close x y = Float.abs (x -. y) <= 1e-9 +. (1e-6 *. Float.abs y) in
+  let ok = ref true in
+  for _ = 1 to trials do
+    if !ok then begin
+      let inputs = Dsl.Interp.random_inputs st env in
+      let ra = Dsl.Interp.eval_alist inputs a in
+      let in_domain =
+        Tensor.Ftensor.fold (fun acc x -> acc && Float.is_finite x) true ra
+      in
+      if in_domain then begin
+        let rb = Dsl.Interp.eval_alist inputs b in
+        if not (Tensor.Ftensor.for_all2 close ra rb) then ok := false
+      end
+    end
+  done;
+  !ok

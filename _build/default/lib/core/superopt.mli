@@ -1,0 +1,45 @@
+(** The STENSO superoptimizer — Algorithm 1 of the paper.
+
+    [superoptimize] symbolically executes the input program to obtain
+    the target specification, estimates the input's cost as the initial
+    branch-and-bound bound, enumerates the stub/sketch library, runs the
+    synthesis search, and returns the cheaper of (best synthesized
+    program, original program).  Every improved result is re-verified by
+    symbolic equivalence before being returned, so outputs are correct
+    by construction. *)
+
+type outcome = {
+  original : Dsl.Ast.t;
+  optimized : Dsl.Ast.t;  (** equals [original] when nothing better was found *)
+  improved : bool;
+  original_cost : float;
+  optimized_cost : float;
+  search : Search.result;
+  verified : bool;
+      (** symbolic equivalence of [optimized] and [original]; always
+          true for [improved] outcomes (enforced), trivially true
+          otherwise *)
+}
+
+val consts_of : Dsl.Ast.t -> float list
+(** The constant terminals of a program (the grammar's [FCons]), plus
+    the always-available unit constant. *)
+
+val superoptimize :
+  ?config:Search.config ->
+  model:Cost.Model.t ->
+  env:Dsl.Types.env ->
+  Dsl.Ast.t ->
+  outcome
+
+val robust_equivalent :
+  env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool
+(** Symbolic equivalence at the given shapes {e and} at shapes with
+    every non-unit dimension bumped by one (when both programs still
+    type-check there) — guards against rewrites that only hold at a
+    size coincidence of the synthesis shapes. *)
+
+val validate_concrete :
+  ?trials:int -> env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool
+(** Differential testing on random concrete inputs — a secondary check
+    used by the test-suite alongside symbolic verification. *)

@@ -1,0 +1,1 @@
+lib/cost/model.ml: Array Dsl Float Format Fun Hashtbl List Option Printf Random String Tensor Unix

@@ -1,0 +1,76 @@
+(** Cost estimation for DSL programs (paper Sections V-B and VI-C).
+
+    Two estimators guide the branch-and-bound search:
+
+    - {!flops}: the theoretical FLOP count in the style of JAX's cost
+      analysis — every elementwise operation costs one FLOP per output
+      element regardless of which operation it is.
+    - {!measured}: an empirical model built by timing each operation on
+      random inputs of representative shapes, memoized in a lookup
+      table.  Unlike the FLOPs model it distinguishes FLOP-equivalent
+      programs (e.g. [power(A,2)] vs [A*A]) and charges data movement
+      for layout operations such as [transpose], enabling the more
+      effective pruning the paper reports.
+
+    Costs are abstract nonnegative units; only comparisons matter. *)
+
+type t = {
+  name : string;
+  op_cost : Dsl.Ast.op -> Dsl.Types.vt list -> float;
+      (** Cost of one application; raises [Dsl.Types.Type_error] when the
+          operation does not apply to the argument types. *)
+  iter_scale : int;
+      (** How much data-dependent loop trip counts grow at the
+          representative shapes the op costs correspond to: 1 for the
+          FLOPs model, the shape-scaling factor for the measured model.
+          Without it a Python-level comprehension would be charged its
+          synthesis-time trip count against representative-size
+          broadcast alternatives. *)
+}
+
+val flops : t
+
+val roofline :
+  ?flops_per_sec:float ->
+  ?mem_bw:float ->
+  ?dispatch:float ->
+  ?loop_scale:int ->
+  unit ->
+  t
+(** Deterministic analytic estimator: per-op dispatch overhead plus a
+    roofline of weighted arithmetic (transcendentals and [power] cost
+    many machine ops per element) against memory traffic.  Sits between
+    {!flops} (blind to op kind and data movement) and {!measured}
+    (accurate but profiling-noise-dependent); useful when reproducible
+    search outcomes matter more than platform fidelity. *)
+
+val measured :
+  ?scale:int ->
+  ?min_time:float ->
+  ?overhead:float ->
+  ?cache_file:string ->
+  unit ->
+  t
+(** Profiling-based model.  [scale] multiplies every tensor dimension
+    (and shape attribute) before timing so that small synthesis-time
+    shapes are measured at representative sizes (default 12).
+    [min_time] is the minimum wall-clock per measurement in seconds
+    (default 1e-3).  [overhead] (default 0.5 microseconds) is added per
+    operation, modelling the eager framework's per-op dispatch cost —
+    this is what makes replacing a Python-level loop by one broadcast
+    operation profitable, as in the paper's Vectorization class.
+    Measurements are memoized per (operation, shapes) in an internal
+    table, mirroring the paper's one-time offline profiling phase; with
+    [cache_file] the table persists across processes, amortizing the
+    profiling cost as Section VII-E describes. *)
+
+val flop_count : Dsl.Ast.op -> Dsl.Types.vt list -> float
+(** The raw FLOP count used by {!flops}. *)
+
+val bytes_moved : Dsl.Ast.op -> Dsl.Types.vt list -> float
+(** Memory traffic in bytes (reads + writes, 8-byte elements) — used by
+    the roofline timing model of the framework simulators. *)
+
+val program_cost : t -> Dsl.Types.env -> Dsl.Ast.t -> float
+(** Total cost of a program: the sum over all operation nodes, with
+    comprehension bodies charged once per iteration. *)

@@ -1,0 +1,1 @@
+lib/dsl/ast.ml: Array Float Format List Set Stdlib String

@@ -1,0 +1,1 @@
+lib/dsl/interp.ml: Array Ast List Random Tensor Types

@@ -1,0 +1,1 @@
+lib/dsl/interp.mli: Ast Random Tensor Types

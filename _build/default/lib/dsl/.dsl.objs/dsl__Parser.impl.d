@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Array Ast Float Format List String Types

@@ -1,0 +1,1 @@
+lib/dsl/sexec.ml: Array Ast Expr Float List Q Sym Symbolic Tensor Types

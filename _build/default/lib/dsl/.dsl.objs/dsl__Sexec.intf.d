@@ -1,0 +1,1 @@
+lib/dsl/sexec.mli: Ast Symbolic Tensor Types

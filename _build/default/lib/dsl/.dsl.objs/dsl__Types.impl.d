@@ -1,0 +1,1 @@
+lib/dsl/types.ml: Array Ast Format Fun List Tensor

@@ -1,0 +1,1 @@
+lib/dsl/types.mli: Ast Format Tensor

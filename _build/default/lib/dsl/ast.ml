@@ -1,0 +1,160 @@
+type op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow_op
+  | Maximum
+  | Sqrt
+  | Exp
+  | Log
+  | Dot
+  | Tensordot of int list * int list
+  | Transpose of int array option
+  | Sum of int option
+  | Max of int option
+  | Stack of int
+  | Where
+  | Less
+  | Triu
+  | Tril
+  | Diag
+  | Trace
+  | Reshape of int array
+  | Full of int array
+
+type t =
+  | Input of string
+  | Const of float
+  | App of op * t list
+  | For_stack of { var : string; iter : string; body : t }
+
+let op_name = function
+  | Add -> "add"
+  | Sub -> "subtract"
+  | Mul -> "multiply"
+  | Div -> "divide"
+  | Pow_op -> "power"
+  | Maximum -> "maximum"
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Dot -> "dot"
+  | Tensordot _ -> "tensordot"
+  | Transpose _ -> "transpose"
+  | Sum _ -> "sum"
+  | Max _ -> "max"
+  | Stack _ -> "stack"
+  | Where -> "where"
+  | Less -> "less"
+  | Triu -> "triu"
+  | Tril -> "tril"
+  | Diag -> "diag"
+  | Trace -> "trace"
+  | Reshape _ -> "reshape"
+  | Full _ -> "full"
+
+let op_arity = function
+  | Add | Sub | Mul | Div | Pow_op | Maximum | Dot | Tensordot _ | Less -> 2
+  | Sqrt | Exp | Log | Transpose _ | Sum _ | Max _ | Triu | Tril | Diag
+  | Trace | Reshape _ | Full _ ->
+      1
+  | Where -> 3
+  | Stack _ -> -1 (* variadic *)
+
+let compare = (Stdlib.compare : t -> t -> int)
+let equal a b = compare a b = 0
+
+let children = function
+  | Input _ | Const _ -> []
+  | App (_, args) -> args
+  | For_stack { body; _ } -> [ body ]
+
+let map_children f = function
+  | (Input _ | Const _) as t -> t
+  | App (op, args) -> App (op, List.map f args)
+  | For_stack fs -> For_stack { fs with body = f fs.body }
+
+let rec size t =
+  match t with
+  | Input _ | Const _ -> 1
+  | _ -> List.fold_left (fun acc c -> acc + size c) 1 (children t)
+
+let rec num_ops t =
+  match t with
+  | Input _ | Const _ -> 0
+  | _ -> List.fold_left (fun acc c -> acc + num_ops c) 1 (children t)
+
+module Sset = Set.Make (String)
+
+let inputs t =
+  let rec go bound t acc =
+    match t with
+    | Input name -> if Sset.mem name bound then acc else Sset.add name acc
+    | Const _ -> acc
+    | App (_, args) -> List.fold_left (fun acc a -> go bound a acc) acc args
+    | For_stack { var; iter; body } ->
+        let acc = if Sset.mem iter bound then acc else Sset.add iter acc in
+        go (Sset.add var bound) body acc
+  in
+  Sset.elements (go Sset.empty t Sset.empty)
+
+let rec subst_input name replacement t =
+  match t with
+  | Input n when n = name -> replacement
+  | Input _ | Const _ -> t
+  | App (op, args) -> App (op, List.map (subst_input name replacement) args)
+  | For_stack fs when fs.var = name -> t (* shadowed *)
+  | For_stack fs ->
+      For_stack { fs with body = subst_input name replacement fs.body }
+
+let pp_int_list ppf xs =
+  Format.fprintf ppf "[%s]" (String.concat ", " (List.map string_of_int xs))
+
+let pp_int_array ppf xs = pp_int_list ppf (Array.to_list xs)
+
+let pp_axis ppf = function
+  | None -> ()
+  | Some a -> Format.fprintf ppf ", axis=%d" a
+
+let rec pp ppf t =
+  match t with
+  | Input name -> Format.pp_print_string ppf name
+  | Const f ->
+      if Float.is_integer f && Float.abs f < 1e9 then
+        Format.fprintf ppf "%d" (int_of_float f)
+      else Format.fprintf ppf "%g" f
+  | App (op, args) -> pp_app ppf op args
+  | For_stack { var; iter; body } ->
+      Format.fprintf ppf "np.stack([%a for %s in %s])" pp body var iter
+
+and pp_app ppf op args =
+  let call name extras =
+    Format.fprintf ppf "np.%s(%a%s)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp)
+      args extras
+  in
+  match (op, args) with
+  | Sum axis, [ _ ] -> call "sum" (Format.asprintf "%a" pp_axis axis)
+  | Max axis, [ _ ] -> call "max" (Format.asprintf "%a" pp_axis axis)
+  | Stack axis, _ ->
+      Format.fprintf ppf "np.stack([%a], axis=%d)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp)
+        args axis
+  | Transpose None, [ x ] -> Format.fprintf ppf "np.transpose(%a)" pp x
+  | Transpose (Some perm), [ x ] ->
+      Format.fprintf ppf "np.transpose(%a, %a)" pp x pp_int_array perm
+  | Tensordot (xa, xb), [ a; b ] ->
+      Format.fprintf ppf "np.tensordot(%a, %a, (%a, %a))" pp a pp b
+        pp_int_list xa pp_int_list xb
+  | Reshape shape, [ x ] ->
+      Format.fprintf ppf "np.reshape(%a, %a)" pp x pp_int_array shape
+  | Full shape, [ v ] ->
+      Format.fprintf ppf "np.full(%a, %a)" pp_int_array shape pp v
+  | _, _ -> call (op_name op) ""
+
+let to_string t = Format.asprintf "%a" pp t

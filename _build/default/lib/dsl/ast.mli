@@ -1,0 +1,67 @@
+(** Abstract syntax of the tensor DSL.
+
+    This is the grammar of Fig. 3 in the paper (NumPy operations over
+    float and boolean tensors with shape/axis attributes), extended with
+    the operations the paper's own benchmark suite uses: [exp], [log],
+    [maximum], [stack], [diag], [trace], [reshape], and the
+    list-comprehension loop [For_stack] that models
+    [np.stack([body for v in xs])]. *)
+
+type op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow_op
+  | Maximum
+  | Sqrt
+  | Exp
+  | Log
+  | Dot
+  | Tensordot of int list * int list
+  | Transpose of int array option  (** [None] reverses all axes *)
+  | Sum of int option  (** [None] reduces all axes *)
+  | Max of int option
+  | Stack of int  (** axis *)
+  | Where
+  | Less
+  | Triu
+  | Tril
+  | Diag
+  | Trace
+  | Reshape of int array
+  | Full of int array  (** target shape; the single argument is a scalar *)
+
+type t =
+  | Input of string
+  | Const of float
+  | App of op * t list
+  | For_stack of { var : string; iter : string; body : t }
+      (** [np.stack([body for var in iter], axis=0)] where [iter] names
+          an input tensor iterated along axis 0. *)
+
+val op_name : op -> string
+val op_arity : op -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val num_ops : t -> int
+(** Number of operation nodes (excludes inputs and constants). *)
+
+val inputs : t -> string list
+(** Sorted distinct free input names (comprehension variables are
+    bound and excluded). *)
+
+val subst_input : string -> t -> t -> t
+(** [subst_input name replacement t] replaces [Input name] nodes. *)
+
+val children : t -> t list
+val map_children : (t -> t) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** NumPy-flavoured rendering, e.g. [np.dot(np.multiply(A, C), B)]. *)
+
+val to_string : t -> string

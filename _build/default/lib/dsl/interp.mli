@@ -1,0 +1,24 @@
+(** Concrete (eager) evaluation of DSL programs on float tensors.
+
+    Booleans are represented as 0/1 tensors, the convention of the
+    {!Tensor} substrate.  Evaluation mirrors NumPy eager semantics:
+    one pass per operation, no rewriting. *)
+
+exception Eval_error of string
+
+val eval : (string -> Tensor.Ftensor.t) -> Ast.t -> Tensor.Ftensor.t
+(** [eval env t] raises {!Eval_error} on unbound inputs and lets the
+    tensor substrate raise [Invalid_argument] on shape errors (which
+    type-checked programs never trigger). *)
+
+val eval_alist : (string * Tensor.Ftensor.t) list -> Ast.t -> Tensor.Ftensor.t
+
+val apply_op : Ast.op -> Tensor.Ftensor.t list -> Tensor.Ftensor.t
+(** Apply a single operation to already-evaluated arguments (used by the
+    measured cost model to profile operations in isolation). *)
+
+val random_inputs :
+  ?lo:float -> ?hi:float -> Random.State.t -> Types.env ->
+  (string * Tensor.Ftensor.t) list
+(** Fresh random concrete inputs matching a typing environment (booleans
+    are sampled as 0/1). *)

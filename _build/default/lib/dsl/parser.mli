@@ -1,0 +1,23 @@
+(** Parser for the NumPy-flavoured surface syntax of the DSL.
+
+    A program file declares its inputs and returns one expression:
+    {v
+    # gaussian variance reduction
+    input A : f32[3, 3]
+    input B : f32[3, 3]
+    return np.diag(np.dot(A, B))
+    v}
+
+    Expressions support the operators [+ - * / @ **], unary minus,
+    postfix [.T], numeric literals, [np.<fn>(...)] calls with [axis=]
+    keywords, shape/axes tuples, and the comprehension form
+    [np.stack([e for v in X])].  This mirrors the Python subset the
+    paper's artifact accepts as benchmark sources. *)
+
+exception Parse_error of string
+
+val program : string -> Types.env * Ast.t
+(** Parse a whole program (input declarations + return). *)
+
+val expression : string -> Ast.t
+(** Parse a bare expression (no declarations). *)

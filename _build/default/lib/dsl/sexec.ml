@@ -1,0 +1,133 @@
+open Symbolic
+
+module Expr_elt : Tensor.Elt.S with type t = Expr.t = struct
+  type t = Expr.t
+
+  let zero = Expr.zero
+  let one = Expr.one
+
+  let of_float f =
+    match Q.of_float f with
+    | Some q -> Expr.rat q
+    | None ->
+        (* Non-dyadic constant: approximate with a fixed denominator so
+           both sides of any comparison use the same conversion. *)
+        Expr.rat (Q.make (int_of_float (Float.round (f *. 1e9))) 1_000_000_000)
+
+  let add a b = Expr.add [ a; b ]
+  let sub = Expr.sub
+  let mul a b = Expr.mul [ a; b ]
+  let div = Expr.div
+  let pow = Expr.pow
+  let neg = Expr.neg
+  let sqrt = Expr.sqrt
+  let exp = Expr.exp
+  let log = Expr.log
+  let max = Expr.max2
+  let less = Expr.less
+  let where = Expr.where
+  let is_zero = Expr.is_zero
+  let equal = Expr.equal
+  let pp = Expr.pp
+end
+
+module Stensor = Tensor.Nd.Make (Expr_elt)
+
+exception Eval_error of string
+
+let input_tensor name shape =
+  Stensor.init shape (fun idx -> Expr.var (Sym.make name (Array.copy idx)))
+
+let sym_env (env : Types.env) =
+  List.map (fun (name, (vt : Types.vt)) -> (name, input_tensor name vt.shape)) env
+
+let rec exec env (t : Ast.t) : Stensor.t =
+  match t with
+  | Input name -> env name
+  | Const f -> Stensor.scalar (Expr_elt.of_float f)
+  | App (op, args) -> apply op (List.map (exec env) args)
+  | For_stack { var; iter; body } ->
+      let source = env iter in
+      let n = (Stensor.shape source).(0) in
+      let slices =
+        List.init n (fun i ->
+            let slice = Stensor.slice0 source i in
+            let env' name = if name = var then slice else env name in
+            exec env' body)
+      in
+      Stensor.stack slices ~axis:0
+
+and apply (op : Ast.op) (args : Stensor.t list) : Stensor.t =
+  match (op, args) with
+  | Add, [ a; b ] -> Stensor.add a b
+  | Sub, [ a; b ] -> Stensor.sub a b
+  | Mul, [ a; b ] -> Stensor.mul a b
+  | Div, [ a; b ] -> Stensor.div a b
+  | Pow_op, [ a; b ] -> Stensor.pow a b
+  | Maximum, [ a; b ] -> Stensor.maximum a b
+  | Sqrt, [ a ] -> Stensor.sqrt a
+  | Exp, [ a ] -> Stensor.exp a
+  | Log, [ a ] -> Stensor.log a
+  | Dot, [ a; b ] -> Stensor.dot a b
+  | Tensordot (axes_a, axes_b), [ a; b ] -> Stensor.tensordot a b ~axes_a ~axes_b
+  | Transpose perm, [ a ] -> Stensor.transpose ?perm a
+  | Sum axis, [ a ] -> Stensor.sum ?axis a
+  | Max axis, [ a ] -> Stensor.max_reduce ?axis a
+  | Stack axis, ts -> Stensor.stack ts ~axis
+  | Where, [ c; a; b ] -> Stensor.where c a b
+  | Less, [ a; b ] -> Stensor.less a b
+  | Triu, [ a ] -> Stensor.triu a
+  | Tril, [ a ] -> Stensor.tril a
+  | Diag, [ a ] -> Stensor.diag a
+  | Trace, [ a ] -> Stensor.trace a
+  | Reshape shape, [ a ] -> Stensor.reshape a shape
+  | Full shape, [ v ] -> Stensor.full shape (Stensor.to_scalar v)
+  | ( ( Add | Sub | Mul | Div | Pow_op | Maximum | Sqrt | Exp | Log | Dot
+      | Tensordot _ | Transpose _ | Sum _ | Max _ | Where | Less | Triu
+      | Tril | Diag | Trace | Reshape _ | Full _ ),
+      _ ) ->
+      raise (Eval_error (Ast.op_name op ^ ": wrong number of arguments"))
+
+let apply_op = apply
+
+let exec_env env t =
+  let alist = sym_env env in
+  exec
+    (fun name ->
+      match List.assoc_opt name alist with
+      | Some v -> v
+      | None -> raise (Eval_error ("unbound input " ^ name)))
+    t
+
+let equivalent env a b =
+  try
+    let sa = exec_env env a and sb = exec_env env b in
+    Stensor.equal sa sb
+  with Eval_error _ | Invalid_argument _ | Symbolic.Q.Overflow -> false
+
+let density t =
+  let n = Stensor.numel t in
+  if n = 0 then 0.
+  else
+    let nonzero =
+      Array.fold_left
+        (fun acc e -> if Expr.is_zero e then acc else acc + 1)
+        0 (Stensor.to_array t)
+    in
+    float_of_int nonzero /. float_of_int n
+
+let complexity t =
+  let n = Stensor.numel t in
+  if n = 0 then 0.
+  else
+    let total =
+      Array.fold_left
+        (fun acc e -> acc + Sym.Set.cardinal (Expr.vars e))
+        0 (Stensor.to_array t)
+    in
+    let mean_vars = float_of_int total /. float_of_int n in
+    mean_vars *. density t
+
+let eval_concrete assignment t =
+  Tensor.Ftensor.of_array (Stensor.shape t)
+    (Array.map (Expr.eval assignment) (Stensor.to_array t))

@@ -1,0 +1,36 @@
+(** Shape- and dtype-checking for DSL programs.
+
+    Mirrors the typing discipline of the paper's grammar (Fig. 3): [F]
+    float tensors, [B] boolean tensors, scalars as rank-0 tensors, and
+    shape/axis attributes checked statically.  The checker both rejects
+    ill-formed programs and computes every subterm's output shape, which
+    the cost models and the synthesizer's stub enumeration rely on. *)
+
+type dtype = Float | Bool
+
+type vt = { dtype : dtype; shape : Tensor.Shape.t }
+(** A value type: element dtype plus concrete shape. *)
+
+exception Type_error of string
+
+val scalar_f : vt
+val float_t : Tensor.Shape.t -> vt
+val bool_t : Tensor.Shape.t -> vt
+val equal_vt : vt -> vt -> bool
+val pp_vt : Format.formatter -> vt -> unit
+
+type env = (string * vt) list
+(** Input typing environment. *)
+
+val infer_op : Ast.op -> vt list -> vt
+(** Result type of one operation applied to argument types; raises
+    {!Type_error} when inapplicable. *)
+
+val infer : env -> Ast.t -> vt
+(** Type of a whole program; raises {!Type_error} (also on unbound
+    inputs). *)
+
+val check : env -> Ast.t -> (vt, string) result
+(** Non-raising wrapper around {!infer}. *)
+
+val well_typed : env -> Ast.t -> bool

@@ -1,0 +1,1 @@
+lib/frameworks/framework.ml: Array Cost Dsl Float Hashtbl List Platform Rewrite Tensor

@@ -1,0 +1,1 @@
+lib/frameworks/framework.mli: Dsl Platform Rewrite

@@ -1,0 +1,1 @@
+lib/frameworks/platform.ml: List

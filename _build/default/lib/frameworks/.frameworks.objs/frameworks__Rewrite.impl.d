@@ -1,0 +1,1 @@
+lib/frameworks/rewrite.ml: Dsl List Tensor

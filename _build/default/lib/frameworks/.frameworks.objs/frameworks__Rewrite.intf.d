@@ -1,0 +1,1 @@
+lib/frameworks/rewrite.mli: Dsl

@@ -1,0 +1,258 @@
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+module Shape = Tensor.Shape
+
+type t = { name : string; rules : Rewrite.rule list; compiled : bool }
+
+let numpy = { name = "NumPy"; rules = []; compiled = false }
+let jax = { name = "JAX"; rules = Rewrite.xla_rules; compiled = true }
+
+let torch_inductor =
+  { name = "PyTorch"; rules = Rewrite.inductor_rules; compiled = true }
+
+let all = [ numpy; jax; torch_inductor ]
+let optimize fw prog = Rewrite.rewrite_fixpoint fw.rules prog
+
+let is_elementwise (op : Ast.op) =
+  match op with
+  | Add | Sub | Mul | Div | Pow_op | Maximum | Sqrt | Exp | Log | Where
+  | Less ->
+      true
+  | Dot | Tensordot _ | Transpose _ | Sum _ | Max _ | Stack _ | Triu | Tril
+  | Diag | Trace | Reshape _ | Full _ ->
+      false
+
+(* Per-element arithmetic weight: transcendental and power ops cost
+   many FLOPs each, which is what distinguishes power(A,2) from A*A. *)
+let elementwise_weight (op : Ast.op) =
+  match op with
+  | Pow_op -> 40.
+  | Exp | Log -> 32.
+  | Sqrt -> 8.
+  | Add | Sub | Mul | Div | Maximum | Where | Less -> 1.
+  | Dot | Tensordot _ | Transpose _ | Sum _ | Max _ | Stack _ | Triu | Tril
+  | Diag | Trace | Reshape _ | Full _ ->
+      1.
+
+let numel (vt : Types.vt) = float_of_int (Shape.numel vt.shape)
+
+(* (flops, bytes) of one operation, excluding fusion effects. *)
+let op_profile (op : Ast.op) (args : Types.vt list) (out : Types.vt) =
+  let in_bytes =
+    8. *. List.fold_left (fun acc a -> acc +. numel a) 0. args
+  in
+  let out_bytes = 8. *. numel out in
+  match op with
+  | Add | Sub | Mul | Div | Pow_op | Maximum | Sqrt | Exp | Log | Where
+  | Less ->
+      (elementwise_weight op *. numel out, in_bytes +. out_bytes)
+  | Dot | Tensordot _ ->
+      (Cost.Model.flop_count op args, in_bytes +. out_bytes)
+  | Sum _ | Max _ ->
+      (List.fold_left (fun acc a -> acc +. numel a) 0. args,
+       in_bytes +. out_bytes)
+  | Transpose _ -> (0., in_bytes +. out_bytes)
+  | Stack _ -> (0., in_bytes +. out_bytes)
+  | Triu | Tril -> (numel out, in_bytes +. out_bytes)
+  | Diag -> (0., 2. *. out_bytes)
+  | Trace -> (
+      match args with
+      | [ a ] ->
+          let n = float_of_int (min a.shape.(0) a.shape.(1)) in
+          (n, 8. *. (n +. 1.))
+      | _ -> (0., out_bytes))
+  | Reshape _ -> (0., 0.) (* metadata-only view *)
+  | Full _ -> (0., out_bytes)
+
+let roofline (p : Platform.t) flops bytes =
+  Float.max (flops /. p.flops_per_sec) (bytes /. p.mem_bw)
+
+(* ------------------------------------------------------------------ *)
+(* Eager (NumPy) execution model                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Eager values carry a "transposed view" flag: NumPy's transpose is a
+   zero-copy view, but a BLAS contraction consuming a non-contiguous
+   view first copies it to contiguous storage. *)
+let rec eager_time (p : Platform.t) env (t : Ast.t) : Types.vt * bool * float
+    =
+  match t with
+  | Input name -> (
+      match List.assoc_opt name env with
+      | Some vt -> (vt, false, 0.)
+      | None -> raise (Types.Type_error ("unbound input " ^ name)))
+  | Const _ -> (Types.scalar_f, false, 0.)
+  | App (op, args) ->
+      let results = List.map (eager_time p env) args in
+      let arg_ts = List.map (fun (vt, _, _) -> vt) results in
+      let arg_time = List.fold_left (fun acc (_, _, c) -> acc +. c) 0. results in
+      let out = Types.infer_op op arg_ts in
+      (* Memory traffic counts each distinct operand once: multiply(A, A)
+         streams A a single time through cache. *)
+      let dup_bytes =
+        let seen = ref [] in
+        List.fold_left2
+          (fun acc arg vt ->
+            if List.exists (Ast.equal arg) !seen then acc +. (8. *. numel vt)
+            else begin
+              seen := arg :: !seen;
+              acc
+            end)
+          0. args arg_ts
+      in
+      (match op with
+      | Transpose _ | Reshape _ ->
+          (* views: dispatch only *)
+          let viewed = match op with Transpose _ -> true | _ -> false in
+          (out, viewed, arg_time +. p.dispatch_overhead)
+      | Dot | Tensordot _ ->
+          let flops, bytes = op_profile op arg_ts out in
+          (* BLAS copies non-contiguous (transposed-view) operands to
+             contiguous storage in a separate pass before contracting. *)
+          let copy_time =
+            List.fold_left
+              (fun acc (vt, viewed, _) ->
+                if viewed then acc +. (16. *. numel vt /. p.mem_bw) else acc)
+              0. results
+          in
+          ( out,
+            false,
+            arg_time +. p.dispatch_overhead +. copy_time
+            +. roofline p flops (bytes -. dup_bytes) )
+      | Add | Sub | Mul | Div | Pow_op | Maximum | Sqrt | Exp | Log | Where
+      | Less | Sum _ | Max _ | Stack _ | Triu | Tril | Diag | Trace | Full _
+        ->
+          let flops, bytes = op_profile op arg_ts out in
+          ( out,
+            false,
+            arg_time +. p.dispatch_overhead
+            +. roofline p flops (bytes -. dup_bytes) ))
+  | For_stack { var; iter; body } -> (
+      match List.assoc_opt iter env with
+      | None -> raise (Types.Type_error ("unbound input " ^ iter))
+      | Some it ->
+          let n = it.shape.(0) in
+          let slice : Types.vt =
+            { it with shape = Shape.remove_axis it.shape 0 }
+          in
+          let body_t, _, body_time = eager_time p ((var, slice) :: env) body in
+          let out : Types.vt =
+            { body_t with shape = Shape.insert_axis body_t.shape 0 n }
+          in
+          (* Python loop: per-iteration interpreter overhead (indexing,
+             loop bookkeeping) on top of the body, then one stack. *)
+          let per_iter = body_time +. (2. *. p.dispatch_overhead) in
+          let stack_bytes = 16. *. numel out in
+          ( out,
+            false,
+            (float_of_int n *. per_iter)
+            +. p.dispatch_overhead
+            +. roofline p 0. stack_bytes ))
+
+(* ------------------------------------------------------------------ *)
+(* Compiled (JAX / Inductor) execution model                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fused-graph cost with CSE: each distinct subterm is computed once;
+   maximal elementwise regions form single kernels whose memory traffic
+   only crosses the region boundary. *)
+let compiled_time (p : Platform.t) env0 (prog : Ast.t) : float =
+  let counted : (Ast.t, Types.vt) Hashtbl.t = Hashtbl.create 64 in
+  let infer env t = Types.infer env t in
+  (* Collect the maximal elementwise region rooted at [t]: returns
+     (total flops, boundary nodes). Region nodes are marked counted. *)
+  let rec region env t (flops, boundary) =
+    match t with
+    | Ast.App (op, args) when is_elementwise op && not (Hashtbl.mem counted t)
+      ->
+        let vt = infer env t in
+        Hashtbl.replace counted t vt;
+        let flops = flops +. (elementwise_weight op *. numel vt) in
+        List.fold_left (fun acc a -> region env a acc) (flops, boundary) args
+    | _ ->
+        ( flops,
+          if List.exists (Ast.equal t) boundary then boundary
+          else t :: boundary )
+  in
+  let rec node_cost env (t : Ast.t) : float =
+    if Hashtbl.mem counted t then 0.
+    else
+      match t with
+      | Input _ | Const _ ->
+          Hashtbl.replace counted t (infer env t);
+          0.
+      | App (op, _args) when is_elementwise op ->
+          let out = infer env t in
+          let flops, boundary = region env t (0., []) in
+          let boundary_cost =
+            List.fold_left (fun acc b -> acc +. node_cost env b) 0. boundary
+          in
+          let boundary_bytes =
+            8.
+            *. List.fold_left
+                 (fun acc b ->
+                   match b with
+                   | Ast.Const _ -> acc
+                   | _ -> acc +. numel (infer env b))
+                 0. boundary
+          in
+          boundary_cost +. p.kernel_overhead
+          +. roofline p flops (boundary_bytes +. (8. *. numel out))
+      | App (((Transpose _ | Reshape _) as op), [ x ]) ->
+          (* fused into consumers / metadata-only *)
+          let out = infer env t in
+          Hashtbl.replace counted t out;
+          ignore op;
+          node_cost env x
+      | App (op, args) ->
+          let arg_cost = List.fold_left (fun acc a -> acc +. node_cost env a) 0. args in
+          let arg_ts = List.map (infer env) args in
+          let out = infer env t in
+          Hashtbl.replace counted t out;
+          let flops, bytes = op_profile op arg_ts out in
+          arg_cost +. p.kernel_overhead +. roofline p flops bytes
+      | For_stack { var; iter; body } -> (
+          match List.assoc_opt iter env with
+          | None -> raise (Types.Type_error ("unbound input " ^ iter))
+          | Some it ->
+              let n = it.shape.(0) in
+              let slice : Types.vt =
+                { it with shape = Shape.remove_axis it.shape 0 }
+              in
+              (* The trace unrolls the loop: n slice computations, each
+                 its own kernels, then a stack. *)
+              let env' = (var, slice) :: env in
+              let body_cost =
+                let saved = Hashtbl.copy counted in
+                let c = node_cost env' body in
+                Hashtbl.reset counted;
+                Hashtbl.iter (Hashtbl.replace counted) saved;
+                c
+              in
+              let out = infer env t in
+              Hashtbl.replace counted t out;
+              (float_of_int n *. (body_cost +. p.kernel_overhead))
+              +. roofline p 0. (16. *. numel out))
+  in
+  node_cost env0 prog
+
+let estimate_time fw platform env prog =
+  let prog = optimize fw prog in
+  (* Every invocation pays one call/launch overhead even when the body
+     degenerates to an input reference (e.g. transpose(transpose(A))
+     after rewriting): this is the Python-function-call floor a real
+     measurement would see, and it keeps speedups finite. *)
+  let floor_cost =
+    if fw.compiled then platform.Platform.kernel_overhead
+    else platform.Platform.dispatch_overhead
+  in
+  floor_cost
+  +.
+  if fw.compiled then compiled_time platform env prog
+  else
+    let _, _, time = eager_time platform env prog in
+    time
+
+let speedup fw platform env ~original ~optimized =
+  estimate_time fw platform env original
+  /. estimate_time fw platform env optimized

@@ -1,0 +1,42 @@
+(** Execution-time models for the three tensor frameworks of the
+    paper's evaluation (Section VI-B).
+
+    Each framework is simulated by the mechanism that actually
+    determines its performance profile:
+
+    - {!numpy}: eager execution — one dispatch and one memory pass per
+      operation, no graph rewriting, Python-loop comprehension cost per
+      iteration;
+    - {!jax}: graph capture, XLA's algebraic simplification rules,
+      common-subexpression elimination, and elementwise-operator fusion
+      into single kernels;
+    - {!torch_inductor}: like JAX with Inductor's (smaller) pattern set.
+
+    Kernel times follow a roofline model on a {!Platform.t}:
+    [overhead + max(flops/rate, bytes/bandwidth)].  The model is
+    analytic and deterministic, so the figures it produces are stable
+    across runs; its purpose is to preserve the paper's comparative
+    structure, not absolute numbers (see DESIGN.md). *)
+
+type t = {
+  name : string;
+  rules : Rewrite.rule list;  (** framework's own rewrites (pre-STENSO) *)
+  compiled : bool;  (** graph capture + fusion + CSE vs eager *)
+}
+
+val numpy : t
+val jax : t
+val torch_inductor : t
+val all : t list
+
+val optimize : t -> Dsl.Ast.t -> Dsl.Ast.t
+(** The framework's own graph-level optimization of a program. *)
+
+val estimate_time : t -> Platform.t -> Dsl.Types.env -> Dsl.Ast.t -> float
+(** Estimated execution time in seconds of the program under the
+    framework's execution model (after {!optimize}). *)
+
+val speedup :
+  t -> Platform.t -> Dsl.Types.env -> original:Dsl.Ast.t ->
+  optimized:Dsl.Ast.t -> float
+(** [time(original) / time(optimized)] under this framework/platform. *)

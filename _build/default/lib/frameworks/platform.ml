@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  flops_per_sec : float;
+  mem_bw : float;
+  kernel_overhead : float;
+  dispatch_overhead : float;
+}
+
+let amd_7950x =
+  {
+    name = "AMD 7950X";
+    flops_per_sec = 5.0e10;
+    mem_bw = 7.0e10;
+    kernel_overhead = 2.0e-7;
+    dispatch_overhead = 8.0e-7;
+  }
+
+let intel_8700k =
+  {
+    name = "Intel i7-8700K";
+    flops_per_sec = 2.2e10;
+    mem_bw = 3.8e10;
+    kernel_overhead = 2.5e-7;
+    dispatch_overhead = 1.1e-6;
+  }
+
+let apple_m3_pro =
+  {
+    name = "Apple M3 Pro";
+    flops_per_sec = 3.8e10;
+    mem_bw = 1.5e11;
+    kernel_overhead = 1.8e-7;
+    dispatch_overhead = 7.0e-7;
+  }
+
+let all = [ amd_7950x; intel_8700k; apple_m3_pro ]
+let find name = List.find (fun p -> p.name = name) all

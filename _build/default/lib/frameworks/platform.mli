@@ -1,0 +1,24 @@
+(** Analytic CPU platform profiles for the three machines of the
+    paper's evaluation (Section VI-D).
+
+    We cannot run on the authors' hardware, so each platform is modelled
+    by a small set of roofline parameters: sustained elementwise
+    throughput, memory bandwidth, per-kernel launch overhead, and the
+    eager framework's per-operation dispatch overhead.  The absolute
+    numbers are rough public figures; what the experiments depend on is
+    their relative structure (e.g. Apple's high unified-memory bandwidth
+    versus the Intel part's lower one). *)
+
+type t = {
+  name : string;
+  flops_per_sec : float;  (** sustained elementwise FLOP rate *)
+  mem_bw : float;  (** bytes per second *)
+  kernel_overhead : float;  (** compiled-kernel launch cost, seconds *)
+  dispatch_overhead : float;  (** eager per-op dispatch cost, seconds *)
+}
+
+val amd_7950x : t
+val intel_8700k : t
+val apple_m3_pro : t
+val all : t list
+val find : string -> t

@@ -1,0 +1,34 @@
+(** Rule-based graph rewriting as performed by the compiled tensor
+    frameworks (JAX/XLA and PyTorch-Inductor).
+
+    These are the frameworks' {e own} fixed optimization rules — the
+    ones the paper argues are incomplete.  Simulating them matters for
+    the evaluation's shape: a rewrite STENSO discovers that the
+    framework also knows (e.g. [exp(log x) = x] in XLA) yields no
+    speedup on that framework, which is exactly why the paper's compiled
+    baselines show smaller gains than eager NumPy. *)
+
+type rule = { rule_name : string; apply : Dsl.Ast.t -> Dsl.Ast.t option }
+
+val constant_folding : rule
+val double_transpose : rule
+val mul_one : rule
+val add_zero : rule
+val sub_zero : rule
+val div_one : rule
+val pow_one : rule
+val exp_log : rule
+val log_exp : rule
+val pow_two_to_mul : rule
+val pow_neg_one_to_div : rule
+val reshape_reshape : rule
+
+val xla_rules : rule list
+(** The JAX/XLA algebraic-simplification set. *)
+
+val inductor_rules : rule list
+(** The PyTorch-Inductor pattern set (smaller than XLA's). *)
+
+val rewrite_fixpoint : rule list -> Dsl.Ast.t -> Dsl.Ast.t
+(** Apply rules bottom-up to a fixpoint (bounded), as a compiler pass
+    pipeline would. *)

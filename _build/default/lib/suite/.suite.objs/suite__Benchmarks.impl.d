@@ -1,0 +1,1 @@
+lib/suite/benchmarks.ml: Dsl List

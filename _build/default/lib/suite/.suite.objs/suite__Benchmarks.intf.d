@@ -1,0 +1,1 @@
+lib/suite/benchmarks.mli: Dsl

@@ -1,0 +1,1 @@
+lib/suite/generator.ml: Array Dsl List Printf Random

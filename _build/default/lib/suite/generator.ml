@@ -1,0 +1,90 @@
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+
+type config = {
+  num_inputs : int;
+  dims : int list;
+  max_rank : int;
+  size : int;
+  allow_contractions : bool;
+  allow_transcendentals : bool;
+  seed : int;
+}
+
+let default =
+  {
+    num_inputs = 3;
+    dims = [ 2; 3 ];
+    max_rank = 2;
+    size = 5;
+    allow_contractions = true;
+    allow_transcendentals = true;
+    seed = 0;
+  }
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let random_env cfg st : Types.env =
+  List.init cfg.num_inputs (fun i ->
+      let rank = Random.State.int st (cfg.max_rank + 1) in
+      let shape = Array.init rank (fun _ -> pick st cfg.dims) in
+      (Printf.sprintf "I%d" i, Types.float_t shape))
+
+(* Grow a pool of typed subexpressions by applying random operations;
+   ill-typed combinations are simply re-rolled. *)
+let generate cfg =
+  let st = Random.State.make [| 0x9e2; cfg.seed |] in
+  let env = random_env cfg st in
+  let pool = ref (List.map (fun (n, _) -> Ast.Input n) env) in
+  let consts = [ Ast.Const 1.; Ast.Const 2. ] in
+  let unary =
+    [ (fun a -> Ast.App (Sum (Some 0), [ a ]));
+      (fun a -> Ast.App (Sum None, [ a ]));
+      (fun a -> Ast.App (Transpose None, [ a ])) ]
+    @
+    if cfg.allow_transcendentals then
+      [ (fun a -> Ast.App (Sqrt, [ a ]));
+        (fun a -> Ast.App (Exp, [ Ast.App (Log, [ a ]) ])) ]
+    else []
+  in
+  let binary =
+    [ (fun a b -> Ast.App (Add, [ a; b ]));
+      (fun a b -> Ast.App (Sub, [ a; b ]));
+      (fun a b -> Ast.App (Mul, [ a; b ]));
+      (fun a b -> Ast.App (Div, [ a; b ])) ]
+    @
+    if cfg.allow_contractions then
+      [ (fun a b -> Ast.App (Dot, [ a; b ])) ]
+    else []
+  in
+  let well_typed t = Types.well_typed env t in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < cfg.size && !attempts < cfg.size * 200 do
+    incr attempts;
+    let candidate =
+      if Random.State.int st 3 = 0 && unary <> [] then
+        (pick st unary) (pick st !pool)
+      else
+        let a = pick st !pool in
+        let b =
+          if Random.State.int st 4 = 0 then pick st consts else pick st !pool
+        in
+        let f = pick st binary in
+        if Random.State.bool st then f a b else f b a
+    in
+    if well_typed candidate then begin
+      pool := candidate :: !pool;
+      incr added
+    end
+  done;
+  (* Prefer the largest program in the pool as the benchmark body. *)
+  let best =
+    List.fold_left
+      (fun acc t -> if Ast.size t > Ast.size acc then t else acc)
+      (List.hd !pool) !pool
+  in
+  (env, best)
+
+let generate_many cfg n =
+  List.init n (fun i -> generate { cfg with seed = cfg.seed + i })

@@ -1,0 +1,26 @@
+(** Random well-typed DSL program generation.
+
+    Used by the robustness soak tests (synthesize arbitrary programs and
+    verify every outcome) and by the scalability study in the bench
+    harness (synthesis effort as a function of expression size —
+    Section VII-E discusses exactly this trade-off).  Generation is
+    seeded and deterministic. *)
+
+type config = {
+  num_inputs : int;  (** tensor inputs named [I0], [I1], ... *)
+  dims : int list;  (** candidate dimension sizes *)
+  max_rank : int;  (** 0-2 *)
+  size : int;  (** number of operation applications *)
+  allow_contractions : bool;
+  allow_transcendentals : bool;  (** sqrt/exp/log *)
+  seed : int;
+}
+
+val default : config
+
+val generate : config -> Dsl.Types.env * Dsl.Ast.t
+(** A program that type-checks under the returned environment and uses
+    every input at least once where possible. *)
+
+val generate_many : config -> int -> (Dsl.Types.env * Dsl.Ast.t) list
+(** [generate_many cfg n] varies the seed. *)

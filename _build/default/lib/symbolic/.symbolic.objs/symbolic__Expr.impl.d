@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Float Format Hashtbl List Q Stdlib String Sym

@@ -1,0 +1,1 @@
+lib/symbolic/q.ml: Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/symbolic/sym.ml: Array Format Map Set Stdlib String

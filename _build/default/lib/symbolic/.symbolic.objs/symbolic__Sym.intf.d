@@ -1,0 +1,1 @@
+lib/symbolic/sym.mli: Format Map Set

@@ -1,0 +1,535 @@
+type t =
+  | Rat of Q.t
+  | Var of Sym.t
+  | Add of t list
+  | Mul of t list
+  | Pow of t * t
+  | App of fn * t list
+
+and fn = Exp | Log | Max | Less | Where
+
+(* How many terms an integer power of a sum may expand into before we
+   give up and keep the power as an opaque atom (sound, less complete). *)
+let expand_term_limit = 4096
+
+let fn_rank = function Exp -> 0 | Log -> 1 | Max -> 2 | Less -> 3 | Where -> 4
+let rank = function
+  | Rat _ -> 0
+  | Var _ -> 1
+  | Pow _ -> 2
+  | App _ -> 3
+  | Mul _ -> 4
+  | Add _ -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Rat x, Rat y -> Q.compare x y
+  | Var x, Var y -> Sym.compare x y
+  | Pow (b1, e1), Pow (b2, e2) ->
+      let c = compare b1 b2 in
+      if c <> 0 then c else compare e1 e2
+  | App (f, xs), App (g, ys) ->
+      let c = Stdlib.compare (fn_rank f) (fn_rank g) in
+      if c <> 0 then c else compare_list xs ys
+  | Mul xs, Mul ys | Add xs, Add ys -> compare_list xs ys
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c <> 0 then c else compare_list xs ys
+
+let equal a b = compare a b = 0
+let hash (t : t) = Hashtbl.hash t
+let rat q = Rat q
+let int n = Rat (Q.of_int n)
+let zero = rat Q.zero
+let one = rat Q.one
+let var s = Var s
+let sym name = Var (Sym.scalar name)
+let is_zero = function Rat q -> Q.is_zero q | _ -> false
+let is_one = function Rat q -> Q.is_one q | _ -> false
+let to_const = function Rat q -> Some q | _ -> None
+
+(* [split_coeff t] = (q, rest) with t = q * rest and rest coefficient-free. *)
+let split_coeff = function
+  | Rat q -> (q, one)
+  | Mul (Rat q :: fs) -> (
+      match fs with [ f ] -> (q, f) | fs -> (q, Mul fs))
+  | t -> (Q.one, t)
+
+let terms = function Add ts -> ts | t -> [ t ]
+let factors = function Mul fs -> fs | t -> [ t ]
+let as_base_exp = function Pow (b, e) -> (b, e) | f -> (f, one)
+
+(* Rebuild a term from a coefficient and a coefficient-free rest. *)
+let mk_term q rest =
+  if Q.is_zero q then zero
+  else if Q.is_one q then rest
+  else
+    match rest with
+    | Rat r -> Rat (Q.mul q r)
+    | Mul fs -> Mul (Rat q :: fs)
+    | t -> Mul [ Rat q; t ]
+
+let rec add es =
+  let rec flatten acc = function
+    | [] -> acc
+    | Add ts :: rest -> flatten (List.rev_append ts acc) rest
+    | e :: rest -> flatten (e :: acc) rest
+  in
+  let ts = flatten [] es in
+  (* Collect like terms: group by coefficient-free rest. *)
+  let pairs = List.map split_coeff ts in
+  let sorted = List.sort (fun (_, r1) (_, r2) -> compare r1 r2) pairs in
+  let rec combine = function
+    | (q1, r1) :: (q2, r2) :: rest when equal r1 r2 ->
+        combine ((Q.add q1 q2, r1) :: rest)
+    | p :: rest -> p :: combine rest
+    | [] -> []
+  in
+  let combined =
+    List.filter (fun (q, _) -> not (Q.is_zero q)) (combine sorted)
+  in
+  match List.map (fun (q, r) -> mk_term q r) combined with
+  | [] -> zero
+  | [ t ] -> t
+  | ts -> Add ts
+
+and mul es =
+  let rec flatten acc = function
+    | [] -> acc
+    | Mul fs :: rest -> flatten (List.rev_append fs acc) rest
+    | e :: rest -> flatten (e :: acc) rest
+  in
+  let fs = flatten [] es in
+  if List.exists is_zero fs then zero
+  else
+    let coeff, fs =
+      List.fold_left
+        (fun (c, acc) f ->
+          match f with Rat q -> (Q.mul c q, acc) | f -> (c, f :: acc))
+        (Q.one, []) fs
+    in
+    (* Merge equal bases by adding exponents (before distributing, so
+       that e.g. (A+B) * (A+B)^(-1/2) collapses to sqrt(A+B)). *)
+    let base_exps = List.map as_base_exp fs in
+    let sorted = List.sort (fun (b1, _) (b2, _) -> compare b1 b2) base_exps in
+    let rec merge = function
+      | (b1, e1) :: (b2, e2) :: rest when equal b1 b2 ->
+          merge ((b1, add [ e1; e2 ]) :: rest)
+      | p :: rest -> p :: merge rest
+      | [] -> []
+    in
+    let rebuilt = List.map (fun (b, e) -> pow b e) (merge sorted) in
+    if
+      List.exists (function Rat _ | Mul _ -> true | _ -> false) rebuilt
+    then
+      (* A factor collapsed to a constant or product: re-flatten. *)
+      mul (rat coeff :: rebuilt)
+    else
+      let adds, others =
+        List.partition (function Add _ -> true | _ -> false) rebuilt
+      in
+      match adds with
+      | Add ts :: more_adds ->
+          (* Distribute over a remaining bare sum factor (expansion). *)
+          let tail = more_adds @ others in
+          add (List.map (fun t -> mul ((rat coeff :: t :: tail) : t list)) ts)
+      | _ :: _ -> assert false
+      | [] -> (
+          let factors' = List.sort compare others in
+          let factors' =
+            if Q.is_one coeff then factors' else rat coeff :: factors'
+          in
+          match factors' with [] -> one | [ f ] -> f | fs -> Mul fs)
+
+and pow b e =
+  match (b, e) with
+  | _, Rat q when Q.is_zero q -> one
+  | _, Rat q when Q.is_one q -> b
+  | Rat qb, _ when Q.is_one qb -> one
+  | Rat qb, Rat qe when Q.is_zero qb ->
+      (* 0^q for q <= 0 is kept as an opaque atom (evaluating to an
+         infinity), keeping the constructors total. *)
+      if Q.sign qe > 0 then zero else Pow (b, e)
+  | Rat qb, Rat qe -> (
+      match Q.to_int qe with
+      | Some n -> rat (Q.pow_int qb n)
+      | None -> (
+          match rat_root qb qe with Some q -> rat q | None -> Pow (b, e)))
+  | Mul fs, _ -> mul (List.map (fun f -> pow f e) fs)
+  | Pow (b', e'), _ -> pow b' (mul [ e'; e ])
+  | Add ts, Rat q when Q.is_integer q && Q.sign q > 0 -> (
+      match Q.to_int q with
+      | Some n when pow_fits (List.length ts) n -> expand_pow_add ts n
+      | _ -> Pow (b, e))
+  | _ -> Pow (b, e)
+
+(* Expand (t1 + ... + tk)^n by repeated term-by-term distribution.  The
+   operands passed to [mul] are individual terms (never bare sums), so
+   this cannot re-trigger the base-merging path that would rebuild the
+   power and loop. *)
+and expand_pow_add ts n =
+  let step acc =
+    add
+      (List.concat_map
+         (fun acc_term -> List.map (fun t -> mul [ acc_term; t ]) ts)
+         (terms acc))
+  in
+  let rec go acc k = if k = 0 then acc else go (step acc) (k - 1) in
+  go one n
+
+(* Does |ts|^n stay under the expansion limit? *)
+and pow_fits nterms n =
+  let rec go acc i = if i = 0 then true
+    else if acc > expand_term_limit then false
+    else go (acc * nterms) (i - 1)
+  in
+  go 1 n
+
+(* Exact rational root: qb^qe for fractional qe, when num and den of qb
+   have exact integer roots. *)
+and rat_root qb qe =
+  let iroot x r =
+    if x < 0 then None
+    else
+      let guess = int_of_float (Float.round (Float.pow (float_of_int x) (1. /. float_of_int r))) in
+      let candidates = [ guess - 1; guess; guess + 1 ] in
+      List.find_opt
+        (fun g ->
+          g >= 0
+          &&
+          let rec p acc i = if i = 0 then acc else p (acc * g) (i - 1) in
+          p 1 r = x)
+        candidates
+  in
+  if Q.sign qb < 0 then None
+  else
+    let p = Q.num qe and r = Q.den qe in
+    match (iroot (Q.num qb) r, iroot (Q.den qb) r) with
+    | Some rn, Some rd -> Some (Q.pow_int (Q.make rn rd) p)
+    | _ -> None
+
+let sub a b = add [ a; mul [ rat Q.minus_one; b ] ]
+let neg a = mul [ rat Q.minus_one; a ]
+let div a b = mul [ a; pow b (rat Q.minus_one) ]
+let sqrt a = pow a (rat Q.half)
+
+let rec exp e =
+  match e with
+  | Rat q when Q.is_zero q -> one
+  | App (Log, [ x ]) -> x
+  | Add ts -> mul (List.map exp ts)
+  | Mul (Rat q :: fs) when not (Q.is_one q) ->
+      pow (exp (mul fs)) (rat q)
+  | _ -> App (Exp, [ e ])
+
+let rec log e =
+  match e with
+  | Rat q when Q.is_one q -> zero
+  | App (Exp, [ x ]) -> x
+  | Mul fs -> add (List.map log fs)
+  | Pow (b, ex) -> mul [ ex; log b ]
+  | _ -> App (Log, [ e ])
+
+let max2 a b =
+  let args = function App (Max, xs) -> xs | x -> [ x ] in
+  let xs = List.sort_uniq compare (args a @ args b) in
+  match xs with
+  | [ x ] -> x
+  | [ Rat p; Rat q ] -> rat (if Q.compare p q >= 0 then p else q)
+  | xs -> App (Max, xs)
+
+let less a b =
+  match (a, b) with
+  | Rat p, Rat q -> if Q.compare p q < 0 then one else zero
+  | _ -> if equal a b then zero else App (Less, [ a; b ])
+
+let where c a b =
+  (* Nested selections on the same condition collapse to the branch the
+     condition selects. *)
+  let a = match a with App (Where, [ c'; x; _ ]) when equal c c' -> x | _ -> a in
+  let b = match b with App (Where, [ c'; _; y ]) when equal c c' -> y | _ -> b in
+  match c with
+  | Rat q -> if Q.is_zero q then b else a
+  | App (Less, [ x; y ]) when equal x b && equal y a ->
+      (* where(x < y, y, x) = max(x, y) *)
+      max2 x y
+  | _ -> if equal a b then a else App (Where, [ c; a; b ])
+
+let rec vars t =
+  match t with
+  | Rat _ -> Sym.Set.empty
+  | Var s -> Sym.Set.singleton s
+  | Add xs | Mul xs | App (_, xs) ->
+      List.fold_left (fun acc x -> Sym.Set.union acc (vars x)) Sym.Set.empty xs
+  | Pow (b, e) -> Sym.Set.union (vars b) (vars e)
+
+let rec var_bases t tbl =
+  match t with
+  | Rat _ -> ()
+  | Var s -> Hashtbl.replace tbl (Sym.base s) ()
+  | Add xs | Mul xs | App (_, xs) -> List.iter (fun x -> var_bases x tbl) xs
+  | Pow (b, e) ->
+      var_bases b tbl;
+      var_bases e tbl
+
+let base_names t =
+  let tbl = Hashtbl.create 8 in
+  var_bases t tbl;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let rec size t =
+  match t with
+  | Rat _ | Var _ -> 1
+  | Add xs | Mul xs | App (_, xs) ->
+      List.fold_left (fun acc x -> acc + size x) 1 xs
+  | Pow (b, e) -> 1 + size b + size e
+
+(* Map from negative-power bases to their most negative exponent. *)
+let neg_pow_map t =
+  let tbl = Hashtbl.create 8 in
+  let note b q =
+    let key = b in
+    match Hashtbl.find_opt tbl key with
+    | Some q' when Q.compare q' q <= 0 -> ()
+    | _ -> Hashtbl.replace tbl key q
+  in
+  let rec go t =
+    match t with
+    | Rat _ | Var _ -> ()
+    | Add xs | Mul xs | App (_, xs) -> List.iter go xs
+    | Pow (b, e) ->
+        (match e with
+        | Rat q when Q.sign q < 0 -> note b q
+        | _ -> ());
+        go b;
+        go e
+  in
+  go t;
+  tbl
+
+(* Multivariate polynomial long division: repeatedly eliminate the
+   dividend's leading term against the divisor's leading term.  The
+   structural term order is not a strict admissible monomial order, so a
+   step cap guards termination; failure just means "not exactly
+   divisible as far as we can tell", which is sound for the solver. *)
+let rec poly_div_exact a b =
+  (* The leading term is the one with the largest coefficient-free
+     monomial (comparing whole terms would let numeric coefficient heads
+     scramble the order); eliminating against it reduces the dividend
+     instead of inflating its degree. *)
+  let leading ts =
+    match ts with
+    | [] -> invalid_arg "poly_div_exact"
+    | t0 :: rest ->
+        List.fold_left
+          (fun best t ->
+            let _, rb = split_coeff best and _, rt = split_coeff t in
+            if compare rt rb > 0 then t else best)
+          t0 rest
+  in
+  let b_terms = terms b in
+  match b_terms with
+  | [] | [ _ ] -> None
+  | _ ->
+      let b_lead = leading b_terms in
+      let coeff_ok t =
+        let q, _ = split_coeff t in
+        abs (Q.num q) < 1_000_000_000 && Q.den q < 1_000_000_000
+      in
+      let steps = ref 0 in
+      let rec go remainder quotient =
+        incr steps;
+        if is_zero remainder then Some (add quotient)
+        else if !steps > 200 then None
+        else
+          let r_lead = leading (terms remainder) in
+          match simple_div_exact r_lead b_lead with
+          | None -> None
+          | Some q ->
+              if not (List.for_all coeff_ok (terms q)) then None
+              else
+                let remainder' = sub remainder (mul [ q; b ]) in
+                (* progress check: the leading term must actually cancel
+                   or a non-admissible order could loop *)
+                if equal remainder' remainder then None
+                else go remainder' (q :: quotient)
+      in
+      go a []
+
+and simple_div_exact a b =
+  if is_zero b then None
+  else
+    let q = div a b in
+    let before = neg_pow_map a and after = neg_pow_map q in
+    let ok =
+      Hashtbl.fold
+        (fun base qexp acc ->
+          acc
+          &&
+          match Hashtbl.find_opt before base with
+          | Some q0 -> Q.compare qexp q0 >= 0
+          | None -> false)
+        after true
+    in
+    if ok then Some q else None
+
+let div_exact_unguarded a b =
+  match simple_div_exact a b with
+  | Some q -> Some q
+  | None -> (
+      match b with
+      | Add _ -> (
+          match poly_div_exact a b with
+          | Some q ->
+              (* long division is exact by construction, but re-verify
+                 through the normal form out of caution *)
+              if equal (mul [ q; b ]) a then Some q else None
+          | None -> None)
+      | Rat _ | Var _ | Mul _ | Pow _ | App _ -> None)
+
+let div_exact a b =
+  (* Coefficient overflow during division just means "cannot decide":
+     fail soft. *)
+  match div_exact_unguarded a b with
+  | exception Q.Overflow -> None
+  | r -> r
+
+(* Fractional-power bases (exponent not an integer). *)
+let frac_pow_bases t =
+  let tbl = Hashtbl.create 8 in
+  let rec go t =
+    match t with
+    | Rat _ | Var _ -> ()
+    | Add xs | Mul xs | App (_, xs) -> List.iter go xs
+    | Pow (b, e) ->
+        (match e with
+        | Rat q when not (Q.is_integer q) -> Hashtbl.replace tbl b ()
+        | Rat _ -> ()
+        | _ -> Hashtbl.replace tbl b ());
+        go b;
+        go e
+  in
+  go t;
+  tbl
+
+let root_exact e q =
+  if Q.is_zero q || (is_zero e && Q.sign q < 0) then None
+  else try
+    match pow e (rat (Q.inv q)) with
+    | exception Invalid_argument _ -> None
+    | r ->
+    if not (equal (pow r (rat q)) e) then None
+    else
+      let before = frac_pow_bases e and after = frac_pow_bases r in
+      let ok =
+        Hashtbl.fold
+          (fun base () acc -> acc && Hashtbl.mem before base)
+          after true
+      in
+      if ok then Some r else None
+  with Q.Overflow -> None
+
+let linear_coeff e x =
+  let exception Nonlinear in
+  try
+    let coeffs = ref [] and rest = ref [] in
+    List.iter
+      (fun term ->
+        let q, r = split_coeff term in
+        let fs = factors r in
+        let with_x, without_x =
+          List.partition
+            (fun f ->
+              let b, _ = as_base_exp f in
+              match b with Var s -> Sym.equal s x | _ -> false)
+            fs
+        in
+        match with_x with
+        | [] ->
+            if Sym.Set.mem x (vars term) then raise Nonlinear
+            else rest := term :: !rest
+        | [ f ] ->
+            let _, ex = as_base_exp f in
+            if not (is_one ex) then raise Nonlinear;
+            let remainder = mk_term q (mul without_x) in
+            if Sym.Set.mem x (vars remainder) then raise Nonlinear;
+            coeffs := remainder :: !coeffs
+        | _ -> raise Nonlinear)
+      (terms e);
+    Some (add !coeffs, add !rest)
+  with Nonlinear | Q.Overflow -> None
+
+let rec eval env t =
+  match t with
+  | Rat q -> Q.to_float q
+  | Var s -> env s
+  | Add xs -> List.fold_left (fun acc x -> acc +. eval env x) 0. xs
+  | Mul xs -> List.fold_left (fun acc x -> acc *. eval env x) 1. xs
+  | Pow (b, e) -> Float.pow (eval env b) (eval env e)
+  | App (Exp, [ x ]) -> Float.exp (eval env x)
+  | App (Log, [ x ]) -> Float.log (eval env x)
+  | App (Max, xs) ->
+      List.fold_left (fun acc x -> Float.max acc (eval env x)) neg_infinity xs
+  | App (Less, [ a; b ]) -> if eval env a < eval env b then 1. else 0.
+  | App (Where, [ c; a; b ]) ->
+      if eval env c <> 0. then eval env a else eval env b
+  | App ((Exp | Log | Less | Where), _) ->
+      invalid_arg "Expr.eval: malformed application"
+
+let rec subst f t =
+  match t with
+  | Rat _ -> t
+  | Var s -> ( match f s with Some e -> e | None -> t)
+  | Add xs -> add (List.map (subst f) xs)
+  | Mul xs -> mul (List.map (subst f) xs)
+  | Pow (b, e) -> pow (subst f b) (subst f e)
+  | App (Exp, [ x ]) -> exp (subst f x)
+  | App (Log, [ x ]) -> log (subst f x)
+  | App (Max, xs) -> (
+      match List.map (subst f) xs with
+      | [] -> invalid_arg "Expr.subst: empty max"
+      | x :: rest -> List.fold_left max2 x rest)
+  | App (Less, [ a; b ]) -> less (subst f a) (subst f b)
+  | App (Where, [ c; a; b ]) -> where (subst f c) (subst f a) (subst f b)
+  | App ((Exp | Log | Less | Where), _) ->
+      invalid_arg "Expr.subst: malformed application"
+
+let fn_name = function
+  | Exp -> "exp"
+  | Log -> "log"
+  | Max -> "max"
+  | Less -> "less"
+  | Where -> "where"
+
+let rec pp ppf t =
+  match t with
+  | Rat q -> Q.pp ppf q
+  | Var s -> Sym.pp ppf s
+  | Add ts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+           pp)
+        ts
+  | Mul fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "*")
+           pp)
+        fs
+  | Pow (b, e) -> Format.fprintf ppf "%a^%a" pp b pp e
+  | App (f, xs) ->
+      Format.fprintf ppf "%s(%a)" (fn_name f)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp)
+        xs
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,29 @@
+type t = { base : string; indices : int array }
+
+let make base indices = { base; indices }
+let scalar base = { base; indices = [||] }
+let base t = t.base
+
+let compare a b =
+  let c = String.compare a.base b.base in
+  if c <> 0 then c else Stdlib.compare a.indices b.indices
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  if Array.length t.indices = 0 then Format.pp_print_string ppf t.base
+  else
+    Format.fprintf ppf "%s[%s]" t.base
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int t.indices)))
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,1 @@
+lib/tensor/elt.ml: Float Format

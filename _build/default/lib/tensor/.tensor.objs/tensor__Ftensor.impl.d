@@ -1,0 +1,1 @@
+lib/tensor/ftensor.ml: Array Elt Float Nd Random Shape

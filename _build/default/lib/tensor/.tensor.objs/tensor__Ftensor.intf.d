@@ -1,0 +1,1 @@
+lib/tensor/ftensor.mli: Nd Random Shape

@@ -1,0 +1,1 @@
+lib/tensor/nd.ml: Array Elt Format Fun List Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/nd.mli: Elt Format Shape

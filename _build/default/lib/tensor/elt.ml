@@ -1,0 +1,58 @@
+(** Element domains for the generic tensor.
+
+    The same n-dimensional machinery executes both concretely (floats)
+    and symbolically (normalized {!Symbolic.Expr} values); only the
+    scalar operations differ.  Booleans are encoded as 0/1 elements, the
+    NumPy convention for masks. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_float : float -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val pow : t -> t -> t
+  val neg : t -> t
+  val sqrt : t -> t
+  val exp : t -> t
+  val log : t -> t
+  val max : t -> t -> t
+  val less : t -> t -> t
+  (** 1 when [a < b], else 0. *)
+
+  val where : t -> t -> t -> t
+  (** [where c a b] selects [a] where [c] is true (nonzero). *)
+
+  val is_zero : t -> bool
+  (** Structural zero test (used for density / triangular masking). *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Float : S with type t = float = struct
+  type t = float
+
+  let zero = 0.
+  let one = 1.
+  let of_float f = f
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let pow = Float.pow
+  let neg = Float.neg
+  let sqrt = Float.sqrt
+  let exp = Float.exp
+  let log = Float.log
+  let max = Float.max
+  let less a b = if a < b then 1. else 0.
+  let where c a b = if c <> 0. then a else b
+  let is_zero f = f = 0.
+  let equal = Float.equal
+  let pp ppf f = Format.fprintf ppf "%g" f
+end

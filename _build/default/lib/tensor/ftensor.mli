@@ -1,0 +1,15 @@
+(** Concrete float tensors plus numeric-only conveniences. *)
+
+include Nd.S with type elt = float
+
+val randomize : ?lo:float -> ?hi:float -> Random.State.t -> Shape.t -> t
+(** Uniform random tensor; defaults to the positive range [0.5, 1.5] so
+    that [log]/[sqrt]/division benchmarks stay well-defined. *)
+
+val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+(** NumPy-style approximate equality: |a-b| <= atol + rtol*|b|. *)
+
+val of_float : float -> t
+(** Rank-0 tensor. *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,350 @@
+module type S = sig
+  type elt
+  type t
+
+  val create : Shape.t -> elt -> t
+  val init : Shape.t -> (int array -> elt) -> t
+  val scalar : elt -> t
+  val of_array : Shape.t -> elt array -> t
+  val shape : t -> Shape.t
+  val rank : t -> int
+  val numel : t -> int
+  val get : t -> int array -> elt
+  val set : t -> int array -> elt -> unit
+  val to_array : t -> elt array
+  val to_scalar : t -> elt
+  val map : (elt -> elt) -> t -> t
+  val map2 : (elt -> elt -> elt) -> t -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val pow : t -> t -> t
+  val neg : t -> t
+  val sqrt : t -> t
+  val exp : t -> t
+  val log : t -> t
+  val maximum : t -> t -> t
+  val less : t -> t -> t
+  val where : t -> t -> t -> t
+  val transpose : ?perm:int array -> t -> t
+  val reshape : t -> Shape.t -> t
+  val stack : t list -> axis:int -> t
+  val slice0 : t -> int -> t
+  val triu : t -> t
+  val tril : t -> t
+  val diag : t -> t
+  val full : Shape.t -> elt -> t
+  val dot : t -> t -> t
+  val tensordot : t -> t -> axes_a:int list -> axes_b:int list -> t
+  val sum : ?axis:int -> t -> t
+  val max_reduce : ?axis:int -> t -> t
+  val trace : t -> t
+  val equal : t -> t -> bool
+  val for_all2 : (elt -> elt -> bool) -> t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val unsafe_data : t -> elt array
+  val unsafe_of_data : Shape.t -> elt array -> t
+end
+
+module Make (E : Elt.S) : S with type elt = E.t = struct
+  type elt = E.t
+  type t = { shape : Shape.t; data : elt array }
+
+  let create shape v =
+    Shape.validate shape;
+    { shape; data = Array.make (Shape.numel shape) v }
+
+  let init shape f =
+    Shape.validate shape;
+    let n = Shape.numel shape in
+    if n = 0 then { shape; data = [||] }
+    else begin
+      let data = Array.make n E.zero in
+      let i = ref 0 in
+      Shape.iter_indices shape (fun idx ->
+          data.(!i) <- f idx;
+          incr i);
+      { shape; data }
+    end
+
+  let scalar v = { shape = Shape.scalar; data = [| v |] }
+
+  let of_array shape data =
+    Shape.validate shape;
+    if Array.length data <> Shape.numel shape then
+      invalid_arg "Nd.of_array: element count does not match shape";
+    { shape; data = Array.copy data }
+
+  let shape t = t.shape
+  let rank t = Shape.rank t.shape
+  let numel t = Array.length t.data
+  let get t idx = t.data.(Shape.offset t.shape idx)
+  let set t idx v = t.data.(Shape.offset t.shape idx) <- v
+  let to_array t = Array.copy t.data
+
+  let to_scalar t =
+    if numel t <> 1 then invalid_arg "Nd.to_scalar: not a one-element tensor";
+    t.data.(0)
+
+  let map f t = { t with data = Array.map f t.data }
+
+  let map2 f a b =
+    let out_shape = Shape.broadcast_exn a.shape b.shape in
+    let n = Shape.numel out_shape in
+    if n = 0 then { shape = out_shape; data = [||] }
+    else begin
+      let data = Array.make n E.zero in
+      let i = ref 0 in
+      Shape.iter_indices out_shape (fun idx ->
+          let va = a.data.(Shape.broadcast_offset a.shape idx) in
+          let vb = b.data.(Shape.broadcast_offset b.shape idx) in
+          data.(!i) <- f va vb;
+          incr i);
+      { shape = out_shape; data }
+    end
+
+  let map3 f a b c =
+    let s = Shape.broadcast_exn (Shape.broadcast_exn a.shape b.shape) c.shape in
+    let n = Shape.numel s in
+    if n = 0 then { shape = s; data = [||] }
+    else begin
+      let data = Array.make n E.zero in
+      let i = ref 0 in
+      Shape.iter_indices s (fun idx ->
+          let va = a.data.(Shape.broadcast_offset a.shape idx) in
+          let vb = b.data.(Shape.broadcast_offset b.shape idx) in
+          let vc = c.data.(Shape.broadcast_offset c.shape idx) in
+          data.(!i) <- f va vb vc;
+          incr i);
+      { shape = s; data }
+    end
+
+  let add = map2 E.add
+  let sub = map2 E.sub
+  let mul = map2 E.mul
+  let div = map2 E.div
+  let pow = map2 E.pow
+  let neg = map E.neg
+  let sqrt = map E.sqrt
+  let exp = map E.exp
+  let log = map E.log
+  let maximum = map2 E.max
+  let less = map2 E.less
+  let where c a b = map3 E.where c a b
+
+  let transpose ?perm t =
+    let n = rank t in
+    let perm = match perm with Some p -> p | None -> Shape.reverse_perm n in
+    let out_shape = Shape.transpose t.shape perm in
+    init out_shape (fun idx ->
+        let src = Array.make n 0 in
+        Array.iteri (fun i p -> src.(p) <- idx.(i)) perm;
+        get t src)
+
+  let reshape t s =
+    Shape.validate s;
+    if Shape.numel s <> numel t then
+      invalid_arg "Nd.reshape: element count mismatch";
+    { shape = s; data = Array.copy t.data }
+
+  let stack ts ~axis =
+    match ts with
+    | [] -> invalid_arg "Nd.stack: empty list"
+    | t0 :: rest ->
+        List.iter
+          (fun t ->
+            if not (Shape.equal t.shape t0.shape) then
+              invalid_arg "Nd.stack: inhomogeneous shapes")
+          rest;
+        let k = List.length ts in
+        let axis =
+          if axis < 0 then axis + rank t0 + 1 else axis
+        in
+        if axis < 0 || axis > rank t0 then invalid_arg "Nd.stack: bad axis";
+        let arr = Array.of_list ts in
+        let out_shape = Shape.insert_axis t0.shape axis k in
+        init out_shape (fun idx ->
+            let which = idx.(axis) in
+            let inner = Shape.remove_axis idx axis in
+            get arr.(which) inner)
+
+  let slice0 t i =
+    if rank t = 0 then invalid_arg "Nd.slice0: rank-0 tensor";
+    if i < 0 || i >= t.shape.(0) then invalid_arg "Nd.slice0: out of bounds";
+    let inner_shape = Shape.remove_axis t.shape 0 in
+    let m = Shape.numel inner_shape in
+    { shape = inner_shape; data = Array.sub t.data (i * m) m }
+
+  let check_matrix name t =
+    if rank t <> 2 then
+      invalid_arg (Printf.sprintf "Nd.%s: expected a matrix" name)
+
+  let triu t =
+    check_matrix "triu" t;
+    init t.shape (fun idx -> if idx.(0) <= idx.(1) then get t idx else E.zero)
+
+  let tril t =
+    check_matrix "tril" t;
+    init t.shape (fun idx -> if idx.(0) >= idx.(1) then get t idx else E.zero)
+
+  let diag t =
+    check_matrix "diag" t;
+    let n = min t.shape.(0) t.shape.(1) in
+    init [| n |] (fun idx -> get t [| idx.(0); idx.(0) |])
+
+  let full shape v = create shape v
+
+  (* General contraction: sum over one axis of [a] against one axis of
+     [b]; the output concatenates the remaining axes of [a] then [b]. *)
+  let contract1 a axis_a b axis_b =
+    let da = a.shape.(axis_a) and db = b.shape.(axis_b) in
+    if da <> db then
+      invalid_arg
+        (Printf.sprintf "Nd: contraction size mismatch (%d vs %d)" da db);
+    let sa = Shape.remove_axis a.shape axis_a in
+    let sb = Shape.remove_axis b.shape axis_b in
+    let out_shape = Array.append sa sb in
+    let ra = Array.length sa in
+    init out_shape (fun idx ->
+        let ia = Array.make (Array.length sa + 1) 0 in
+        let ib = Array.make (Array.length sb + 1) 0 in
+        for i = 0 to ra - 1 do
+          let pos = if i < axis_a then i else i + 1 in
+          ia.(pos) <- idx.(i)
+        done;
+        for i = 0 to Array.length sb - 1 do
+          let pos = if i < axis_b then i else i + 1 in
+          ib.(pos) <- idx.(ra + i)
+        done;
+        let acc = ref E.zero in
+        for k = 0 to da - 1 do
+          ia.(axis_a) <- k;
+          ib.(axis_b) <- k;
+          acc := E.add !acc (E.mul (get a ia) (get b ib))
+        done;
+        !acc)
+
+  let dot a b =
+    let ra = rank a and rb = rank b in
+    if ra = 0 || rb = 0 then mul a b
+    else
+      let axis_b = if rb = 1 then 0 else rb - 2 in
+      contract1 a (ra - 1) b axis_b
+
+  let tensordot a b ~axes_a ~axes_b =
+    if List.length axes_a <> List.length axes_b then
+      invalid_arg "Nd.tensordot: axes length mismatch";
+    if axes_a = [] then invalid_arg "Nd.tensordot: empty axes";
+    let axes_a =
+      Array.of_list (List.map (Shape.normalize_axis a.shape) axes_a)
+    in
+    let axes_b =
+      Array.of_list (List.map (Shape.normalize_axis b.shape) axes_b)
+    in
+    let contracted_dims =
+      Array.mapi
+        (fun i xa ->
+          let da = a.shape.(xa) and db = b.shape.(axes_b.(i)) in
+          if da <> db then
+            invalid_arg "Nd.tensordot: contracted axis size mismatch";
+          da)
+        axes_a
+    in
+    let keep name shape axes =
+      ignore name;
+      List.filter
+        (fun i -> not (Array.exists (( = ) i) axes))
+        (List.init (Array.length shape) Fun.id)
+    in
+    let keep_a = keep "a" a.shape axes_a and keep_b = keep "b" b.shape axes_b in
+    let out_shape =
+      Array.of_list
+        (List.map (fun i -> a.shape.(i)) keep_a
+        @ List.map (fun i -> b.shape.(i)) keep_b)
+    in
+    let nk_a = List.length keep_a in
+    init out_shape (fun idx ->
+        let ia = Array.make (rank a) 0 and ib = Array.make (rank b) 0 in
+        List.iteri (fun i ax -> ia.(ax) <- idx.(i)) keep_a;
+        List.iteri (fun i ax -> ib.(ax) <- idx.(nk_a + i)) keep_b;
+        let acc = ref E.zero in
+        Shape.iter_indices contracted_dims (fun kidx ->
+            Array.iteri (fun j ax -> ia.(ax) <- kidx.(j)) axes_a;
+            Array.iteri (fun j ax -> ib.(ax) <- kidx.(j)) axes_b;
+            acc := E.add !acc (E.mul (get a ia) (get b ib)));
+        !acc)
+
+  let sum ?axis t =
+    match axis with
+    | None ->
+        let acc = Array.fold_left E.add E.zero t.data in
+        scalar acc
+    | Some axis ->
+        let axis = Shape.normalize_axis t.shape axis in
+        let out_shape = Shape.remove_axis t.shape axis in
+        init out_shape (fun idx ->
+            let src = Array.make (rank t) 0 in
+            Array.iteri
+              (fun i v ->
+                let pos = if i < axis then i else i + 1 in
+                src.(pos) <- v)
+              idx;
+            let acc = ref E.zero in
+            for k = 0 to t.shape.(axis) - 1 do
+              src.(axis) <- k;
+              acc := E.add !acc (get t src)
+            done;
+            !acc)
+
+  let max_reduce ?axis t =
+    if numel t = 0 then invalid_arg "Nd.max_reduce: empty tensor";
+    match axis with
+    | None ->
+        let acc = ref t.data.(0) in
+        Array.iteri (fun i v -> if i > 0 then acc := E.max !acc v) t.data;
+        scalar !acc
+    | Some axis ->
+        let axis = Shape.normalize_axis t.shape axis in
+        let out_shape = Shape.remove_axis t.shape axis in
+        init out_shape (fun idx ->
+            let src = Array.make (rank t) 0 in
+            Array.iteri
+              (fun i v ->
+                let pos = if i < axis then i else i + 1 in
+                src.(pos) <- v)
+              idx;
+            src.(axis) <- 0;
+            let acc = ref (get t src) in
+            for k = 1 to t.shape.(axis) - 1 do
+              src.(axis) <- k;
+              acc := E.max !acc (get t src)
+            done;
+            !acc)
+
+  let trace t =
+    check_matrix "trace" t;
+    sum (diag t)
+
+  let equal a b =
+    Shape.equal a.shape b.shape && Array.for_all2 E.equal a.data b.data
+
+  let for_all2 f a b =
+    Shape.equal a.shape b.shape && Array.for_all2 f a.data b.data
+
+  let unsafe_data t = t.data
+
+  let unsafe_of_data shape data =
+    if Array.length data <> Shape.numel shape then
+      invalid_arg "Nd.unsafe_of_data: element count mismatch";
+    { shape; data }
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<hov 2>tensor%a[@," Shape.pp t.shape;
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf ppf ",@ ";
+        E.pp ppf v)
+      t.data;
+    Format.fprintf ppf "]@]"
+end

@@ -1,0 +1,95 @@
+(** Generic dense n-dimensional tensors over an element domain.
+
+    Implements the operation set of the STENSO grammar (Fig. 3 of the
+    paper) plus the extensions its benchmark suite needs: broadcasting
+    elementwise arithmetic, NumPy [dot]/[tensordot], axis reductions,
+    [stack], [transpose], [reshape], [diag]/[trace], and triangular
+    masks.  The same module is instantiated with floats (concrete
+    execution) and with symbolic expressions (symbolic execution). *)
+
+module type S = sig
+  type elt
+  type t
+
+  (** {1 Construction and access} *)
+
+  val create : Shape.t -> elt -> t
+  val init : Shape.t -> (int array -> elt) -> t
+  val scalar : elt -> t
+  val of_array : Shape.t -> elt array -> t
+  val shape : t -> Shape.t
+  val rank : t -> int
+  val numel : t -> int
+  val get : t -> int array -> elt
+  val set : t -> int array -> elt -> unit
+  val to_array : t -> elt array
+  (** Row-major copy of the elements. *)
+
+  val to_scalar : t -> elt
+  (** The element of a one-element tensor; raises otherwise. *)
+
+  (** {1 Elementwise (broadcasting)} *)
+
+  val map : (elt -> elt) -> t -> t
+  val map2 : (elt -> elt -> elt) -> t -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val pow : t -> t -> t
+  val neg : t -> t
+  val sqrt : t -> t
+  val exp : t -> t
+  val log : t -> t
+  val maximum : t -> t -> t
+  val less : t -> t -> t
+  val where : t -> t -> t -> t
+
+  (** {1 Structure} *)
+
+  val transpose : ?perm:int array -> t -> t
+  (** Default permutation reverses all axes (NumPy [.T]). *)
+
+  val reshape : t -> Shape.t -> t
+  val stack : t list -> axis:int -> t
+  val slice0 : t -> int -> t
+  (** [slice0 t i] is the [i]-th sub-tensor along axis 0. *)
+
+  val triu : t -> t
+  val tril : t -> t
+  val diag : t -> t
+  (** Main diagonal of a square matrix. *)
+
+  val full : Shape.t -> elt -> t
+
+  (** {1 Contractions and reductions} *)
+
+  val dot : t -> t -> t
+  (** NumPy [dot] semantics for all rank combinations: inner product for
+      two vectors, matrix product for matrices, and in general a
+      contraction of the last axis of the first operand with the
+      second-to-last (or only) axis of the second. *)
+
+  val tensordot : t -> t -> axes_a:int list -> axes_b:int list -> t
+  val sum : ?axis:int -> t -> t
+  (** Reduce one axis, or all axes when [axis] is omitted. *)
+
+  val max_reduce : ?axis:int -> t -> t
+  val trace : t -> t
+
+  (** {1 Comparison and printing} *)
+
+  val equal : t -> t -> bool
+  val for_all2 : (elt -> elt -> bool) -> t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  (** {1 Zero-copy escape hatches}
+
+      For performance-critical float specializations (see
+      {!Ftensor}); the array is the tensor's live row-major storage. *)
+
+  val unsafe_data : t -> elt array
+  val unsafe_of_data : Shape.t -> elt array -> t
+end
+
+module Make (E : Elt.S) : S with type elt = E.t

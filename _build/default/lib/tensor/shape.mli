@@ -1,0 +1,52 @@
+(** Tensor shapes and NumPy-style broadcasting.
+
+    A shape is an array of nonnegative dimension sizes; the empty array
+    is the shape of a rank-0 (scalar) tensor.  All layouts are row-major
+    (C order). *)
+
+type t = int array
+
+val scalar : t
+val rank : t -> int
+val numel : t -> int
+val equal : t -> t -> bool
+val validate : t -> unit
+(** Raises [Invalid_argument] on negative dimensions. *)
+
+val strides : t -> int array
+(** Row-major strides in elements. *)
+
+val broadcast : t -> t -> t option
+(** NumPy broadcasting of two shapes; [None] when incompatible. *)
+
+val broadcast_exn : t -> t -> t
+
+val iter_indices : t -> (int array -> unit) -> unit
+(** Iterate all index vectors in row-major order.  The callback receives
+    the same mutable buffer each time; copy it if you keep it. *)
+
+val offset : t -> int array -> int
+(** Row-major linear offset of an index vector; bounds-checked. *)
+
+val broadcast_offset : t -> int array -> int
+(** Offset of an output index vector into a tensor of this (possibly
+    smaller or size-1-padded) shape, per broadcasting rules: missing
+    leading axes are ignored and size-1 axes are pinned to 0. *)
+
+val remove_axis : t -> int -> t
+val insert_axis : t -> int -> int -> t
+(** [insert_axis shape axis n] inserts a dimension of size [n]. *)
+
+val transpose : t -> int array -> t
+(** Permute dimensions; the permutation must be a bijection. *)
+
+val reverse_perm : int -> int array
+(** The dimension-reversing permutation of the given rank (NumPy's
+    default transpose). *)
+
+val invert_perm : int array -> int array
+val normalize_axis : t -> int -> int
+(** Resolve a possibly negative axis index; raises on out-of-range. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bottom_up Cost Dsl Parser Sexec Stenso

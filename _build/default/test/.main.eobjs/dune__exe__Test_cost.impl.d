@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Ast Cost Dsl Parser Stenso Types

@@ -1,0 +1,1 @@
+test/test_egraph.ml: Alcotest Ast Cost Dsl Egraph Parser Rules Sexec Stenso Types

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Dsl Interp List Parser Printf QCheck2 QCheck_alcotest Random Sexec Suite Symbolic Tensor Types

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Float Q QCheck2 QCheck_alcotest Sym Symbolic

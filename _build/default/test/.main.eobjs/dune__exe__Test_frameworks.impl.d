@@ -1,0 +1,1 @@
+test/test_frameworks.ml: Alcotest Ast Dsl Float Frameworks List Parser Types

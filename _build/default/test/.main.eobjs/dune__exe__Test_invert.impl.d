@@ -1,0 +1,1 @@
+test/test_invert.ml: Alcotest Ast Cost Dsl Format Invert List Parser QCheck2 QCheck_alcotest Sexec Spec Stenso Stub Suite Symbolic Tensor

@@ -1,0 +1,1 @@
+test/test_masking.ml: Alcotest Ast Cost Dsl Invert Lazy List Parser Search Sexec Stenso Stub Suite Superopt Types

@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Ast Dsl List Parser QCheck2 QCheck_alcotest Suite

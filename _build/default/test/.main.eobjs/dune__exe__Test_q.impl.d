@@ -1,0 +1,1 @@
+test/test_q.ml: Alcotest Float Q QCheck2 QCheck_alcotest Symbolic

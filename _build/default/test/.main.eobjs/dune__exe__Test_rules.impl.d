@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Ast Classify Dsl List Parser Rules Sexec Stenso Types

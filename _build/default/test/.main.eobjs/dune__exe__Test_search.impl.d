@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Ast Cost Dsl List Parser Search Sexec Stenso Suite Superopt

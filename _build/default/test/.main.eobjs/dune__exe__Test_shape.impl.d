@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Array List QCheck2 QCheck_alcotest Tensor

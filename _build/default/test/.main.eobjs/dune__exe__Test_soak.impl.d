@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Ast Cost Dsl List Printexc Printf Sexec Stenso Suite Superopt Types

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Dsl Parser Sexec Spec Stenso Symbolic Tensor Types

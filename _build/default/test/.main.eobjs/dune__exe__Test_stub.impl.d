@@ -1,0 +1,1 @@
+test/test_stub.ml: Alcotest Ast Cost Dsl List Parser Sexec Spec Stdlib Stenso Stub Symbolic Types Unix

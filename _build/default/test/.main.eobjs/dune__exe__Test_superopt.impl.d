@@ -1,0 +1,1 @@
+test/test_superopt.ml: Alcotest Cost Dsl Lazy List Parser Sexec Stenso Suite Superopt

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Fun List QCheck2 QCheck_alcotest Random Tensor

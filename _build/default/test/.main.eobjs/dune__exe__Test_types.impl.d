@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Dsl Format List Parser Suite Types

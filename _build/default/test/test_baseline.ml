@@ -1,0 +1,58 @@
+(* The TASO-style bottom-up baseline (Fig. 5's third series). *)
+open Dsl
+open Stenso
+
+let model = Cost.Model.flops
+
+let run ?(max_depth = 2) ?(max_programs = 60_000) env_src prog_src =
+  let env, _ = Parser.program (env_src ^ "\nreturn 0") in
+  let prog = Parser.expression prog_src in
+  (env, prog, Bottom_up.run ~max_depth ~max_programs ~timeout:20. ~model ~env prog)
+
+let test_finds_shallow_optimum () =
+  (* log_exp-style rewrites live at depth 1: enumeration finds them *)
+  let env, prog, r =
+    run "input A : f32[2,2]\ninput B : f32[2,2]" "np.exp(np.log(A + B))"
+  in
+  match r.program with
+  | Some found ->
+      Alcotest.(check bool) "equivalent" true (Sexec.equivalent env prog found);
+      Alcotest.(check bool) "cheaper" true
+        (r.cost < Cost.Model.program_cost model env prog)
+  | None -> Alcotest.fail "baseline should find the depth-1 optimum"
+
+let test_respects_budget () =
+  (* a tiny budget forces the baseline to give up — the scaling failure
+     the paper reports *)
+  let _, _, r =
+    run ~max_programs:500
+      "input A : f32[3,4]\ninput B : f32[4,3]" "np.diag(np.dot(A, B))"
+  in
+  Alcotest.(check bool) "gave up" true r.gave_up
+
+let test_misses_deep_optimum () =
+  (* diag_dot's optimum needs 3 operations; a depth-2 enumeration cannot
+     express it *)
+  let _, _, r =
+    run ~max_depth:2 ~max_programs:2_000_000
+      "input A : f32[3,4]\ninput B : f32[4,3]" "np.diag(np.dot(A, B))"
+  in
+  Alcotest.(check bool) "no improvement at depth 2" true (r.program = None)
+
+let test_enumeration_grows () =
+  let _, _, r1 =
+    run ~max_depth:1 "input A : f32[2,2]\ninput B : f32[2,2]" "A + B"
+  in
+  let _, _, r2 =
+    run ~max_depth:2 "input A : f32[2,2]\ninput B : f32[2,2]" "A + B"
+  in
+  Alcotest.(check bool) "deeper enumerates more" true
+    (r2.enumerated > 4 * r1.enumerated)
+
+let suite =
+  [
+    Alcotest.test_case "finds shallow optima" `Quick test_finds_shallow_optimum;
+    Alcotest.test_case "gives up on budget" `Quick test_respects_budget;
+    Alcotest.test_case "misses deep optima" `Slow test_misses_deep_optimum;
+    Alcotest.test_case "exponential growth" `Quick test_enumeration_grows;
+  ]

@@ -1,0 +1,169 @@
+(* Concrete interpretation and symbolic execution, including the
+   differential property that ties them together: evaluating the
+   symbolic tensor under a concrete assignment must agree with direct
+   interpretation.  This is the soundness argument for using symbolic
+   equality as the synthesis specification. *)
+open Dsl
+module F = Tensor.Ftensor
+
+let ft = Alcotest.testable F.pp (F.allclose ~rtol:1e-9 ~atol:1e-12)
+
+let test_interp_basics () =
+  let env = [ ("A", F.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |]) ] in
+  let run src = Interp.eval_alist env (Parser.expression src) in
+  Alcotest.check ft "A + A" (F.of_array [| 2; 2 |] [| 2.; 4.; 6.; 8. |])
+    (run "A + A");
+  Alcotest.check ft "dot" (F.of_array [| 2; 2 |] [| 7.; 10.; 15.; 22. |])
+    (run "np.dot(A, A)");
+  Alcotest.(check (float 1e-9)) "trace" 5. (F.to_scalar (run "np.trace(A)"));
+  Alcotest.check ft "comprehension doubles rows"
+    (F.of_array [| 2; 2 |] [| 2.; 4.; 6.; 8. |])
+    (run "np.stack([r * 2 for r in A])");
+  (match run "Z" with
+  | exception Interp.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unbound input should raise")
+
+let test_sexec_spec_shape () =
+  let env = [ ("A", Types.float_t [| 2; 3 |]) ] in
+  let spec = Sexec.exec_env env (Parser.expression "np.sum(A, axis=1)") in
+  Alcotest.(check bool) "spec shape" true (Sexec.Stensor.shape spec = [| 2 |]);
+  let e = Sexec.Stensor.get spec [| 0 |] in
+  Alcotest.(check string) "spec element"
+    "(A[0,0] + A[0,1] + A[0,2])"
+    (Symbolic.Expr.to_string e)
+
+let test_equivalences () =
+  let check_equiv name env_src a b expected =
+    let env, _ = Parser.program (env_src ^ "\nreturn 0") in
+    let r = Sexec.equivalent env (Parser.expression a) (Parser.expression b) in
+    Alcotest.(check bool) name expected r
+  in
+  check_equiv "dot associativity over scalar mul"
+    "input a : f32[]\ninput A : f32[2,3]\ninput B : f32[3,2]"
+    "np.dot(a * A, B)" "a * np.dot(A, B)" true;
+  check_equiv "distributivity" "input A : f32[2,2]\ninput B : f32[2,2]"
+    "np.multiply(np.add(A, B), A)" "A*A + B*A" true;
+  check_equiv "dot is not commutative" "input A : f32[2,2]\ninput B : f32[2,2]"
+    "np.dot(A, B)" "np.dot(B, A)" false;
+  check_equiv "sub not commutative" "input A : f32[2,2]\ninput B : f32[2,2]"
+    "A - B" "B - A" false;
+  check_equiv "transpose of product"
+    "input A : f32[2,3]\ninput B : f32[3,2]"
+    "np.transpose(np.dot(A, B))" "np.dot(B.T, A.T)" true;
+  check_equiv "shape mismatch is inequivalent" "input A : f32[2,3]"
+    "A" "A.T" false
+
+let test_density_complexity () =
+  let env = [ ("A", Types.float_t [| 3; 3 |]) ] in
+  let spec src = Sexec.exec_env env (Parser.expression src) in
+  Alcotest.(check (float 1e-9)) "dense density" 1. (Sexec.density (spec "A"));
+  let tri = spec "np.triu(A)" in
+  Alcotest.(check (float 1e-9)) "triu density" (6. /. 9.) (Sexec.density tri);
+  (* complexity = mean distinct vars per element * density *)
+  Alcotest.(check (float 1e-9)) "complexity of A" 1.
+    (Sexec.complexity (spec "A"));
+  Alcotest.(check (float 1e-9)) "complexity of A*A (same var)" 1.
+    (Sexec.complexity (spec "A * A"));
+  Alcotest.(check bool) "dot raises complexity" true
+    (Sexec.complexity (spec "np.dot(A, A)") > 2.)
+
+(* Differential: random programs, symbolic execution evaluated
+   concretely equals direct interpretation. *)
+let arb_program =
+  let open QCheck2.Gen in
+  let leaf = oneofl [ "A"; "B"; "x"; "2"; "0.5" ] in
+  let rec expr n =
+    if n = 0 then leaf
+    else
+      let sub = expr (n - 1) in
+      oneof
+        [
+          leaf;
+          (* positivity-preserving grammar (see the symbolic engine's
+             positive-symbol assumption) *)
+          map2 (Printf.sprintf "(%s + %s)") sub sub;
+          map2 (Printf.sprintf "(%s * %s)") sub sub;
+          map2 (Printf.sprintf "(%s / %s)") sub sub;
+          map2 (Printf.sprintf "np.sqrt(np.multiply(%s, %s))") sub sub;
+          map (Printf.sprintf "np.sum(%s, axis=0)") sub;
+          map (Printf.sprintf "np.exp(np.log(%s))") sub;
+          map (Printf.sprintf "np.max(%s, axis=0)") sub;
+          map (Printf.sprintf "%s.T") sub;
+        ]
+  in
+  expr 3
+
+let env_t =
+  [ ("A", Types.float_t [| 2; 3 |]); ("B", Types.float_t [| 2; 3 |]);
+    ("x", Types.float_t [| 3 |]) ]
+
+let prop_sexec_agrees_with_interp =
+  QCheck2.Test.make
+    ~name:"sexec: symbolic execution agrees with interpretation" ~count:150
+    QCheck2.Gen.(pair arb_program (int_range 0 10_000))
+    (fun (src, seed) ->
+      match Parser.expression src with
+      | exception Parser.Parse_error _ -> true
+      | prog -> (
+          match Types.check env_t prog with
+          | Error _ -> true
+          | Ok _ ->
+              let st = Random.State.make [| seed |] in
+              let inputs = Interp.random_inputs st env_t in
+              let direct = Interp.eval_alist inputs prog in
+              let sym = Sexec.exec_env env_t prog in
+              let assign (s : Symbolic.Sym.t) =
+                F.get (List.assoc (Symbolic.Sym.base s) inputs) s.indices
+              in
+              let via_sym = Sexec.eval_concrete assign sym in
+              F.allclose ~rtol:1e-6 ~atol:1e-9 direct via_sym))
+
+(* Equivalence is sound: if two random programs are declared equivalent,
+   they agree numerically. *)
+let prop_equivalence_sound =
+  QCheck2.Test.make ~name:"sexec: equivalent implies numerically equal"
+    ~count:100
+    QCheck2.Gen.(triple arb_program arb_program (int_range 0 10_000))
+    (fun (s1, s2, seed) ->
+      match (Parser.expression s1, Parser.expression s2) with
+      | exception Parser.Parse_error _ -> true
+      | p1, p2 -> (
+          match (Types.check env_t p1, Types.check env_t p2) with
+          | Ok _, Ok _ ->
+              if Sexec.equivalent env_t p1 p2 then begin
+                let st = Random.State.make [| seed |] in
+                let inputs = Interp.random_inputs st env_t in
+                F.allclose ~rtol:1e-6 ~atol:1e-9
+                  (Interp.eval_alist inputs p1)
+                  (Interp.eval_alist inputs p2)
+              end
+              else true
+          | _ -> true))
+
+let test_all_benchmark_equivalences () =
+  List.iter
+    (fun (b : Suite.Benchmarks.t) ->
+      if not (Sexec.equivalent b.env b.program b.expected_opt) then
+        Alcotest.failf "%s: original and reference optimized not equivalent"
+          b.name;
+      (* and concretely, at performance shapes *)
+      let st = Random.State.make [| 0xfeed |] in
+      let inputs = Interp.random_inputs st b.perf_env in
+      let r1 = Interp.eval_alist inputs b.perf_program in
+      let r2 = Interp.eval_alist inputs b.perf_expected_opt in
+      if not (F.allclose ~rtol:1e-6 ~atol:1e-9 r1 r2) then
+        Alcotest.failf "%s: concrete mismatch at perf shapes" b.name)
+    Suite.Benchmarks.all
+
+let suite =
+  [
+    Alcotest.test_case "interpreter basics" `Quick test_interp_basics;
+    Alcotest.test_case "symbolic spec construction" `Quick
+      test_sexec_spec_shape;
+    Alcotest.test_case "equivalence checking" `Quick test_equivalences;
+    Alcotest.test_case "density and complexity" `Quick test_density_complexity;
+    Alcotest.test_case "all benchmark reference equivalences" `Slow
+      test_all_benchmark_equivalences;
+    QCheck_alcotest.to_alcotest prop_sexec_agrees_with_interp;
+    QCheck_alcotest.to_alcotest prop_equivalence_sound;
+  ]

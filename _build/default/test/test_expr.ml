@@ -1,0 +1,255 @@
+(* Symbolic expression normalization — the engine behind specification
+   equality.  Unit tests pin the identities the paper's benchmarks rely
+   on; the property tests validate normalization against numeric
+   evaluation on random positive inputs. *)
+open Symbolic
+
+let e = Alcotest.testable Expr.pp Expr.equal
+let a = Expr.sym "a"
+let b = Expr.sym "b"
+let c = Expr.sym "c"
+let i = Expr.int
+
+let test_add_collect () =
+  Alcotest.check e "a+a = 2a" Expr.(mul [ i 2; a ]) Expr.(add [ a; a ]);
+  Alcotest.check e "a+b-a = b" b Expr.(add [ a; b; neg a ]);
+  Alcotest.check e "5-fold sum = 5a"
+    Expr.(mul [ i 5; a ])
+    Expr.(add [ a; a; a; a; a ]);
+  Alcotest.check e "ab+3ab = 4ab"
+    Expr.(mul [ i 4; a; b ])
+    Expr.(add [ mul [ a; b ]; mul [ i 3; a; b ] ]);
+  Alcotest.check e "sum to zero" Expr.zero Expr.(add [ a; neg a ]);
+  Alcotest.check e "constants fold" (i 5) Expr.(add [ i 2; i 3 ])
+
+let test_mul_collect () =
+  Alcotest.check e "a*a = a^2" Expr.(pow a (i 2)) Expr.(mul [ a; a ]);
+  Alcotest.check e "a^5" Expr.(pow a (i 5)) Expr.(mul [ a; a; a; a; a ]);
+  Alcotest.check e "a*b*a = a^2 b"
+    Expr.(mul [ pow a (i 2); b ])
+    Expr.(mul [ a; b; a ]);
+  Alcotest.check e "zero annihilates" Expr.zero Expr.(mul [ a; zero; b ]);
+  Alcotest.check e "one neutral" a Expr.(mul [ one; a ]);
+  Alcotest.check e "a^6/a^4 = a^2"
+    Expr.(pow a (i 2))
+    Expr.(div (pow a (i 6)) (pow a (i 4)));
+  Alcotest.check e "a/a = 1" Expr.one Expr.(div a a)
+
+let test_distribution () =
+  Alcotest.check e "(a+b)c = ac+bc"
+    Expr.(add [ mul [ a; c ]; mul [ b; c ] ])
+    Expr.(mul [ add [ a; b ]; c ]);
+  Alcotest.check e "(a+b)^2 expands"
+    Expr.(add [ pow a (i 2); mul [ i 2; a; b ]; pow b (i 2) ])
+    Expr.(pow (add [ a; b ]) (i 2));
+  Alcotest.check e "(a-b)(a+b) = a^2-b^2"
+    Expr.(sub (pow a (i 2)) (pow b (i 2)))
+    Expr.(mul [ sub a b; add [ a; b ] ])
+
+let test_powers () =
+  Alcotest.check e "sqrt(a)^4 = a^2"
+    Expr.(pow a (i 2))
+    Expr.(pow (sqrt a) (i 4));
+  Alcotest.check e "(2 sqrt a)^2 = 4a"
+    Expr.(mul [ i 4; a ])
+    Expr.(pow (add [ sqrt a; sqrt a ]) (i 2));
+  Alcotest.check e "(a+b)/sqrt(a+b) = sqrt(a+b)"
+    Expr.(sqrt (add [ a; b ]))
+    Expr.(div (add [ a; b ]) (sqrt (add [ a; b ])));
+  Alcotest.check e "(xy)^2 distributes"
+    Expr.(mul [ pow a (i 2); pow b (i 2) ])
+    Expr.(pow (mul [ a; b ]) (i 2));
+  Alcotest.check e "4^(1/2) = 2" (i 2) Expr.(sqrt (i 4));
+  Alcotest.check e "(8/27)^(1/3) = 2/3"
+    (Expr.rat (Q.make 2 3))
+    Expr.(pow (rat (Q.make 8 27)) (rat (Q.make 1 3)));
+  Alcotest.check e "x^0 = 1" Expr.one Expr.(pow a Expr.zero);
+  Alcotest.check e "1^x = 1" Expr.one Expr.(pow one b)
+
+let test_exp_log () =
+  Alcotest.check e "exp(log x) = x" a Expr.(exp (log a));
+  Alcotest.check e "log(exp x) = x" a Expr.(log (exp a));
+  Alcotest.check e "exp(log(a+b)) = a+b"
+    Expr.(add [ a; b ])
+    Expr.(exp (log (add [ a; b ])));
+  Alcotest.check e "exp(log a - log b) = a/b"
+    Expr.(div a b)
+    Expr.(exp (sub (log a) (log b)));
+  Alcotest.check e "log(ab) = log a + log b"
+    Expr.(add [ log a; log b ])
+    Expr.(log (mul [ a; b ]));
+  Alcotest.check e "log(a^3) = 3 log a"
+    Expr.(mul [ i 3; log a ])
+    Expr.(log (pow a (i 3)));
+  Alcotest.check e "exp 0 = 1" Expr.one Expr.(exp zero);
+  Alcotest.check e "log 1 = 0" Expr.zero Expr.(log one)
+
+let test_max_less_where () =
+  Alcotest.check e "max(a,a) = a" a Expr.(max2 a a);
+  Alcotest.check e "max commutes" Expr.(max2 a b) Expr.(max2 b a);
+  Alcotest.check e "max constants" (i 3) Expr.(max2 (i 1) (i 3));
+  Alcotest.check e "less const" Expr.one Expr.(less (i 1) (i 2));
+  Alcotest.check e "less reflexive is false" Expr.zero Expr.(less a a);
+  Alcotest.check e "where true" a Expr.(where one a b);
+  Alcotest.check e "where false" b Expr.(where zero a b);
+  Alcotest.check e "where same" a Expr.(where (less a b) a a)
+
+let test_queries () =
+  Alcotest.(check (option reject)) "div_exact failure" None
+    Expr.(div_exact a (mul [ b; b ]));
+  (match Expr.(div_exact (add [ mul [ a; b ]; mul [ c; b ] ]) b) with
+  | Some r -> Alcotest.check e "(ab+cb)/b" Expr.(add [ a; c ]) r
+  | None -> Alcotest.fail "division should be exact");
+  (match Expr.(div_exact (div a b) b) with
+  | Some _ -> Alcotest.fail "a/b^2 is not exact"
+  | None -> ());
+  Alcotest.(check (option reject)) "div by zero" None Expr.(div_exact a zero);
+  let x = Sym.scalar "x" in
+  (match Expr.(linear_coeff (add [ mul [ i 2; a; var x ]; b ]) x) with
+  | Some (coeff, rest) ->
+      Alcotest.check e "linear coeff" Expr.(mul [ i 2; a ]) coeff;
+      Alcotest.check e "linear rest" b rest
+  | None -> Alcotest.fail "linear extraction should succeed");
+  (match Expr.(linear_coeff (mul [ var x; var x ]) x) with
+  | Some _ -> Alcotest.fail "x^2 is not linear"
+  | None -> ());
+  (match Expr.(root_exact (pow a (i 2)) (Q.of_int 2)) with
+  | Some r -> Alcotest.check e "sqrt of a^2" a r
+  | None -> Alcotest.fail "root should be exact")
+
+let test_vars_size () =
+  let expr = Expr.(add [ mul [ a; b ]; pow c (i 2) ]) in
+  Alcotest.(check int) "vars count" 3 (Sym.Set.cardinal (Expr.vars expr));
+  Alcotest.(check (list string))
+    "base names" [ "a"; "b"; "c" ] (Expr.base_names expr);
+  Alcotest.(check bool) "size positive" true (Expr.size expr > 3)
+
+let test_subst () =
+  let x = Sym.scalar "x" in
+  let expr = Expr.(add [ var x; mul [ var x; b ] ]) in
+  let result = Expr.subst (fun s -> if Sym.equal s x then Some a else None) expr in
+  Alcotest.check e "subst renormalizes" Expr.(add [ a; mul [ a; b ] ]) result
+
+(* -------- properties: normalization preserves numeric value -------- *)
+
+(* Random expression trees over three positive symbols. *)
+let arb_expr =
+  let open QCheck2.Gen in
+  (* Constant power towers can exceed native-int rationals while the
+     tree is being *built*; fall back to the left operand then. *)
+  let safe f fallback = try f () with Symbolic.Q.Overflow -> fallback in
+  let leaf =
+    oneof
+      [
+        return a;
+        return b;
+        return c;
+        map (fun n -> Expr.int n) (int_range 1 4);
+      ]
+  in
+  let rec tree n =
+    if n = 0 then leaf
+    else
+      let sub = tree (n - 1) in
+      oneof
+        [
+          leaf;
+          (* positivity-preserving constructors only: the engine's
+             power/sqrt/log rules assume positive values, exactly like
+             the paper's use of SymPy with positive symbols *)
+          map2 (fun x y -> safe (fun () -> Expr.add [ x; y ]) x) sub sub;
+          map2 (fun x y -> safe (fun () -> Expr.mul [ x; y ]) x) sub sub;
+          map2 (fun x y -> safe (fun () -> Expr.div x y) x) sub sub;
+          map (fun x -> safe (fun () -> Expr.sqrt x) x) sub;
+          map2
+            (fun x k -> safe (fun () -> Expr.pow x (Expr.int k)) x)
+            sub (int_range 1 3);
+        ]
+  in
+  tree 4
+
+let env_of (va, vb, vc) s =
+  match Sym.base s with
+  | "a" -> va
+  | "b" -> vb
+  | "c" -> vc
+  | _ -> 1.
+
+let close x y =
+  x = y
+  || (Float.is_nan x && Float.is_nan y)
+  || Float.abs (x -. y) <= 1e-6 *. (1. +. Float.abs x +. Float.abs y)
+
+let arb_env = QCheck2.Gen.(triple (float_range 0.1 2.) (float_range 0.1 2.) (float_range 0.1 2.))
+
+(* Coefficient towers like ((4^3)^3)^3 legitimately exceed native ints;
+   the engine signals Q.Overflow, which is a vacuous case for value
+   preservation. *)
+let overflow_ok f = try f () with Symbolic.Q.Overflow -> true
+
+let prop_add_sound =
+  QCheck2.Test.make ~name:"expr: add/sub normalization preserves value"
+    ~count:300
+    QCheck2.Gen.(triple arb_expr arb_expr arb_env)
+    (fun (x, y, vals) ->
+      overflow_ok (fun () ->
+          let env = env_of vals in
+          close
+            (Expr.eval env (Expr.add [ x; y ]))
+            (Expr.eval env x +. Expr.eval env y)
+          && close
+               (Expr.eval env (Expr.sub x y))
+               (Expr.eval env x -. Expr.eval env y)))
+
+let prop_mul_sound =
+  QCheck2.Test.make ~name:"expr: mul normalization preserves value" ~count:300
+    QCheck2.Gen.(triple arb_expr arb_expr arb_env)
+    (fun (x, y, vals) ->
+      overflow_ok (fun () ->
+          let env = env_of vals in
+          close
+            (Expr.eval env (Expr.mul [ x; y ]))
+            (Expr.eval env x *. Expr.eval env y)))
+
+let prop_pow_sound =
+  QCheck2.Test.make ~name:"expr: pow normalization preserves value" ~count:300
+    QCheck2.Gen.(triple arb_expr (QCheck2.Gen.int_range 1 3) arb_env)
+    (fun (x, k, vals) ->
+      overflow_ok (fun () ->
+          let env = env_of vals in
+          close
+            (Expr.eval env (Expr.pow x (Expr.int k)))
+            (Float.pow (Expr.eval env x) (float_of_int k))))
+
+let prop_div_exact_sound =
+  QCheck2.Test.make ~name:"expr: div_exact q*b = a" ~count:300
+    QCheck2.Gen.(triple arb_expr arb_expr arb_env)
+    (fun (x, y, vals) ->
+      match Expr.div_exact x y with
+      | None -> true
+      | Some q ->
+          let env = env_of vals in
+          close (Expr.eval env (Expr.mul [ q; y ])) (Expr.eval env x))
+
+let prop_compare_total =
+  QCheck2.Test.make ~name:"expr: equal iff compare = 0" ~count:300
+    QCheck2.Gen.(pair arb_expr arb_expr)
+    (fun (x, y) -> Expr.equal x y = (Expr.compare x y = 0))
+
+let suite =
+  [
+    Alcotest.test_case "additive collection" `Quick test_add_collect;
+    Alcotest.test_case "multiplicative collection" `Quick test_mul_collect;
+    Alcotest.test_case "distribution/expansion" `Quick test_distribution;
+    Alcotest.test_case "power rules" `Quick test_powers;
+    Alcotest.test_case "exp/log rules" `Quick test_exp_log;
+    Alcotest.test_case "max/less/where" `Quick test_max_less_where;
+    Alcotest.test_case "solver queries" `Quick test_queries;
+    Alcotest.test_case "vars and size" `Quick test_vars_size;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    QCheck_alcotest.to_alcotest prop_add_sound;
+    QCheck_alcotest.to_alcotest prop_mul_sound;
+    QCheck_alcotest.to_alcotest prop_pow_sound;
+    QCheck_alcotest.to_alcotest prop_div_exact_sound;
+    QCheck_alcotest.to_alcotest prop_compare_total;
+  ]

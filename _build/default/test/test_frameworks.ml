@@ -1,0 +1,118 @@
+(* Framework simulators: rewrite rules and the roofline timing model. *)
+open Dsl
+module Fw = Frameworks.Framework
+module Rw = Frameworks.Rewrite
+module Pf = Frameworks.Platform
+
+let ast = Alcotest.testable Ast.pp Ast.equal
+let p = Parser.expression
+
+let test_rules () =
+  let fix rules src = Rw.rewrite_fixpoint rules (p src) in
+  Alcotest.check ast "double transpose" (p "A")
+    (fix [ Rw.double_transpose ] "np.transpose(np.transpose(A))");
+  Alcotest.check ast "nested double transpose" (p "A + B")
+    (fix [ Rw.double_transpose ] "np.transpose(np.transpose(A + B))");
+  Alcotest.check ast "exp log" (p "A + B")
+    (fix [ Rw.exp_log ] "np.exp(np.log(A + B))");
+  Alcotest.check ast "mul one" (p "A") (fix [ Rw.mul_one ] "A * 1");
+  Alcotest.check ast "pow two" (p "np.multiply(A, A)")
+    (fix [ Rw.pow_two_to_mul ] "np.power(A, 2)");
+  Alcotest.check ast "pow neg one" (p "np.divide(1, A)")
+    (fix [ Rw.pow_neg_one_to_div ] "np.power(A, -1)");
+  Alcotest.check ast "constant folding" (p "np.multiply(6, A)")
+    (fix [ Rw.constant_folding ] "np.multiply(np.multiply(2, 3), A)");
+  Alcotest.check ast "rules compose to fixpoint" (p "A")
+    (fix [ Rw.double_transpose; Rw.mul_one ]
+       "np.transpose(np.transpose(A * 1)) * 1");
+  (* rules never fire where they should not *)
+  Alcotest.check ast "transpose alone untouched" (p "np.transpose(A)")
+    (fix Rw.xla_rules "np.transpose(A)")
+
+let env =
+  [ ("A", Types.float_t [| 64; 64 |]); ("B", Types.float_t [| 64; 64 |]);
+    ("x", Types.float_t [| 64 |]) ]
+
+let time fw src = Fw.estimate_time fw Pf.amd_7950x env (p src)
+
+let test_eager_model () =
+  (* more operations cost more *)
+  Alcotest.(check bool) "chain costs more" true
+    (time Fw.numpy "A + B + A + B" > time Fw.numpy "A + B");
+  (* pow costs more than mul per element *)
+  Alcotest.(check bool) "pow > mul" true
+    (time Fw.numpy "np.power(A, 2)" > time Fw.numpy "np.multiply(A, A)");
+  (* dot n^3 dominates elementwise n^2 *)
+  Alcotest.(check bool) "dot > add" true
+    (time Fw.numpy "np.dot(A, B)" > time Fw.numpy "A + B");
+  (* transpose is a view: nearly free until consumed by BLAS *)
+  Alcotest.(check bool) "transposed dot pays the copy" true
+    (time Fw.numpy "np.dot(A.T, B)" > time Fw.numpy "np.dot(A, B)")
+
+let test_compiled_model () =
+  (* fusion: a chain of elementwise ops is one kernel, far cheaper than
+     eager's per-op passes *)
+  let chain = "np.sqrt(A + B) * A + B" in
+  Alcotest.(check bool) "fusion beats eager" true
+    (time Fw.jax chain < time Fw.numpy chain);
+  (* CSE: repeating a subexpression is free when compiled *)
+  let dup = "np.dot(A, B) + np.dot(A, B)" in
+  let single = "np.dot(A, B) + np.dot(B, A)" in
+  Alcotest.(check bool) "cse collapses duplicates" true
+    (time Fw.jax dup < time Fw.jax single);
+  (* JAX's own rules erase the double transpose: STENSO gains nothing *)
+  let s =
+    Fw.speedup Fw.jax Pf.amd_7950x env
+      ~original:(p "np.transpose(np.transpose(A))") ~optimized:(p "A")
+  in
+  Alcotest.(check (float 1e-6)) "jax already optimal on ttA" 1. s
+
+let test_comprehension_overhead () =
+  let envl = [ ("A", Types.float_t [| 64; 128 |]) ] in
+  let loop = p "np.stack([r * 2 for r in A])" in
+  let broadcast = p "np.multiply(2, A)" in
+  let t_loop = Fw.estimate_time Fw.numpy Pf.amd_7950x envl loop in
+  let t_bc = Fw.estimate_time Fw.numpy Pf.amd_7950x envl broadcast in
+  Alcotest.(check bool) "python loop much slower" true (t_loop > 4. *. t_bc)
+
+let test_platforms_differ () =
+  List.iter
+    (fun (fw : Fw.t) ->
+      let times =
+        List.map (fun pf -> Fw.estimate_time fw pf env (p "np.dot(A, B)"))
+          Pf.all
+      in
+      Alcotest.(check bool)
+        (fw.name ^ " platforms distinct") true
+        (List.length (List.sort_uniq compare times) = 3))
+    Fw.all
+
+let test_speedup_reference () =
+  (* the diag identity: large gain on eager NumPy; finite positive
+     everywhere *)
+  let env =
+    [ ("A", Types.float_t [| 128; 160 |]); ("B", Types.float_t [| 160; 128 |]) ]
+  in
+  let orig = p "np.diag(np.dot(A, B))" in
+  let opt = p "np.sum(np.multiply(A, B.T), axis=1)" in
+  List.iter
+    (fun fw ->
+      List.iter
+        (fun pf ->
+          let s = Fw.speedup fw pf env ~original:orig ~optimized:opt in
+          if not (Float.is_finite s && s > 1.) then
+            Alcotest.failf "unexpected speedup %f" s)
+        Pf.all)
+    Fw.all
+
+let suite =
+  [
+    Alcotest.test_case "rewrite rules" `Quick test_rules;
+    Alcotest.test_case "eager timing model" `Quick test_eager_model;
+    Alcotest.test_case "compiled timing model" `Quick test_compiled_model;
+    Alcotest.test_case "comprehension overhead" `Quick
+      test_comprehension_overhead;
+    Alcotest.test_case "platform profiles distinct" `Quick
+      test_platforms_differ;
+    Alcotest.test_case "diag identity speedups" `Quick test_speedup_reference;
+  ]

@@ -1,0 +1,227 @@
+(* The symbolic-algebra solver: every decomposition it returns must be
+   exact — recombining the parts reproduces the specification. *)
+open Dsl
+open Stenso
+module St = Sexec.Stensor
+
+let model = Cost.Model.flops
+
+let setup env_src =
+  let env, _ = Parser.program (env_src ^ "\nreturn 0") in
+  let lib = Stub.enumerate ~model ~consts:[ 1.; 2. ] env in
+  (env, lib)
+
+let spec_of env src = Sexec.exec_env env (Parser.expression src)
+
+(* Recombine a decomposition by symbolically executing the operation on
+   conc semantics / hole specs. *)
+let recombine (d : Invert.decomposition) =
+  let args =
+    List.map
+      (function Invert.P_hole h -> h | Invert.P_conc s -> s.Stub.sem)
+      d.parts
+  in
+  Sexec.apply_op d.op args
+
+let check_all_exact name env lib src =
+  let spec = spec_of env src in
+  let ds = Invert.decompositions lib spec in
+  if ds = [] then Alcotest.failf "%s: no decompositions at all" name;
+  List.iter
+    (fun d ->
+      match recombine d with
+      | r ->
+          if not (St.equal r spec) then
+            Alcotest.failf "%s: inexact decomposition %s" name
+              (Format.asprintf "%a" Invert.pp d)
+      | exception (Invalid_argument _ | Sexec.Eval_error _) ->
+          Alcotest.failf "%s: decomposition does not recombine (%s)" name
+            (Format.asprintf "%a" Invert.pp d))
+    ds;
+  ds
+
+let has_shape (d : Invert.decomposition) op_name =
+  Ast.op_name d.op = op_name
+
+let test_elementwise_inversions () =
+  let env, lib = setup "input A : f32[2,2]\ninput B : f32[2,2]" in
+  let ds = check_all_exact "A+B" env lib "A + B" in
+  Alcotest.(check bool) "add decomposition offered" true
+    (List.exists (fun d -> has_shape d "add") ds);
+  let ds = check_all_exact "A*B+B" env lib "A * B + B" in
+  (* mul(??, B) must solve with hole = A + 1 via exact division *)
+  Alcotest.(check bool) "exact division sketch" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "multiply"
+         && List.exists
+              (function
+                | Invert.P_hole h ->
+                    Spec.equal h (spec_of env "np.add(A, np.full((2,2), 1))")
+                | Invert.P_conc _ -> false)
+              d.parts)
+       ds)
+
+let test_poly_division_inversion () =
+  (* (1 - s) * (K ∘ W) requires polynomial long division by the sum. *)
+  let env, lib = setup "input K : f32[2,2]\ninput s : f32[]" in
+  let ds =
+    check_all_exact "poly" env lib "np.multiply(K, K) - s * np.multiply(K, K)"
+  in
+  Alcotest.(check bool) "divides out (1 - s)" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "multiply"
+         && List.exists
+              (function
+                | Invert.P_conc c ->
+                    Spec.equal c.Stub.sem (spec_of env "1 - s")
+                | Invert.P_hole _ -> false)
+              d.parts)
+       ds)
+
+let test_sum_split () =
+  let env, lib = setup "input A : f32[2,3]\ninput B : f32[3,2]" in
+  let ds = check_all_exact "diag dot" env lib "np.diag(np.dot(A, B))" in
+  (* splitting the contraction terms into a fresh axis *)
+  Alcotest.(check bool) "sum sketch with summable hole" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         match (d.op, Invert.hole_specs d) with
+         | Ast.Sum (Some _), [ h ] -> Tensor.Shape.rank (Spec.shape h) = 2
+         | _ -> false)
+       ds)
+
+let test_dot_inversions () =
+  let env, lib = setup "input A : f32[2,3]\ninput x : f32[3]" in
+  let ds = check_all_exact "matvec" env lib "np.sum(A * x, axis=1)" in
+  (* dot(??, x) must recover the matrix A as the hole *)
+  Alcotest.(check bool) "linear extraction recovers A" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "dot"
+         && List.exists
+              (function
+                | Invert.P_hole h -> Spec.equal h (spec_of env "A")
+                | Invert.P_conc _ -> false)
+              d.parts)
+       ds)
+
+let test_quadratic_assignment () =
+  (* x^T A x is nonlinear in x; the term-assignment fallback must still
+     produce an exact tensordot decomposition with hole A @ x. *)
+  let env, lib = setup "input x : f32[3,1]\ninput A : f32[3,3]" in
+  let ds = check_all_exact "quadratic" env lib "(x.T @ A) @ x" in
+  Alcotest.(check bool) "tensordot fallback solves x^T A x" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         match d.op with
+         | Ast.Tensordot _ ->
+             List.exists
+               (function
+                 | Invert.P_hole h -> Spec.equal h (spec_of env "A @ x")
+                 | Invert.P_conc _ -> false)
+               d.parts
+         | _ -> false)
+       ds)
+
+let test_two_hole_splits () =
+  let env, lib = setup "input A : f32[2,2]\ninput B : f32[2,2]" in
+  let ds = check_all_exact "mixed sum" env lib "A * A + B" in
+  (* by-variable split must separate the A-terms from the B-terms *)
+  Alcotest.(check bool) "add split by variable" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "add"
+         && List.length (Invert.hole_specs d) = 2
+         && List.exists (fun h -> Spec.equal h (spec_of env "A * A"))
+              (Invert.hole_specs d))
+       ds);
+  (* sign split: positive and negated negative parts *)
+  let ds = check_all_exact "signed" env lib "A * A - B" in
+  Alcotest.(check bool) "sub split by sign" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "subtract"
+         && List.exists (fun h -> Spec.equal h (spec_of env "B"))
+              (Invert.hole_specs d))
+       ds)
+
+let test_transpose_sqrt_exp () =
+  let env, lib = setup "input A : f32[2,3]" in
+  let ds = check_all_exact "transposed" env lib "np.transpose(A) + 0" in
+  Alcotest.(check bool) "transpose inversion" true
+    (List.exists (fun d -> has_shape d "transpose") ds);
+  let ds = check_all_exact "rooted" env lib "np.sqrt(A)" in
+  Alcotest.(check bool) "sqrt inversion squares the spec" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "sqrt"
+         && List.for_all (fun h -> Spec.equal h (spec_of env "A"))
+              (Invert.hole_specs d))
+       ds)
+
+let test_power_inversions () =
+  let env, lib = setup "input A : f32[2,2]" in
+  (* power(??, 2) on spec A^2 -> hole A *)
+  let ds = check_all_exact "square" env lib "A * A" in
+  Alcotest.(check bool) "root inversion" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "power"
+         && List.exists (fun h -> Spec.equal h (spec_of env "A"))
+              (Invert.hole_specs d))
+       ds);
+  (* power(A, ??) on spec A^5 -> scalar hole 5 *)
+  let ds = check_all_exact "fifth" env lib "A * A * A * A * A" in
+  Alcotest.(check bool) "exponent extraction" true
+    (List.exists
+       (fun (d : Invert.decomposition) ->
+         has_shape d "power"
+         &&
+         match Invert.hole_specs d with
+         | [ h ] -> Spec.to_const h = Some (Symbolic.Q.of_int 5)
+         | _ -> false)
+       ds)
+
+let test_maximum_strip () =
+  let env, lib = setup "input A : f32[2,2]\ninput B : f32[2,2]" in
+  let ds = check_all_exact "max" env lib "np.maximum(A, B) + 0" in
+  Alcotest.(check bool) "maximum inversion strips one operand" true
+    (List.exists (fun d -> has_shape d "maximum") ds)
+
+(* Property: over random program specs, every decomposition the solver
+   emits recombines exactly (the module's central contract). *)
+let prop_decompositions_exact =
+  QCheck2.Test.make ~name:"invert: all decompositions recombine" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let env, prog =
+        Suite.Generator.generate
+          { Suite.Generator.default with size = 4; seed }
+      in
+      let lib = Stub.enumerate ~model ~consts:[ 1. ] env in
+      let spec = Sexec.exec_env env prog in
+      List.for_all
+        (fun (d : Invert.decomposition) ->
+          match recombine d with
+          | r -> St.equal r spec
+          | exception _ -> false)
+        (Invert.decompositions lib spec))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_decompositions_exact;
+    Alcotest.test_case "elementwise inversions" `Quick
+      test_elementwise_inversions;
+    Alcotest.test_case "polynomial division" `Quick
+      test_poly_division_inversion;
+    Alcotest.test_case "sum term-splitting" `Quick test_sum_split;
+    Alcotest.test_case "contraction linear solve" `Quick test_dot_inversions;
+    Alcotest.test_case "quadratic-form assignment" `Quick
+      test_quadratic_assignment;
+    Alcotest.test_case "two-hole splits" `Quick test_two_hole_splits;
+    Alcotest.test_case "structural inversions" `Quick test_transpose_sqrt_exp;
+    Alcotest.test_case "power inversions" `Quick test_power_inversions;
+    Alcotest.test_case "maximum stripping" `Quick test_maximum_strip;
+  ]

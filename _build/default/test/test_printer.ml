@@ -1,0 +1,58 @@
+(* Printing/parsing round-trip: for any generated program, parsing the
+   pretty-printed form yields the same AST — the property that makes the
+   CLI's --synth_out files reusable as inputs. *)
+open Dsl
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"printer: parse (print p) = p" ~count:200
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let _, prog =
+        Suite.Generator.generate
+          { Suite.Generator.default with size = 6; seed }
+      in
+      let printed = Ast.to_string prog in
+      match Parser.expression printed with
+      | reparsed -> Ast.equal prog reparsed
+      | exception Parser.Parse_error _ -> false)
+
+let test_specific_forms () =
+  (* forms whose rendering is easy to get wrong *)
+  List.iter
+    (fun src ->
+      let prog = Parser.expression src in
+      let printed = Ast.to_string prog in
+      match Parser.expression printed with
+      | reparsed ->
+          if not (Ast.equal prog reparsed) then
+            Alcotest.failf "%s: printed as %S which reparses differently" src
+              printed
+      | exception Parser.Parse_error m ->
+          Alcotest.failf "%s: printed as %S which fails to parse (%s)" src
+            printed m)
+    [
+      "np.full((2, 2), -1.5)";
+      "np.transpose(A, (1, 0))";
+      "np.tensordot(A, B, ([0], [0]))";
+      "np.reshape(A, (6,))";
+      "np.stack([A, B], axis=1)";
+      "np.stack([v * 2 for v in A])";
+      "np.sum(A, axis=-1)";
+      "np.where(np.less(A, B), A, B)";
+      "np.power(A, -1)";
+      "A ** 2 ** 3";
+      "(A + B) * (A - B)";
+    ]
+
+let test_negative_floats () =
+  let prog = Ast.Const (-2.5) in
+  let printed = Ast.to_string prog in
+  Alcotest.(check bool) "negative float reparses" true
+    (Ast.equal prog (Parser.expression printed))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "tricky forms" `Quick test_specific_forms;
+    Alcotest.test_case "negative literals" `Quick test_negative_floats;
+  ]

@@ -1,0 +1,86 @@
+(* Rational arithmetic. *)
+open Symbolic
+
+let q = Alcotest.testable Q.pp Q.equal
+let mk a b = Q.make a b
+
+let test_normalization () =
+  Alcotest.check q "6/4 = 3/2" (mk 3 2) (mk 6 4);
+  Alcotest.check q "-6/-4 = 3/2" (mk 3 2) (mk (-6) (-4));
+  Alcotest.check q "6/-4 = -3/2" (mk (-3) 2) (mk 6 (-4));
+  Alcotest.check q "0/7 = 0" Q.zero (mk 0 7);
+  Alcotest.(check int) "den of 0 is 1" 1 (Q.den (mk 0 7))
+
+let test_arith () =
+  Alcotest.check q "1/2 + 1/3" (mk 5 6) (Q.add Q.half (mk 1 3));
+  Alcotest.check q "1/2 - 1/3" (mk 1 6) (Q.sub Q.half (mk 1 3));
+  Alcotest.check q "2/3 * 3/4" Q.half (Q.mul (mk 2 3) (mk 3 4));
+  Alcotest.check q "(1/2) / (1/4)" (Q.of_int 2) (Q.div Q.half (mk 1 4));
+  Alcotest.check q "neg" (mk (-1) 2) (Q.neg Q.half);
+  Alcotest.check q "inv" (mk 3 2) (Q.inv (mk 2 3));
+  Alcotest.check q "abs" Q.half (Q.abs (mk (-1) 2))
+
+let test_pow () =
+  Alcotest.check q "(2/3)^3" (mk 8 27) (Q.pow_int (mk 2 3) 3);
+  Alcotest.check q "(2/3)^-2" (mk 9 4) (Q.pow_int (mk 2 3) (-2));
+  Alcotest.check q "x^0 = 1" Q.one (Q.pow_int (mk 7 3) 0);
+  Alcotest.check q "0^3 = 0" Q.zero (Q.pow_int Q.zero 3)
+
+let test_predicates () =
+  Alcotest.(check bool) "is_integer 4/2" true (Q.is_integer (mk 4 2));
+  Alcotest.(check bool) "is_integer 1/2" false (Q.is_integer Q.half);
+  Alcotest.(check (option int)) "to_int" (Some 2) (Q.to_int (mk 4 2));
+  Alcotest.(check (option int)) "to_int 1/2" None (Q.to_int Q.half);
+  Alcotest.(check int) "sign neg" (-1) (Q.sign (mk (-3) 7));
+  Alcotest.(check int) "compare 1/3 < 1/2" (-1) (Q.compare (mk 1 3) Q.half)
+
+let test_float_conv () =
+  Alcotest.(check (float 0.)) "to_float 3/4" 0.75 (Q.to_float (mk 3 4));
+  (match Q.of_float 0.25 with
+  | Some v -> Alcotest.check q "of_float 0.25" (mk 1 4) v
+  | None -> Alcotest.fail "0.25 should convert");
+  (match Q.of_float 3.0 with
+  | Some v -> Alcotest.check q "of_float 3" (Q.of_int 3) v
+  | None -> Alcotest.fail "3.0 should convert");
+  Alcotest.(check (option reject)) "of_float pi" None (Q.of_float Float.pi)
+
+let test_div_zero () =
+  Alcotest.check_raises "make x 0" Division_by_zero (fun () ->
+      ignore (Q.make 1 0))
+
+let arb_q =
+  QCheck2.Gen.(
+    map2 (fun n d -> mk n d) (int_range (-1000) 1000) (int_range 1 60))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"q: (a+b)-b = a" ~count:500
+    QCheck2.Gen.(pair arb_q arb_q)
+    (fun (a, b) -> Q.equal a (Q.sub (Q.add a b) b))
+
+let prop_mul_div =
+  QCheck2.Test.make ~name:"q: (a*b)/b = a (b<>0)" ~count:500
+    QCheck2.Gen.(pair arb_q arb_q)
+    (fun (a, b) ->
+      QCheck2.assume (not (Q.is_zero b));
+      Q.equal a (Q.div (Q.mul a b) b))
+
+let prop_compare_consistent =
+  QCheck2.Test.make ~name:"q: compare consistent with float order" ~count:500
+    QCheck2.Gen.(pair arb_q arb_q)
+    (fun (a, b) ->
+      let c = Q.compare a b in
+      let fc = Float.compare (Q.to_float a) (Q.to_float b) in
+      (c = 0 && fc = 0) || (c < 0 && fc < 0) || (c > 0 && fc > 0))
+
+let suite =
+  [
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "powers" `Quick test_pow;
+    Alcotest.test_case "predicates" `Quick test_predicates;
+    Alcotest.test_case "float conversion" `Quick test_float_conv;
+    Alcotest.test_case "division by zero" `Quick test_div_zero;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_mul_div;
+    QCheck_alcotest.to_alcotest prop_compare_consistent;
+  ]

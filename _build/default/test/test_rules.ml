@@ -1,0 +1,114 @@
+(* Rule generalization and application (Section VII-D). *)
+open Dsl
+open Stenso
+
+let ast = Alcotest.testable Ast.pp Ast.equal
+let p = Parser.expression
+
+let diag_rule =
+  Rules.generalize
+    (p "np.diag(np.dot(A, B))")
+    (p "np.sum(np.multiply(A, B.T), axis=1)")
+
+let test_generalize () =
+  Alcotest.check ast "lhs abstracted"
+    (p "np.diag(np.dot(X, Y))")
+    diag_rule.lhs;
+  Alcotest.check ast "rhs abstracted"
+    (p "np.sum(np.multiply(X, Y.T), axis=1)")
+    diag_rule.rhs;
+  Alcotest.(check (list (pair string string)))
+    "metavariable map"
+    [ ("A", "X"); ("B", "Y") ]
+    diag_rule.metavars
+
+let test_match_and_apply () =
+  (* matches with arbitrary subterms bound to the metavariables *)
+  let target = p "np.diag(np.dot(P + Q, np.transpose(R)))" in
+  (match Rules.matches diag_rule target with
+  | Some bindings ->
+      Alcotest.(check int) "two bindings" 2 (List.length bindings)
+  | None -> Alcotest.fail "rule should match");
+  (match Rules.apply_once diag_rule target with
+  | Some rewritten ->
+      Alcotest.check ast "instantiated rhs"
+        (p "np.sum(np.multiply(P + Q, np.transpose(np.transpose(R))), axis=1)")
+        rewritten
+  | None -> Alcotest.fail "rule should rewrite");
+  (* no match -> no rewrite *)
+  Alcotest.(check bool) "no false positives" true
+    (Rules.apply_once diag_rule (p "np.dot(A, B)") = None)
+
+let test_apply_nested () =
+  (* rewriting fires below the root too *)
+  let target = p "np.sqrt(np.diag(np.dot(A, B)))" in
+  match Rules.apply_once diag_rule target with
+  | Some rewritten ->
+      Alcotest.check ast "nested rewrite"
+        (p "np.sqrt(np.sum(np.multiply(A, B.T), axis=1))")
+        rewritten
+  | None -> Alcotest.fail "nested position should rewrite"
+
+let test_consistent_binding () =
+  (* the same metavariable must bind identical subterms *)
+  let rule = Rules.generalize (p "A * B + A * B") (p "2 * (A * B)") in
+  Alcotest.(check bool) "consistent occurrence matches" true
+    (Rules.matches rule (p "P * Q + P * Q") <> None);
+  Alcotest.(check bool) "inconsistent occurrence rejected" true
+    (Rules.matches rule (p "P * Q + P * R") = None)
+
+let test_rule_preserves_semantics () =
+  (* applying a mined rule to fresh programs preserves equivalence *)
+  let env =
+    [ ("P", Types.float_t [| 2; 3 |]); ("Q", Types.float_t [| 3; 2 |]) ]
+  in
+  let target = p "np.diag(np.dot(P, Q))" in
+  match Rules.apply_once diag_rule target with
+  | Some rewritten ->
+      Alcotest.(check bool) "equivalent after rewrite" true
+        (Sexec.equivalent env target rewritten)
+  | None -> Alcotest.fail "should apply"
+
+let test_apply_fixpoint () =
+  let rules =
+    [
+      Rules.generalize (p "np.exp(np.log(A))") (p "A");
+      Rules.generalize (p "A * B + A * B") (p "2 * (A * B)");
+    ]
+  in
+  Alcotest.check ast "both rules fire to fixpoint"
+    (p "np.multiply(2, np.multiply(P, Q))")
+    (Rules.apply_fixpoint rules
+       (p "np.exp(np.log(P * Q + P * Q))"));
+  Alcotest.check ast "fixpoint of no match is identity" (p "P + Q")
+    (Rules.apply_fixpoint rules (p "P + Q"))
+
+let test_classifier () =
+  let check name orig opt expected =
+    let k =
+      Classify.classify ~original:(p orig) ~optimized:(p opt)
+    in
+    Alcotest.(check string) name expected (Classify.klass_name k)
+  in
+  check "loop removal is vectorization" "np.stack([r * 2 for r in A])"
+    "np.multiply(2, A)" "Vectorization";
+  check "double transpose is redundancy"
+    "np.transpose(np.transpose(A))" "A" "Redundancy Elimination";
+  check "pow to mul is strength reduction" "np.power(A, 2)"
+    "np.multiply(A, A)" "Strength Reduction";
+  check "diag dot is identity replacement" "np.diag(np.dot(A, B))"
+    "np.sum(np.multiply(A, B.T), axis=1)" "Identity Replacement";
+  check "term rewriting is algebraic" "A * B + C * B"
+    "np.multiply(np.add(A, C), B)" "Algebraic Simplification"
+
+let suite =
+  [
+    Alcotest.test_case "generalization" `Quick test_generalize;
+    Alcotest.test_case "match and apply" `Quick test_match_and_apply;
+    Alcotest.test_case "nested application" `Quick test_apply_nested;
+    Alcotest.test_case "consistent bindings" `Quick test_consistent_binding;
+    Alcotest.test_case "semantics preserved" `Quick
+      test_rule_preserves_semantics;
+    Alcotest.test_case "rule set to fixpoint" `Quick test_apply_fixpoint;
+    Alcotest.test_case "transformation classifier" `Quick test_classifier;
+  ]

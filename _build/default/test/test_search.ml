@@ -1,0 +1,144 @@
+(* The branch-and-bound synthesis search (Algorithm 2), exercised with
+   the deterministic FLOPs model for reproducibility. *)
+open Dsl
+open Stenso
+
+let model = Cost.Model.flops
+
+let run ?(config = Search.default_config) env_src prog_src =
+  let env, _ = Parser.program (env_src ^ "\nreturn 0") in
+  let prog = Parser.expression prog_src in
+  let spec = Sexec.exec_env env prog in
+  let bound = Cost.Model.program_cost model env prog in
+  let result =
+    Search.run ~config ~model ~env ~spec ~initial_bound:bound
+      ~consts:(Superopt.consts_of prog) ()
+  in
+  (env, prog, result)
+
+let check_finds name env_src prog_src expected_src =
+  let env, _, result = run env_src prog_src in
+  match result.program with
+  | None -> Alcotest.failf "%s: nothing synthesized" name
+  | Some found ->
+      let expected = Parser.expression expected_src in
+      if not (Sexec.equivalent env found expected) then
+        Alcotest.failf "%s: found %s, not equivalent to %s" name
+          (Ast.to_string found) expected_src
+
+let test_poly_division_end_to_end () =
+  (* (1-s) factors out of d - s*d even though d is a contraction: needs
+     polynomial long division plus the continue-past-expensive-match
+     policy (both regressions we fixed during development) *)
+  let env, _, result =
+    run "input K : f32[3,4]\ninput W : f32[4,3]\ninput s : f32[]"
+      "np.diag(np.dot(K, W)) - s * np.diag(np.dot(K, W))"
+  in
+  match result.program with
+  | None -> Alcotest.fail "nothing synthesized"
+  | Some found ->
+      (* must be equivalent and must not contain the cubic contraction *)
+      let expected =
+        Parser.expression
+          "np.multiply(np.sum(np.multiply(K, np.transpose(W)), axis=1), 1 - s)"
+      in
+      Alcotest.(check bool) "equivalent" true
+        (Sexec.equivalent env found expected);
+      let rec has_dot (t : Ast.t) =
+        match t with
+        | App (Dot, _) -> true
+        | Input _ | Const _ -> false
+        | App (_, args) -> List.exists has_dot args
+        | For_stack { body; _ } -> has_dot body
+      in
+      Alcotest.(check bool) "contraction eliminated" false (has_dot found)
+
+let test_finds_known_rewrites () =
+  check_finds "diag identity" "input A : f32[3,4]\ninput B : f32[4,3]"
+    "np.diag(np.dot(A, B))" "np.sum(np.multiply(A, B.T), axis=1)";
+  check_finds "common factor"
+    "input A : f32[2,2]\ninput B : f32[2,2]\ninput C : f32[2,2]"
+    "A * B + C * B" "np.multiply(np.add(A, C), B)";
+  check_finds "log identity" "input A : f32[2,2]\ninput B : f32[2,2]"
+    "np.exp(np.log(A) - np.log(B))" "np.divide(A, B)";
+  check_finds "polynomial" "input A : f32[2,2]\ninput B : f32[2,2]"
+    "A + B - A - A + B * B - B" "np.subtract(np.multiply(B, B), A)"
+
+let test_search_result_is_equivalent () =
+  (* whatever the search returns must match the spec symbolically *)
+  List.iter
+    (fun (b : Suite.Benchmarks.t) ->
+      let spec = Sexec.exec_env b.env b.program in
+      let bound = Cost.Model.program_cost model b.env b.program in
+      let result =
+        Search.run ~model ~env:b.env ~spec ~initial_bound:bound
+          ~consts:(Superopt.consts_of b.program) ()
+      in
+      match result.program with
+      | None -> ()
+      | Some found ->
+          if not (Sexec.equivalent b.env b.program found) then
+            Alcotest.failf "%s: synthesized inequivalent program %s" b.name
+              (Ast.to_string found))
+    [ Suite.Benchmarks.find "diag_dot"; Suite.Benchmarks.find "sum_stack";
+      Suite.Benchmarks.find "synth_2"; Suite.Benchmarks.find "vec_lerp" ]
+
+let test_bnb_prunes () =
+  (* branch and bound must not change the result, only the effort *)
+  let with_bnb = Search.default_config in
+  let without = { Search.default_config with use_bnb = false; timeout = 30. } in
+  let env_src = "input A : f32[3,3]\ninput B : f32[3,3]" in
+  let prog = "(A * B) + 3 * (A * B)" in
+  let _, _, r1 = run ~config:with_bnb env_src prog in
+  let _, _, r2 = run ~config:without env_src prog in
+  (match (r1.program, r2.program) with
+  | Some p1, Some p2 ->
+      Alcotest.(check (float 1e-9)) "same optimum cost" r2.cost r1.cost;
+      ignore (p1, p2)
+  | _ -> Alcotest.fail "both configurations must synthesize");
+  Alcotest.(check bool) "bnb prunes something" true (r1.stats.pruned_bnb > 0)
+
+let test_simplification_prunes () =
+  let env_src = "input A : f32[3,3]\ninput B : f32[3,3]" in
+  let _, _, r = run env_src "A * B + B" in
+  Alcotest.(check bool) "simplification objective fires" true
+    (r.stats.pruned_simp > 0)
+
+let test_node_budget () =
+  let config = { Search.default_config with node_budget = 3 } in
+  let _, _, r =
+    run ~config "input A : f32[3,3]\ninput B : f32[3,3]"
+      "np.sqrt(A) * B + np.sqrt(A) * A"
+  in
+  Alcotest.(check bool) "budget reported" true
+    (r.stats.timed_out || r.stats.nodes <= 4)
+
+let test_cost_never_above_bound () =
+  (* Algorithm 1: returned cost is below the original's estimate. *)
+  List.iter
+    (fun (b : Suite.Benchmarks.t) ->
+      let o = Superopt.superoptimize ~model ~env:b.env b.program in
+      if o.improved then begin
+        if not (o.optimized_cost < o.original_cost) then
+          Alcotest.failf "%s: 'improved' but cost did not drop" b.name
+      end
+      else if not (Ast.equal o.optimized b.program) then
+        Alcotest.failf "%s: unimproved outcome must return the original"
+          b.name)
+    Suite.Benchmarks.github
+
+let suite =
+  [
+    Alcotest.test_case "finds the paper's rewrites" `Quick
+      test_finds_known_rewrites;
+    Alcotest.test_case "polynomial division end to end" `Quick
+      test_poly_division_end_to_end;
+    Alcotest.test_case "results are equivalent" `Quick
+      test_search_result_is_equivalent;
+    Alcotest.test_case "bnb preserves optimum" `Quick test_bnb_prunes;
+    Alcotest.test_case "simplification objective" `Quick
+      test_simplification_prunes;
+    Alcotest.test_case "node budget" `Quick test_node_budget;
+    Alcotest.test_case "Algorithm 1 contract (github suite)" `Slow
+      test_cost_never_above_bound;
+  ]

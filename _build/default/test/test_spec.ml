@@ -1,0 +1,77 @@
+(* Specification utilities: keys, collapse, complexity. *)
+open Dsl
+module St = Sexec.Stensor
+module Expr = Symbolic.Expr
+open Stenso
+
+let env = [ ("A", Types.float_t [| 3; 3 |]); ("y", Types.float_t [| 3 |]) ]
+let spec_of src = Sexec.exec_env env (Parser.expression src)
+
+let test_key_equality () =
+  (* key is canonical: syntactically different but equal programs share it *)
+  let k1 = Spec.key (spec_of "A + A") in
+  let k2 = Spec.key (spec_of "2 * A") in
+  Alcotest.(check string) "A+A and 2A share a key" k1 k2;
+  let k3 = Spec.key (spec_of "A * 3") in
+  Alcotest.(check bool) "3A differs" true (k2 <> k3);
+  (* shape participates in the key *)
+  let s1 = St.of_array [| 2 |] [| Expr.one; Expr.one |] in
+  let s2 = St.of_array [| 2; 1 |] [| Expr.one; Expr.one |] in
+  Alcotest.(check bool) "shape in key" true (Spec.key s1 <> Spec.key s2)
+
+let test_collapse () =
+  let y = Sexec.input_tensor "y" [| 3 |] in
+  (* broadcast y upward then collapse back down *)
+  let up = St.init [| 4; 3 |] (fun idx -> St.get y [| idx.(1) |]) in
+  let down = Spec.collapse up in
+  Alcotest.(check bool) "collapse recovers the vector" true (St.equal down y);
+  (* uniform tensor collapses to a scalar *)
+  let fours = St.create [| 3; 3 |] (Expr.int 4) in
+  let c = Spec.collapse fours in
+  Alcotest.(check int) "uniform collapses to rank 0" 0
+    (Tensor.Shape.rank (Spec.shape c));
+  (* non-uniform is untouched *)
+  let a = spec_of "A" in
+  Alcotest.(check bool) "non-uniform unchanged" true
+    (St.equal (Spec.collapse a) a);
+  (* column uniformity collapses one axis only *)
+  let col = St.init [| 3; 2 |] (fun idx -> St.get y [| idx.(0) |]) in
+  let c = Spec.collapse col in
+  Alcotest.(check bool) "column collapse keeps rank 2" true
+    (Spec.shape c = [| 3; 1 |])
+
+let test_uniform_const () =
+  Alcotest.(check bool) "is_uniform on const tensor" true
+    (Spec.is_uniform (St.create [| 2; 2 |] (Expr.int 7)) <> None);
+  (match Spec.to_const (St.create [| 2; 2 |] (Expr.int 7)) with
+  | Some q -> Alcotest.(check int) "const value" 7 (Symbolic.Q.num q)
+  | None -> Alcotest.fail "expected constant");
+  Alcotest.(check bool) "vars are not constant" true
+    (Spec.to_const (spec_of "A") = None)
+
+let test_complexity_ordering () =
+  (* The simplification metric must order the paper's example:
+     A.B.C-products are more complex than A.B-products. *)
+  let env3 =
+    [ ("A", Types.float_t [| 3 |]); ("B", Types.float_t [| 3 |]);
+      ("C", Types.float_t [| 3 |]) ]
+  in
+  let s src = Sexec.exec_env env3 (Parser.expression src) in
+  let c3 = Spec.complexity (s "A * B * C") in
+  let c2 = Spec.complexity (s "A * B") in
+  let c1 = Spec.complexity (s "A") in
+  Alcotest.(check bool) "ABC > AB > A" true (c3 > c2 && c2 > c1);
+  (* masking reduces density hence complexity *)
+  let envm = [ ("A", Types.float_t [| 3; 3 |]) ] in
+  let sm src = Sexec.exec_env envm (Parser.expression src) in
+  Alcotest.(check bool) "triu less complex than full" true
+    (Spec.complexity (sm "np.triu(np.multiply(A, A))")
+     < Spec.complexity (sm "np.multiply(A, A)"))
+
+let suite =
+  [
+    Alcotest.test_case "canonical keys" `Quick test_key_equality;
+    Alcotest.test_case "collapse" `Quick test_collapse;
+    Alcotest.test_case "uniform/const detection" `Quick test_uniform_const;
+    Alcotest.test_case "complexity ordering" `Quick test_complexity_ordering;
+  ]

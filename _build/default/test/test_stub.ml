@@ -1,0 +1,112 @@
+(* Stub enumeration (Section IV-B). *)
+open Dsl
+open Stenso
+
+let env2 = [ ("A", Types.float_t [| 2; 2 |]); ("B", Types.float_t [| 2; 2 |]) ]
+let model = Cost.Model.flops
+let lib ?config env = Stub.enumerate ?config ~model ~consts:[ 1. ] env
+
+let find_spec lib env src =
+  Stub.lookup_exact lib (Sexec.exec_env env (Parser.expression src))
+
+let test_contents () =
+  let l = lib env2 in
+  (* atoms *)
+  Alcotest.(check int) "two inputs + one const atom" 3
+    (List.length (Stub.atoms l));
+  (* depth-1 and depth-2 programs are present semantically *)
+  List.iter
+    (fun src ->
+      match find_spec l env2 src with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing stub equivalent to %s" src)
+    [
+      "A"; "np.add(A, B)"; "np.dot(A, B)"; "np.transpose(A)";
+      "np.sum(A, axis=0)"; "np.sum(np.multiply(A, B), axis=1)";
+      "np.dot(np.transpose(A), B)"; "np.sqrt(A)"; "np.maximum(A, B)";
+      "np.subtract(1, A)";
+    ]
+
+let test_semantic_dedup () =
+  let l = lib env2 in
+  (* transpose(transpose(A)) deduplicates onto the atom A *)
+  match find_spec l env2 "np.transpose(np.transpose(A))" with
+  | Some s ->
+      Alcotest.(check string) "cheapest representative wins" "A"
+        (Ast.to_string s.Stub.prog);
+      Alcotest.(check (float 0.)) "zero cost" 0. s.cost
+  | None -> Alcotest.fail "A must be in the library"
+
+let test_depth_limit () =
+  let config = { Stub.default_config with depth = 1 } in
+  let l = lib ~config env2 in
+  (match find_spec l env2 "np.add(A, B)" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "depth-1 stub missing");
+  (* a genuinely depth-2 semantics must be absent at depth 1 *)
+  match find_spec l env2 "np.sqrt(np.dot(A, B))" with
+  | Some _ -> Alcotest.fail "depth-2 stub present at depth 1"
+  | None -> ()
+
+let test_budget_cap () =
+  let config = { Stub.default_config with max_stubs = 10 } in
+  let l = lib ~config env2 in
+  Alcotest.(check bool) "cap reported" true (Stub.truncated l);
+  Alcotest.(check bool) "cap respected" true (Stub.size l <= 10)
+
+let test_deadline () =
+  let config =
+    { Stub.default_config with deadline = Some (Unix.gettimeofday () -. 1.) }
+  in
+  let l = lib ~config env2 in
+  Alcotest.(check bool) "expired deadline truncates" true (Stub.truncated l)
+
+let test_costs_monotone () =
+  let l = lib env2 in
+  List.iter
+    (fun (s : Stub.t) ->
+      if Stdlib.not (s.cost >= 0.) then
+        Alcotest.failf "negative cost for %s" (Ast.to_string s.prog))
+    (Stub.stubs l);
+  (* every stub type-checks and its recorded semantics match a fresh
+     symbolic execution *)
+  List.iter
+    (fun (s : Stub.t) ->
+      match Types.check env2 s.prog with
+      | Error m -> Alcotest.failf "ill-typed stub %s: %s" (Ast.to_string s.prog) m
+      | Ok vt ->
+          if Stdlib.not (Types.equal_vt vt s.vt) then
+            Alcotest.failf "stub vt mismatch for %s" (Ast.to_string s.prog);
+          let sem = Sexec.exec_env env2 s.prog in
+          if Stdlib.not (Spec.equal sem s.sem) then
+            Alcotest.failf "stub semantics drifted for %s"
+              (Ast.to_string s.prog))
+    (Stub.stubs l)
+
+let test_full_binary_superset () =
+  let small = { Stub.default_config with max_stubs = 1_000_000 } in
+  let full = { small with full_binary = true } in
+  let l1 = lib ~config:small env2 in
+  let l2 = lib ~config:full env2 in
+  Alcotest.(check bool) "full enumeration is larger" true
+    (Stub.size l2 >= Stub.size l1 && Stub.attempts l2 > Stub.attempts l1)
+
+let test_const_stub () =
+  let l = lib env2 in
+  match Stub.const_stub l (Symbolic.Q.of_int 4) with
+  | Some s ->
+      Alcotest.(check string) "conjured constant" "4" (Ast.to_string s.prog)
+  | None -> Alcotest.fail "const_stub must produce a constant"
+
+let suite =
+  [
+    Alcotest.test_case "library contents" `Quick test_contents;
+    Alcotest.test_case "semantic deduplication" `Quick test_semantic_dedup;
+    Alcotest.test_case "depth limit" `Quick test_depth_limit;
+    Alcotest.test_case "stub budget" `Quick test_budget_cap;
+    Alcotest.test_case "deadline" `Quick test_deadline;
+    Alcotest.test_case "stub invariants" `Quick test_costs_monotone;
+    Alcotest.test_case "full binary enumeration" `Quick
+      test_full_binary_superset;
+    Alcotest.test_case "conjured constants" `Quick test_const_stub;
+  ]

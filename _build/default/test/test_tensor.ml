@@ -1,0 +1,208 @@
+(* Dense tensor operations: hand-computed values plus differential
+   properties of the float fast paths against the generic functor. *)
+module F = Tensor.Ftensor
+module G = Tensor.Nd.Make (Tensor.Elt.Float)
+module Shape = Tensor.Shape
+
+let ft =
+  Alcotest.testable F.pp (fun a b -> F.allclose ~rtol:1e-12 ~atol:1e-12 a b)
+
+let m23 = F.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |]
+let m32 = F.of_array [| 3; 2 |] [| 1.; 2.; 3.; 4.; 5.; 6. |]
+let v3 = F.of_array [| 3 |] [| 1.; 2.; 3. |]
+
+let test_construction () =
+  Alcotest.(check int) "numel" 6 (F.numel m23);
+  Alcotest.(check (float 0.)) "get" 5. (F.get m23 [| 1; 1 |]);
+  Alcotest.(check (float 0.)) "scalar" 7. (F.to_scalar (F.scalar 7.));
+  Alcotest.check_raises "of_array mismatch"
+    (Invalid_argument "Nd.of_array: element count does not match shape")
+    (fun () -> ignore (F.of_array [| 2; 2 |] [| 1.; 2. |]));
+  let t = F.init [| 2; 2 |] (fun i -> float_of_int ((10 * i.(0)) + i.(1))) in
+  Alcotest.(check (float 0.)) "init" 11. (F.get t [| 1; 1 |])
+
+let test_elementwise () =
+  Alcotest.check ft "add" (F.of_array [| 3 |] [| 2.; 4.; 6. |]) (F.add v3 v3);
+  Alcotest.check ft "sub to zero" (F.full [| 3 |] 0.) (F.sub v3 v3);
+  Alcotest.check ft "mul" (F.of_array [| 3 |] [| 1.; 4.; 9. |]) (F.mul v3 v3);
+  Alcotest.check ft "div" (F.full [| 3 |] 1.) (F.div v3 v3);
+  Alcotest.check ft "pow" (F.of_array [| 3 |] [| 1.; 4.; 9. |])
+    (F.pow v3 (F.scalar 2.));
+  Alcotest.check ft "sqrt" v3 (F.sqrt (F.mul v3 v3));
+  Alcotest.check ft "exp log" v3 (F.exp (F.log v3));
+  Alcotest.check ft "maximum"
+    (F.of_array [| 3 |] [| 2.; 2.; 3. |])
+    (F.maximum v3 (F.scalar 2.));
+  Alcotest.check ft "less"
+    (F.of_array [| 3 |] [| 1.; 0.; 0. |])
+    (F.less v3 (F.scalar 2.));
+  Alcotest.check ft "where"
+    (F.of_array [| 3 |] [| 9.; 2.; 3. |])
+    (F.where (F.less v3 (F.scalar 2.)) (F.scalar 9.) v3)
+
+let test_broadcast_ops () =
+  (* (2,3) + (3,) broadcasts along rows *)
+  Alcotest.check ft "matrix + vector"
+    (F.of_array [| 2; 3 |] [| 2.; 4.; 6.; 5.; 7.; 9. |])
+    (F.add m23 v3);
+  (* (2,1) * (3,) -> (2,3) *)
+  let col = F.of_array [| 2; 1 |] [| 10.; 20. |] in
+  Alcotest.check ft "outer via broadcast"
+    (F.of_array [| 2; 3 |] [| 10.; 20.; 30.; 20.; 40.; 60. |])
+    (F.mul col v3)
+
+let test_dot () =
+  Alcotest.(check (float 1e-9)) "vec . vec" 14. (F.to_scalar (F.dot v3 v3));
+  Alcotest.check ft "mat . vec"
+    (F.of_array [| 2 |] [| 14.; 32. |])
+    (F.dot m23 v3);
+  Alcotest.check ft "mat . mat"
+    (F.of_array [| 2; 2 |] [| 22.; 28.; 49.; 64. |])
+    (F.dot m23 m32);
+  (* 3D dot 2D: contract last with second-to-last *)
+  let a = F.init [| 2; 2; 3 |] (fun i ->
+      float_of_int ((6 * i.(0)) + (3 * i.(1)) + i.(2) + 1)) in
+  let r = F.dot a m32 in
+  Alcotest.check (Alcotest.testable Shape.pp Shape.equal) "3D dot shape"
+    [| 2; 2; 2 |] (F.shape r);
+  Alcotest.(check (float 1e-9)) "3D dot value" 22. (F.get r [| 0; 0; 0 |]);
+  Alcotest.check_raises "dot dim mismatch"
+    (Invalid_argument "Nd: contraction size mismatch (3 vs 2)") (fun () ->
+      ignore (F.dot m23 m23))
+
+let test_tensordot () =
+  let r = F.tensordot m23 m23 ~axes_a:[ 0 ] ~axes_b:[ 0 ] in
+  (* (3,3): r[i][j] = sum_k m23[k][i]*m23[k][j] *)
+  Alcotest.(check (float 1e-9)) "tensordot [0][0]" 17.
+    (F.get r [| 0; 0 |]);
+  let full = F.tensordot m23 m23 ~axes_a:[ 0; 1 ] ~axes_b:[ 0; 1 ] in
+  Alcotest.(check (float 1e-9)) "full contraction" 91. (F.to_scalar full)
+
+let test_reductions () =
+  Alcotest.(check (float 0.)) "sum all" 21. (F.to_scalar (F.sum m23));
+  Alcotest.check ft "sum axis 0" (F.of_array [| 3 |] [| 5.; 7.; 9. |])
+    (F.sum ~axis:0 m23);
+  Alcotest.check ft "sum axis 1" (F.of_array [| 2 |] [| 6.; 15. |])
+    (F.sum ~axis:1 m23);
+  Alcotest.(check (float 0.)) "max all" 6. (F.to_scalar (F.max_reduce m23));
+  Alcotest.check ft "max axis 0" (F.of_array [| 3 |] [| 4.; 5.; 6. |])
+    (F.max_reduce ~axis:0 m23);
+  Alcotest.(check (float 0.)) "trace" 5.
+    (F.to_scalar (F.trace (F.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |])))
+
+let test_structure () =
+  Alcotest.check ft "transpose"
+    (F.of_array [| 3; 2 |] [| 1.; 4.; 2.; 5.; 3.; 6. |])
+    (F.transpose m23);
+  Alcotest.check ft "double transpose" m23 (F.transpose (F.transpose m23));
+  Alcotest.check ft "transpose perm identity" m23
+    (F.transpose ~perm:[| 0; 1 |] m23);
+  Alcotest.check ft "reshape" (F.of_array [| 3; 2 |] (F.to_array m23))
+    (F.reshape m23 [| 3; 2 |]);
+  Alcotest.check ft "diag"
+    (F.of_array [| 2 |] [| 1.; 5. |])
+    (F.diag m23);
+  let sq = F.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  Alcotest.check ft "triu" (F.of_array [| 2; 2 |] [| 1.; 2.; 0.; 4. |])
+    (F.triu sq);
+  Alcotest.check ft "tril" (F.of_array [| 2; 2 |] [| 1.; 0.; 3.; 4. |])
+    (F.tril sq);
+  Alcotest.check ft "slice0"
+    (F.of_array [| 3 |] [| 4.; 5.; 6. |])
+    (F.slice0 m23 1)
+
+let test_stack () =
+  let s = F.stack [ v3; F.mul v3 (F.scalar 2.) ] ~axis:0 in
+  Alcotest.check ft "stack axis 0"
+    (F.of_array [| 2; 3 |] [| 1.; 2.; 3.; 2.; 4.; 6. |])
+    s;
+  let s1 = F.stack [ v3; v3 ] ~axis:1 in
+  Alcotest.check (Alcotest.testable Shape.pp Shape.equal) "stack axis 1 shape"
+    [| 3; 2 |] (F.shape s1);
+  Alcotest.check_raises "stack empty" (Invalid_argument "Nd.stack: empty list")
+    (fun () -> ignore (F.stack [] ~axis:0))
+
+(* differential: fast float paths vs generic functor *)
+let arb_shape =
+  QCheck2.Gen.(map Array.of_list (list_size (int_range 0 3) (int_range 1 4)))
+
+let tensor_of_gen st shape = F.randomize st shape
+
+let to_g t = G.of_array (F.shape t) (F.to_array t)
+
+let agrees a b =
+  Shape.equal (F.shape a) (G.shape b)
+  && Array.for_all2
+       (fun x y -> Float.abs (x -. y) <= 1e-9 *. (1. +. Float.abs y))
+       (F.to_array a) (G.to_array b)
+
+let prop_fast_binops =
+  QCheck2.Test.make ~name:"ftensor: fast binops agree with generic" ~count:200
+    QCheck2.Gen.(triple arb_shape arb_shape (int_range 0 1000))
+    (fun (sa, sb, seed) ->
+      match Shape.broadcast sa sb with
+      | None -> true
+      | Some _ ->
+          let st = Random.State.make [| seed |] in
+          let a = tensor_of_gen st sa and b = tensor_of_gen st sb in
+          agrees (F.add a b) (G.add (to_g a) (to_g b))
+          && agrees (F.mul a b) (G.mul (to_g a) (to_g b))
+          && agrees (F.sub a b) (G.sub (to_g a) (to_g b))
+          && agrees (F.div a b) (G.div (to_g a) (to_g b)))
+
+let prop_fast_dot =
+  QCheck2.Test.make ~name:"ftensor: fast dot agrees with generic" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 1 4) (pair (int_range 1 4) (int_range 1 4))
+        (int_range 0 1000))
+    (fun (m, (k, n), seed) ->
+      let st = Random.State.make [| seed |] in
+      let a = tensor_of_gen st [| m; k |] in
+      let b = tensor_of_gen st [| k; n |] in
+      let v = tensor_of_gen st [| k |] in
+      agrees (F.dot a b) (G.dot (to_g a) (to_g b))
+      && agrees (F.dot a v) (G.dot (to_g a) (to_g v)))
+
+let prop_fast_reductions =
+  QCheck2.Test.make ~name:"ftensor: fast sum/transpose agree with generic"
+    ~count:200
+    QCheck2.Gen.(pair arb_shape (int_range 0 1000))
+    (fun (s, seed) ->
+      let st = Random.State.make [| seed |] in
+      let a = tensor_of_gen st s in
+      agrees (F.sum a) (G.sum (to_g a))
+      && List.for_all
+           (fun ax -> agrees (F.sum ~axis:ax a) (G.sum ~axis:ax (to_g a)))
+           (List.init (Shape.rank s) Fun.id)
+      &&
+      if Shape.rank s = 2 then agrees (F.transpose a) (G.transpose (to_g a))
+      else true)
+
+let prop_dot_linear =
+  QCheck2.Test.make ~name:"tensor: dot distributes over add" ~count:200
+    QCheck2.Gen.(
+      triple (int_range 1 4) (int_range 1 4) (int_range 0 1000))
+    (fun (m, k, seed) ->
+      let st = Random.State.make [| seed |] in
+      let a = tensor_of_gen st [| m; k |] in
+      let x = tensor_of_gen st [| k |] in
+      let y = tensor_of_gen st [| k |] in
+      F.allclose ~rtol:1e-9
+        (F.dot a (F.add x y))
+        (F.add (F.dot a x) (F.dot a y)))
+
+let suite =
+  [
+    Alcotest.test_case "construction/access" `Quick test_construction;
+    Alcotest.test_case "elementwise" `Quick test_elementwise;
+    Alcotest.test_case "broadcasting ops" `Quick test_broadcast_ops;
+    Alcotest.test_case "dot" `Quick test_dot;
+    Alcotest.test_case "tensordot" `Quick test_tensordot;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "structural ops" `Quick test_structure;
+    Alcotest.test_case "stack" `Quick test_stack;
+    QCheck_alcotest.to_alcotest prop_fast_binops;
+    QCheck_alcotest.to_alcotest prop_fast_dot;
+    QCheck_alcotest.to_alcotest prop_fast_reductions;
+    QCheck_alcotest.to_alcotest prop_dot_linear;
+  ]
