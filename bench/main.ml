@@ -21,6 +21,10 @@ module Pf = Frameworks.Platform
    synthesized programs. *)
 let out_dir : string option ref = ref None
 
+(* `--jobs N`: size of the domain pool the synthesis phase fans the
+   benchmarks across (per-benchmark results are identical for any N). *)
+let jobs = ref 1
+
 let emit_file rel contents =
   match !out_dir with
   | None -> ()
@@ -71,15 +75,20 @@ type synthesis = {
 let model = lazy (Cost.Model.measured ())
 
 let synthesize_all () =
-  Printf.printf "Synthesizing all %d benchmarks (measured cost model)...\n%!"
-    (List.length B.all);
+  Printf.printf
+    "Synthesizing all %d benchmarks (measured cost model, %d jobs)...\n%!"
+    (List.length B.all) !jobs;
+  let on_result (r : Suite.Driver.bench_result) =
+    Printf.printf "  %-16s %5.1fs  %s\n%!" r.bench.name r.elapsed
+      (if r.outcome.improved then Ast.to_string r.outcome.optimized
+       else "(no cheaper variant)")
+  in
+  let { Suite.Driver.results; _ } =
+    Suite.Driver.run ~model:(Lazy.force model) ~jobs:!jobs ~on_result B.all
+  in
   List.map
-    (fun (b : B.t) ->
-      let t0 = Unix.gettimeofday () in
-      let outcome =
-        Stenso.Superopt.superoptimize ~model:(Lazy.force model) ~env:b.env
-          b.program
-      in
+    (fun ({ Suite.Driver.bench = b; outcome; _ } : Suite.Driver.bench_result)
+       ->
       let opt_perf =
         (* The synthesized program carries no shape attributes for our
            benchmarks, so it normally retypes directly at perf shapes. *)
@@ -87,10 +96,6 @@ let synthesize_all () =
           outcome.optimized
         else b.perf_expected_opt
       in
-      Printf.printf "  %-16s %5.1fs  %s\n%!" b.name
-        (Unix.gettimeofday () -. t0)
-        (if outcome.improved then Ast.to_string outcome.optimized
-         else "(no cheaper variant)");
       let rendered =
         String.concat ""
           (List.map
@@ -108,7 +113,7 @@ let synthesize_all () =
         (Filename.concat "benchmarks_synthesized" (b.name ^ ".tdsl"))
         rendered;
       { bench = b; outcome; opt_perf })
-    B.all
+    results
 
 (* ------------------------------------------------------------------ *)
 (* Tables I and II                                                     *)
@@ -588,6 +593,9 @@ let () =
     | "--out" :: dir :: rest ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         out_dir := Some dir;
+        strip_out acc rest
+    | "--jobs" :: n :: rest ->
+        jobs := max 1 (int_of_string n);
         strip_out acc rest
     | a :: rest -> strip_out (a :: acc) rest
     | [] -> List.rev acc

@@ -1,10 +1,18 @@
-(* Command-line entry point, mirroring the artifact's `stenso/main.py`:
+(* Command-line entry point.
 
-     stenso --program original.tdsl --synth-out optimized.tdsl \
-            --cost-estimator measured
+     stenso optimize --program original.tdsl --synth-out optimized.tdsl
+     stenso suite --jobs 8 --cost-estimator flops
+     stenso profile --cost-cache ops.cache
 
-   The program file declares typed inputs and returns one expression;
-   see `examples/` and the README for the surface syntax. *)
+   The bare legacy invocation (mirroring the artifact's
+   `stenso/main.py`) still works as an alias of [optimize]:
+
+     stenso --program original.tdsl --cost-estimator measured
+
+   Program files declare typed inputs and return one expression; see
+   `examples/` and the README for the surface syntax. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("stenso: " ^ s); exit 1) fmt
 
 let read_file path =
   let ic = open_in_bin path in
@@ -36,36 +44,42 @@ let render_program env prog =
   Buffer.add_string buf (Format.asprintf "return %a\n" Dsl.Ast.pp prog);
   Buffer.contents buf
 
-let run program_path synth_out estimator timeout no_bnb no_simplification
-    extended_ops cost_cache verbose =
+let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
+    ~extended_ops ~cost_cache =
+  let estimator =
+    match Stenso.Config.estimator_of_string estimator with
+    | Ok e -> e
+    | Error msg -> die "%s" msg
+  in
+  Stenso.Config.default
+  |> Stenso.Config.with_estimator estimator
+  |> Stenso.Config.with_timeout timeout
+  |> Stenso.Config.with_jobs jobs
+  |> Stenso.Config.with_bnb (not no_bnb)
+  |> Stenso.Config.with_simplification (not no_simplification)
+  |> Stenso.Config.with_extended_ops extended_ops
+  |> match cost_cache with
+     | Some f -> Stenso.Config.with_cost_cache f
+     | None -> Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* stenso optimize                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_run program_path synth_out estimator timeout jobs no_bnb
+    no_simplification extended_ops cost_cache verbose =
   let source =
     match program_path with
     | Some p -> read_file p
-    | None -> failwith "--program is required"
+    | None -> die "--program is required"
   in
   let env, prog = Dsl.Parser.program source in
   ignore (Dsl.Types.infer env prog);
-  let model =
-    match estimator with
-    | "flops" -> Cost.Model.flops
-    | "roofline" -> Cost.Model.roofline ()
-    | "measured" -> Cost.Model.measured ?cache_file:cost_cache ()
-    | other -> failwith ("unknown cost estimator " ^ other)
-  in
   let config =
-    {
-      Stenso.Search.default_config with
-      timeout;
-      use_bnb = not no_bnb;
-      use_simplification = not no_simplification;
-      stub_config =
-        {
-          Stenso.Search.default_config.stub_config with
-          extended_ops;
-        };
-    }
+    config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
+      ~extended_ops ~cost_cache
   in
-  let outcome = Stenso.Superopt.superoptimize ~config ~model ~env prog in
+  let outcome = Stenso.Superopt.optimize ~config ~env prog in
   if verbose then begin
     let s = outcome.search.stats in
     Format.printf
@@ -87,6 +101,130 @@ let run program_path synth_out estimator timeout no_bnb no_simplification
   | None ->
       Format.printf "%s" (render_program env outcome.optimized));
   if outcome.improved && not outcome.verified then exit 2
+
+(* ------------------------------------------------------------------ *)
+(* stenso suite                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let select_benchmarks names =
+  match names with
+  | [] -> Suite.Benchmarks.all
+  | names ->
+      List.map
+        (fun name ->
+          match Suite.Benchmarks.find_opt name with
+          | Some b -> b
+          | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
+        names
+
+let suite_run list_only names jobs timeout estimator cost_cache out quiet =
+  if list_only then
+    List.iter
+      (fun (b : Suite.Benchmarks.t) ->
+        Printf.printf "%-16s %s\n" b.name
+          (Dsl.Ast.to_string b.program))
+      Suite.Benchmarks.all
+  else begin
+    let benches = select_benchmarks names in
+    let config =
+      config_of ~estimator ~timeout ~jobs ~no_bnb:false
+        ~no_simplification:false ~extended_ops:false ~cost_cache
+    in
+    let on_result (r : Suite.Driver.bench_result) =
+      if not quiet then
+        Printf.printf "  %-16s %6.1fs  %s\n%!" r.bench.name r.elapsed
+          (if r.outcome.improved then Dsl.Ast.to_string r.outcome.optimized
+           else "(no cheaper variant)")
+    in
+    if not quiet then
+      Printf.printf
+        "Superoptimizing %d benchmarks (%s estimator, %d jobs)...\n%!"
+        (List.length benches)
+        (Stenso.Config.estimator_name (Stenso.Config.estimator config))
+        jobs;
+    let { Suite.Driver.results; elapsed } =
+      Suite.Driver.run ~config ~jobs ~on_result benches
+    in
+    (* The deterministic result table: no timings, stable formatting, so
+       parallel and sequential runs of a deterministic estimator can be
+       compared byte for byte. *)
+    let table =
+      String.concat ""
+        (List.map
+           (fun (r : Suite.Driver.bench_result) ->
+             Printf.sprintf "%s\t%s\t%.9g\t%s\n" r.bench.name
+               (if r.outcome.improved then "improved" else "kept")
+               r.outcome.optimized_cost
+               (Dsl.Ast.to_string r.outcome.optimized))
+           results)
+    in
+    (match out with
+    | Some path ->
+        write_file path table;
+        if not quiet then
+          Printf.printf "wrote %d results to %s (%.1fs total)\n"
+            (List.length results) path elapsed
+    | None -> print_string table);
+    if not quiet then
+      let improved =
+        List.length
+          (List.filter
+             (fun (r : Suite.Driver.bench_result) -> r.outcome.improved)
+             results)
+      in
+      Printf.printf "# %d/%d improved, %.1fs wall clock\n" improved
+        (List.length results) elapsed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* stenso profile                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_entries file =
+  match open_in file with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = ref 0 in
+          (try
+             while true do
+               ignore (input_line ic);
+               incr n
+             done
+           with End_of_file -> ());
+          !n)
+
+let profile_run names cost_cache extended_ops =
+  (* The measured estimator's offline phase, run ahead of time: stub
+     enumeration over each benchmark's inputs requests the cost of every
+     operation the synthesis search will consider, and the table persists
+     to [--cost-cache] for later `optimize`/`suite` runs to load. *)
+  let benches = select_benchmarks names in
+  let model = Cost.Model.measured ~cache_file:cost_cache () in
+  let before = cache_entries cost_cache in
+  List.iter
+    (fun (b : Suite.Benchmarks.t) ->
+      let t0 = Unix.gettimeofday () in
+      let stub_config =
+        { Stenso.Stub.default_config with extended_ops }
+      in
+      ignore
+        (Stenso.Stub.enumerate ~config:stub_config ~model
+           ~consts:(Stenso.Superopt.consts_of b.program)
+           b.env);
+      ignore (Cost.Model.program_cost model b.env b.program);
+      Printf.printf "  %-16s %6.1fs\n%!" b.name
+        (Unix.gettimeofday () -. t0))
+    benches;
+  Printf.printf "%s: %d entries (%d new)\n" cost_cache
+    (cache_entries cost_cache)
+    (cache_entries cost_cache - before)
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
@@ -114,7 +252,18 @@ let estimator_arg =
 let timeout_arg =
   Arg.(
     value & opt float 600.
-    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Synthesis time budget.")
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Synthesis time budget (per benchmark for $(b,suite)).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains.  For $(b,optimize): parallelize stub \
+           enumeration and the root of the search.  For $(b,suite): \
+           superoptimize N benchmarks concurrently.  Results are \
+           independent of N.")
 
 let no_bnb_arg =
   Arg.(
@@ -143,18 +292,86 @@ let cost_cache_arg =
     & info [ "cost-cache" ] ~docv:"FILE"
         ~doc:
           "Persist the measured cost model's profiling table, amortizing \
-           the offline phase across runs.")
+           the offline phase across runs (see $(b,stenso profile)).")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print search statistics.")
 
+let optimize_term =
+  Term.(
+    const optimize_run $ program_arg $ synth_out_arg $ estimator_arg
+    $ timeout_arg $ jobs_arg $ no_bnb_arg $ no_simp_arg $ extended_ops_arg
+    $ cost_cache_arg $ verbose_arg)
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Superoptimize one tensor program (the default command).")
+    optimize_term
+
+let suite_cmd =
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the bundled benchmarks and exit.")
+  in
+  let benchmarks_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "benchmarks" ] ~docv:"NAMES"
+          ~doc:"Comma-separated benchmark names (default: all 33).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the result table to FILE instead of stdout.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:
+            "Print only the deterministic result table (no progress or \
+             timing lines).")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Superoptimize the bundled benchmark suite on a bounded worker \
+          pool.")
+    Term.(
+      const suite_run $ list_arg $ benchmarks_arg $ jobs_arg $ timeout_arg
+      $ estimator_arg $ cost_cache_arg $ out_arg $ quiet_arg)
+
+let profile_cmd =
+  let cache_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cost-cache" ] ~docv:"FILE"
+          ~doc:"Profiling table to create or extend.")
+  in
+  let benchmarks_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "benchmarks" ] ~docv:"NAMES"
+          ~doc:"Comma-separated benchmark names (default: all 33).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the measured cost model's offline profiling phase and \
+          persist it to $(b,--cost-cache) for later runs.")
+    Term.(const profile_run $ benchmarks_arg $ cache_arg $ extended_ops_arg)
+
 let cmd =
   let doc = "STENSO: tensor-program superoptimization by symbolic synthesis" in
-  Cmd.v
+  Cmd.group ~default:optimize_term
     (Cmd.info "stenso" ~doc)
-    Term.(
-      const run $ program_arg $ synth_out_arg $ estimator_arg $ timeout_arg
-      $ no_bnb_arg $ no_simp_arg $ extended_ops_arg $ cost_cache_arg
-      $ verbose_arg)
+    [ optimize_cmd; suite_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval cmd)

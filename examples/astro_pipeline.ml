@@ -28,9 +28,9 @@ let () =
   let env, program = Dsl.Parser.program source in
   Format.printf "pipeline kernel : %a@.@." Dsl.Ast.pp program;
 
-  let model = Cost.Model.measured () in
+  let config = Stenso.Config.default |> Stenso.Config.with_estimator `Measured in
   let t0 = Unix.gettimeofday () in
-  let outcome = Stenso.Superopt.superoptimize ~model ~env program in
+  let outcome = Stenso.Superopt.optimize ~config ~env program in
   Format.printf "synthesis took %.1fs, explored %d nodes@."
     (Unix.gettimeofday () -. t0)
     outcome.search.stats.nodes;

@@ -19,12 +19,12 @@ let training =
 
 let () =
   (* Phase 1: synthesis over the corpus (the expensive, one-time step). *)
-  let model = Cost.Model.measured () in
+  let config = Config.default |> Config.with_estimator `Measured in
   let rules =
     List.filter_map
       (fun src ->
         let env, prog = Dsl.Parser.program src in
-        let o = Superopt.superoptimize ~model ~env prog in
+        let o = Superopt.optimize ~config ~env prog in
         if o.improved then Some (Rules.generalize prog o.optimized) else None)
       training
   in

@@ -18,10 +18,17 @@ let () =
   let env, program = Dsl.Parser.program source in
   Format.printf "original : %a@." Dsl.Ast.pp program;
 
-  (* The measured cost model profiles each operation once on random
-     inputs of representative shapes (the paper's offline phase). *)
-  let model = Cost.Model.measured () in
-  let outcome = Stenso.Superopt.superoptimize ~model ~env program in
+  (* The `Measured estimator profiles each operation once on random
+     inputs of representative shapes (the paper's offline phase);
+     with_jobs fans the synthesis search across CPU cores with results
+     identical to a sequential run. *)
+  let config =
+    Stenso.Config.default
+    |> Stenso.Config.with_estimator `Measured
+    |> Stenso.Config.with_timeout 60.
+    |> Stenso.Config.with_jobs (Stenso.Par.default_jobs ())
+  in
+  let outcome = Stenso.Superopt.optimize ~config ~env program in
 
   if outcome.improved then begin
     Format.printf "optimized: %a@." Dsl.Ast.pp outcome.optimized;

@@ -19,12 +19,12 @@ let corpus =
   ]
 
 let () =
-  let model = Cost.Model.measured () in
+  let config = Stenso.Config.default |> Stenso.Config.with_estimator `Measured in
   let mined =
     List.filter_map
       (fun (name, src) ->
         let env, program = Dsl.Parser.program src in
-        let outcome = Stenso.Superopt.superoptimize ~model ~env program in
+        let outcome = Stenso.Superopt.optimize ~config ~env program in
         if outcome.improved then begin
           let rule = Stenso.Rules.generalize program outcome.optimized in
           Format.printf "%-20s %a@." name Stenso.Rules.pp rule;

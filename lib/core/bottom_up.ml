@@ -30,6 +30,7 @@ let run ?(max_depth = 3) ?(max_programs = 300_000) ?(timeout = 600.) ~model
            extended_ops = false;
            full_binary = true;
            deadline = Some (started +. timeout);
+           jobs = 1;
          }
        in
        let lib = Stub.enumerate ~config ~model ~consts env in

@@ -1,0 +1,90 @@
+type estimator = [ `Flops | `Roofline | `Measured ]
+
+type t = {
+  search : Search.config;
+  estimator : estimator;
+  cost_cache : string option;
+}
+
+let default =
+  { search = Search.default_config; estimator = `Measured; cost_cache = None }
+
+let with_search search t = { t with search }
+let with_timeout timeout t = { t with search = { t.search with timeout } }
+
+let with_jobs jobs t =
+  {
+    t with
+    search =
+      {
+        t.search with
+        jobs;
+        stub_config = { t.search.stub_config with Stub.jobs };
+      };
+  }
+
+let with_estimator estimator t = { t with estimator }
+let with_cost_cache file t = { t with cost_cache = Some file }
+let with_bnb use_bnb t = { t with search = { t.search with use_bnb } }
+
+let with_simplification use_simplification t =
+  { t with search = { t.search with use_simplification } }
+
+let with_extended_ops extended_ops t =
+  {
+    t with
+    search =
+      {
+        t.search with
+        stub_config = { t.search.stub_config with Stub.extended_ops };
+      };
+  }
+
+let with_max_depth max_depth t =
+  { t with search = { t.search with max_depth } }
+
+let with_node_budget node_budget t =
+  { t with search = { t.search with node_budget } }
+
+let with_memoize memoize t = { t with search = { t.search with memoize } }
+
+let with_stub_depth depth t =
+  {
+    t with
+    search =
+      { t.search with stub_config = { t.search.stub_config with Stub.depth } };
+  }
+
+let with_max_stubs max_stubs t =
+  {
+    t with
+    search =
+      {
+        t.search with
+        stub_config = { t.search.stub_config with Stub.max_stubs };
+      };
+  }
+
+let search_config t = t.search
+let jobs t = t.search.Search.jobs
+let timeout t = t.search.Search.timeout
+let estimator t = t.estimator
+
+let model t =
+  match t.estimator with
+  | `Flops -> Cost.Model.flops
+  | `Roofline -> Cost.Model.roofline ()
+  | `Measured -> Cost.Model.measured ?cache_file:t.cost_cache ()
+
+let of_search search = { default with search }
+
+let estimator_of_string = function
+  | "flops" -> Ok `Flops
+  | "roofline" -> Ok `Roofline
+  | "measured" -> Ok `Measured
+  | other -> Error (Printf.sprintf "unknown cost estimator %S" other)
+
+let estimator_name = function
+  | `Flops -> "flops"
+  | `Roofline -> "roofline"
+  | `Measured -> "measured"

@@ -1,0 +1,70 @@
+(** Builder-style configuration for the whole superoptimizer.
+
+    [Config.t] wraps the nested {!Search.config} / {!Stub.config} /
+    {!Invert.config} records (which remain the implementation and stay
+    available through {!search_config} / {!of_search}) together with the
+    cost-estimator choice, so call sites read as a pipeline:
+
+    {[
+      let config =
+        Config.default
+        |> Config.with_timeout 60.
+        |> Config.with_jobs 8
+        |> Config.with_estimator `Flops
+      in
+      Superopt.optimize ~config ~env prog
+    ]} *)
+
+type estimator = [ `Flops | `Roofline | `Measured ]
+
+type t = {
+  search : Search.config;
+      (** the legacy nested records — the implementation *)
+  estimator : estimator;
+  cost_cache : string option;
+      (** persists the measured estimator's profiling table *)
+}
+
+val default : t
+(** {!Search.default_config} with the [`Measured] estimator. *)
+
+(** {2 Builders} — each takes the configuration last, for [|>]. *)
+
+val with_timeout : float -> t -> t
+val with_jobs : int -> t -> t
+(** Sets both the search's root-level fan-out and the stub enumeration
+    pool. *)
+
+val with_estimator : estimator -> t -> t
+val with_cost_cache : string -> t -> t
+val with_bnb : bool -> t -> t
+val with_simplification : bool -> t -> t
+val with_extended_ops : bool -> t -> t
+val with_max_depth : int -> t -> t
+val with_node_budget : int -> t -> t
+val with_memoize : bool -> t -> t
+val with_stub_depth : int -> t -> t
+val with_max_stubs : int -> t -> t
+val with_search : Search.config -> t -> t
+(** Replace the nested records wholesale (escape hatch). *)
+
+(** {2 Accessors} *)
+
+val search_config : t -> Search.config
+val jobs : t -> int
+val timeout : t -> float
+val estimator : t -> estimator
+
+val model : t -> Cost.Model.t
+(** Instantiate the configured cost estimator.  A fresh model each call:
+    the measured estimator starts with an empty profiling table (seeded
+    from [cost_cache] when set), so hoist the result when optimizing
+    many programs. *)
+
+val of_search : Search.config -> t
+(** Adopt a legacy record, keeping the default estimator. *)
+
+val estimator_of_string : string -> (estimator, string) result
+(** ["flops"], ["roofline"], or ["measured"]. *)
+
+val estimator_name : estimator -> string

@@ -1,0 +1,37 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let map_array ~jobs ?(chunk = 1) f xs =
+  let n = Array.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.map f xs
+  else begin
+    let out = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let chunk = max 1 chunk in
+    let work () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            out.(i) <- (match f xs.(i) with
+              | y -> Done y
+              | exception e -> Failed e)
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    List.iter Domain.join domains;
+    Array.map
+      (function Done y -> y | Failed e -> raise e | Pending -> assert false)
+      out
+  end
+
+let map ~jobs ?chunk f xs =
+  Array.to_list (map_array ~jobs ?chunk f (Array.of_list xs))

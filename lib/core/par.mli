@@ -1,0 +1,22 @@
+(** Fixed-size domain pools for the parallel synthesis engine.
+
+    OCaml 5 domains are expensive enough that each helper spawns at most
+    [jobs - 1] domains per call (the calling domain participates as a
+    worker) and joins them all before returning, so parallelism never
+    leaks past the call.  Work is distributed dynamically through a
+    shared atomic cursor; results are always returned in input order, so
+    callers observe deterministic output regardless of scheduling. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map_array : jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f xs] is [Array.map f xs] evaluated by
+    [min jobs (length xs)] domains pulling [chunk]-sized blocks (default
+    1) from a shared cursor.  With [jobs <= 1] it runs in the calling
+    domain.  If applications raise, the exception of the
+    smallest-indexed failing element is re-raised after every domain has
+    joined. *)
+
+val map : jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List counterpart of {!map_array}. *)

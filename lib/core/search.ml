@@ -13,6 +13,7 @@ type config = {
   timeout : float;
   max_depth : int;
   memoize : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     timeout = 600.;
     max_depth = 12;
     memoize = true;
+    jobs = 1;
   }
 
 type stats = {
@@ -48,7 +50,10 @@ type state = {
   model : Cost.Model.t;
   lib : Stub.library;
   started : float;
-  mutable cost_min : float;
+  (* The branch-and-bound bound is shared by every domain working on the
+     search, so a complete program found by one worker prunes all the
+     others.  It only ever decreases (see [relax]). *)
+  cost_min : float Atomic.t;
   mutable nodes : int;
   mutable decomps : int;
   mutable pruned_simp : int;
@@ -61,6 +66,13 @@ type state = {
      visited set (such failures are path-dependent). *)
   memo_fail : (string, float) Hashtbl.t;
 }
+
+(* Monotone atomic minimum: safe for concurrent publishers because a
+   failed CAS means someone else lowered the bound, which we then
+   re-read. *)
+let rec relax a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then relax a v
 
 let check_budget st =
   if
@@ -122,6 +134,49 @@ let decomp_op_cost st (d : Invert.decomposition) =
   | c -> Some c
   | exception Types.Type_error _ -> None
 
+(* The decompositions worth recursing into — those that simplify (or
+   structurally tie on unvisited specs) — annotated with their immediate
+   cost and sorted cheapest-first.  Shared by the sequential recursion
+   and the parallel root. *)
+let viable_decomps st ~visited spec =
+  let spec_cx = Spec.complexity spec in
+  let ds = Invert.decompositions ~config:st.cfg.invert_config st.lib spec in
+  st.decomps <- st.decomps + List.length ds;
+  let visited_blocked = ref false in
+  let viable =
+    List.filter_map
+      (fun (d : Invert.decomposition) ->
+        let holes = Invert.hole_specs d in
+        let hole_keys = List.map Spec.key holes in
+        if List.exists (fun k -> Sset.mem k visited) hole_keys then begin
+          visited_blocked := true;
+          None
+        end
+        else
+          let simplifies =
+            if not st.cfg.use_simplification then true
+            else
+              let cxs = List.map Spec.complexity holes in
+              let avg =
+                List.fold_left ( +. ) 0. cxs
+                /. float_of_int (max 1 (List.length cxs))
+              in
+              avg < spec_cx
+              || (avg = spec_cx && structural_tie_op d.op)
+          in
+          if not simplifies then begin
+            st.pruned_simp <- st.pruned_simp + 1;
+            None
+          end
+          else
+            match decomp_op_cost st d with
+            | None -> None
+            | Some opc -> Some (d, holes, opc +. Invert.conc_cost d))
+      ds
+  in
+  ( List.sort (fun (_, _, c1) (_, _, c2) -> compare c1 c2) viable,
+    !visited_blocked )
+
 (* Algorithm 2. *)
 let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
   st.nodes <- st.nodes + 1;
@@ -144,8 +199,10 @@ let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
         in
         (match memo_hit with
         | Some (prog, cost) ->
-            if (not st.cfg.use_bnb) || cost_in +. cost < st.cost_min then
-              Some (prog, cost)
+            if
+              (not st.cfg.use_bnb)
+              || cost_in +. cost <= Atomic.get st.cost_min
+            then Some (prog, cost)
             else None
         | None
           when (not top)
@@ -157,49 +214,10 @@ let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
             None
         | None ->
             let visited = Sset.add key visited in
-            let spec_cx = Spec.complexity spec in
-            let ds = Invert.decompositions ~config:st.cfg.invert_config st.lib spec in
-            st.decomps <- st.decomps + List.length ds;
-            (* Keep decompositions that simplify (or structurally tie on
-               unvisited specs), annotated with their immediate cost. *)
-            let visited_blocked = ref false in
-            let viable =
-              List.filter_map
-                (fun (d : Invert.decomposition) ->
-                  let holes = Invert.hole_specs d in
-                  let hole_keys = List.map Spec.key holes in
-                  if List.exists (fun k -> Sset.mem k visited) hole_keys then begin
-                    visited_blocked := true;
-                    None
-                  end
-                  else
-                    let simplifies =
-                      if not st.cfg.use_simplification then true
-                      else
-                        let cxs = List.map Spec.complexity holes in
-                        let avg =
-                          List.fold_left ( +. ) 0. cxs
-                          /. float_of_int (max 1 (List.length cxs))
-                        in
-                        avg < spec_cx
-                        || (avg = spec_cx && structural_tie_op d.op)
-                    in
-                    if not simplifies then begin
-                      st.pruned_simp <- st.pruned_simp + 1;
-                      None
-                    end
-                    else
-                      match decomp_op_cost st d with
-                      | None -> None
-                      | Some opc ->
-                          Some (d, holes, opc +. Invert.conc_cost d))
-                ds
-            in
-            let viable =
-              List.sort (fun (_, _, c1) (_, _, c2) -> compare c1 c2) viable
-            in
+            let viable, visited_blocked = viable_decomps st ~visited spec in
             let best = ref None in
             let best_cost = ref infinity in
+            let best_idx = ref (-1) in
             (match matched with
             | Some (prog, cost) ->
                 best := Some prog;
@@ -208,83 +226,12 @@ let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
                    in the tree, [cost_in] excludes sibling holes that
                    are still unsynthesized, so tightening the global
                    bound here would over-prune. *)
-                if top && st.cfg.use_bnb && cost < st.cost_min then
-                  st.cost_min <- cost
+                if top && st.cfg.use_bnb then relax st.cost_min cost
             | None -> ());
-            List.iter
-              (fun (d, holes, immediate) ->
-                let cost_total = ref (cost_in +. immediate) in
-                (* Local bound: holes cost at least zero, so a sketch
-                   whose own operations already reach this node's best
-                   candidate (often the direct match) cannot win. *)
-                if immediate >= !best_cost then
-                  st.pruned_bnb <- st.pruned_bnb + 1
-                else if st.cfg.use_bnb && !cost_total >= st.cost_min then
-                  st.pruned_bnb <- st.pruned_bnb + 1
-                else begin
-                  let progs = ref [] in
-                  let ok = ref true in
-                  List.iter
-                    (fun hole ->
-                      if !ok then
-                        if st.cfg.use_bnb && !cost_total >= st.cost_min then begin
-                          st.pruned_bnb <- st.pruned_bnb + 1;
-                          ok := false
-                        end
-                        else
-                          match
-                            dfs st ~level:(level + 1) ~visited
-                              ~cost_in:!cost_total hole
-                          with
-                          | None -> ok := false
-                          | Some (p, c) ->
-                              progs := p :: !progs;
-                              cost_total := !cost_total +. c)
-                    holes;
-                  if !ok then begin
-                    let local = !cost_total -. cost_in in
-                    let prog = Invert.reconstruct d (List.rev !progs) in
-                    (* A hole may have been filled by a broadcastable
-                       (collapsed) program; that is only legitimate
-                       where the assembled sketch still produces the
-                       spec's value — ill-typed combinations and shape
-                       mismatches are rejected here.  Non-top results
-                       may broadcast to the spec (their elementwise
-                       consumers restore the full extent). *)
-                    let shape_ok =
-                      match Types.check (Stub.env st.lib) prog with
-                      | Error _ -> false
-                      | Ok vt ->
-                          let sshape = Spec.shape spec in
-                          Shape.equal vt.shape sshape
-                          || (not top)
-                             &&
-                             (match Shape.broadcast vt.shape sshape with
-                             | Some s -> Shape.equal s sshape
-                             | None -> false)
-                    in
-                    if not shape_ok then ok := false;
-                    if !ok then begin
-                    (* Ties (common under the integral FLOPs model, e.g.
-                       a zero-cost transpose pair) break toward the
-                       syntactically smaller program. *)
-                    let better =
-                      local < !best_cost
-                      || local = !best_cost
-                         &&
-                         match !best with
-                         | Some b -> Ast.size prog < Ast.size b
-                         | None -> true
-                    in
-                    if better then begin
-                      best_cost := local;
-                      best := Some prog
-                    end;
-                    if top && st.cfg.use_bnb && !cost_total < st.cost_min then
-                      st.cost_min <- !cost_total
-                    end
-                  end
-                end)
+            List.iteri
+              (fun idx dhi ->
+                explore st ~top ~level ~visited ~cost_in spec ~best
+                  ~best_cost ~best_idx idx dhi)
               viable;
             (match !best with
             | Some prog ->
@@ -292,11 +239,178 @@ let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
                   Hashtbl.replace st.memo key (prog, !best_cost);
                 Some (prog, !best_cost)
             | None ->
-                if st.cfg.memoize && not !visited_blocked then
+                if st.cfg.memoize && not visited_blocked then
                   (match Hashtbl.find_opt st.memo_fail key with
                   | Some c when c <= cost_in -> ()
                   | _ -> Hashtbl.replace st.memo_fail key cost_in);
                 None))
+
+(* Synthesize the holes of one decomposition, updating the running best
+   (and, at top level, the global bound).  [best_idx] records which
+   decomposition produced the running best — the deterministic
+   tie-breaker when parallel workers merge their results. *)
+and explore st ~top ~level ~visited ~cost_in spec ~best ~best_cost ~best_idx
+    idx ((d : Invert.decomposition), holes, immediate) =
+  let cost_total = ref (cost_in +. immediate) in
+  (* Local bound: holes cost at least zero, so a sketch whose own
+     operations already exceed this node's best candidate (often the
+     direct match) cannot win.  Equal-cost sketches are NOT pruned —
+     here or against the global bound below — because ties are decided
+     by the (program size, decomposition index) rule, and that rule is
+     only deterministic if every tying candidate is actually explored.
+     This is what makes the parallel root fan-out return byte-identical
+     results to the sequential engine: bound-publication timing can only
+     cut strictly-losing branches, never a potential winner. *)
+  if immediate > !best_cost then
+    st.pruned_bnb <- st.pruned_bnb + 1
+  else if st.cfg.use_bnb && !cost_total > Atomic.get st.cost_min then
+    st.pruned_bnb <- st.pruned_bnb + 1
+  else begin
+    let progs = ref [] in
+    let ok = ref true in
+    List.iter
+      (fun hole ->
+        if !ok then
+          if st.cfg.use_bnb && !cost_total > Atomic.get st.cost_min then begin
+            st.pruned_bnb <- st.pruned_bnb + 1;
+            ok := false
+          end
+          else
+            match
+              dfs st ~level:(level + 1) ~visited ~cost_in:!cost_total hole
+            with
+            | None -> ok := false
+            | Some (p, c) ->
+                progs := p :: !progs;
+                cost_total := !cost_total +. c)
+      holes;
+    if !ok then begin
+      let local = !cost_total -. cost_in in
+      let prog = Invert.reconstruct d (List.rev !progs) in
+      (* A hole may have been filled by a broadcastable (collapsed)
+         program; that is only legitimate where the assembled sketch
+         still produces the spec's value — ill-typed combinations and
+         shape mismatches are rejected here.  Non-top results may
+         broadcast to the spec (their elementwise consumers restore the
+         full extent). *)
+      let shape_ok =
+        match Types.check (Stub.env st.lib) prog with
+        | Error _ -> false
+        | Ok vt ->
+            let sshape = Spec.shape spec in
+            Shape.equal vt.shape sshape
+            || (not top)
+               &&
+               (match Shape.broadcast vt.shape sshape with
+               | Some s -> Shape.equal s sshape
+               | None -> false)
+      in
+      if not shape_ok then ok := false;
+      if !ok then begin
+      (* Ties (common under the integral FLOPs model, e.g. a zero-cost
+         transpose pair) break toward the syntactically smaller
+         program. *)
+      let better =
+        local < !best_cost
+        || local = !best_cost
+           &&
+           match !best with
+           | Some b -> Ast.size prog < Ast.size b
+           | None -> true
+      in
+      if better then begin
+        best_cost := local;
+        best := Some prog;
+        best_idx := idx
+      end;
+      if top && st.cfg.use_bnb then relax st.cost_min !cost_total
+      end
+    end
+  end
+
+(* The root of Algorithm 2 with the viable top-level decompositions
+   distributed round-robin over a fixed pool of domains.  Workers share
+   the branch-and-bound bound through [st.cost_min] but keep private
+   memo tables and counters; results merge by minimal
+   (cost, program size, decomposition index), which reproduces the
+   sequential iteration's "first minimal (cost, size) wins" rule, with
+   the direct match carrying index -1. *)
+let search_root ~jobs st spec =
+  st.nodes <- st.nodes + 1;
+  check_budget st;
+  let matched = match_spec st ~top:true spec in
+  if st.cfg.max_depth <= 0 then (matched, false)
+  else begin
+    let key = Spec.key spec in
+    let visited = Sset.add key Sset.empty in
+    let viable, _blocked = viable_decomps st ~visited spec in
+    (match matched with
+    | Some (_, cost) when st.cfg.use_bnb -> relax st.cost_min cost
+    | _ -> ());
+    let viable = Array.of_list viable in
+    let n = Array.length viable in
+    let jobs = max 1 (min jobs n) in
+    let worker w =
+      let stw =
+        {
+          st with
+          nodes = 0;
+          decomps = 0;
+          pruned_simp = 0;
+          pruned_bnb = 0;
+          memo = Hashtbl.create 256;
+          memo_fail = Hashtbl.create 256;
+        }
+      in
+      let best = ref None and best_cost = ref infinity in
+      let best_idx = ref (-1) in
+      (match matched with
+      | Some (prog, cost) ->
+          best := Some prog;
+          best_cost := cost
+      | None -> ());
+      let timed_out = ref false in
+      (try
+         let i = ref w in
+         while !i < n do
+           explore stw ~top:true ~level:0 ~visited ~cost_in:0. spec ~best
+             ~best_cost ~best_idx !i viable.(!i);
+           i := !i + jobs
+         done
+       with Out_of_budget -> timed_out := true);
+      (stw, !best, !best_cost, !best_idx, !timed_out)
+    in
+    let outs =
+      Par.map_array ~jobs worker (Array.init jobs (fun w -> w))
+    in
+    let best =
+      ref
+        (match matched with
+        | Some (p, c) -> Some (p, c, Ast.size p, -1)
+        | None -> None)
+    in
+    let timed_out = ref false in
+    Array.iter
+      (fun (stw, b, bc, bi, t_o) ->
+        st.nodes <- st.nodes + stw.nodes;
+        st.decomps <- st.decomps + stw.decomps;
+        st.pruned_simp <- st.pruned_simp + stw.pruned_simp;
+        st.pruned_bnb <- st.pruned_bnb + stw.pruned_bnb;
+        if t_o then timed_out := true;
+        match b with
+        | Some p when bi >= 0 ->
+            let size = Ast.size p in
+            let replace =
+              match !best with
+              | None -> true
+              | Some (_, c0, s0, i0) -> (bc, size, bi) < (c0, s0, i0)
+            in
+            if replace then best := Some (p, bc, size, bi)
+        | Some _ | None -> ())
+      outs;
+    ( (match !best with Some (p, c, _, _) -> Some (p, c) | None -> None),
+      !timed_out )
+  end
 
 let run ?(config = default_config) ~model ~env ~spec ~initial_bound ~consts () =
   let started = Unix.gettimeofday () in
@@ -313,7 +427,7 @@ let run ?(config = default_config) ~model ~env ~spec ~initial_bound ~consts () =
       model;
       lib;
       started;
-      cost_min = initial_bound;
+      cost_min = Atomic.make initial_bound;
       nodes = 0;
       decomps = 0;
       pruned_simp = 0;
@@ -323,9 +437,14 @@ let run ?(config = default_config) ~model ~env ~spec ~initial_bound ~consts () =
     }
   in
   let outcome, timed_out =
-    match dfs st ~level:0 ~visited:Sset.empty ~cost_in:0. spec with
-    | r -> (r, false)
-    | exception Out_of_budget -> (None, true)
+    if config.jobs > 1 then
+      match search_root ~jobs:config.jobs st spec with
+      | r -> r
+      | exception Out_of_budget -> (None, true)
+    else
+      match dfs st ~level:0 ~visited:Sset.empty ~cost_in:0. spec with
+      | r -> (r, false)
+      | exception Out_of_budget -> (None, true)
   in
   let stats =
     {

@@ -13,17 +13,30 @@
       reaches the best complete program's cost is abandoned.
 
     Both can be disabled independently to reproduce the paper's
-    simplification-only configuration (Fig. 5). *)
+    simplification-only configuration (Fig. 5).
+
+    With [jobs > 1] the root level runs on a fixed pool of domains: the
+    viable top-level decompositions are distributed round-robin, the
+    branch-and-bound bound is shared atomically (a complete program
+    found by one worker prunes the others), and per-worker results merge
+    deterministically by minimal (cost, program size, decomposition
+    index) — reproducing the sequential tie-breaking, so parallel and
+    sequential runs return the same program and cost. *)
 
 type config = {
   stub_config : Stub.config;
   invert_config : Invert.config;
   use_bnb : bool;
   use_simplification : bool;
-  node_budget : int;  (** maximum DFS nodes before giving up *)
+  node_budget : int;
+      (** maximum DFS nodes before giving up (per worker when
+          [jobs > 1]) *)
   timeout : float;  (** wall-clock seconds before giving up *)
   max_depth : int;  (** recursion depth cap *)
   memoize : bool;  (** cache synthesized sub-programs per spec *)
+  jobs : int;
+      (** domains for the root-level decomposition fan-out; [1] is the
+          fully sequential engine *)
 }
 
 val default_config : config

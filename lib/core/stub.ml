@@ -17,6 +17,7 @@ type config = {
   extended_ops : bool;
   full_binary : bool;
   deadline : float option;
+  jobs : int;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     extended_ops = false;
     full_binary = false;
     deadline = None;
+    jobs = 1;
   }
 
 exception Stop_enumeration
@@ -135,49 +137,25 @@ let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
         (List.sort_uniq compare consts)
   in
   levels.(0) <- atom_list;
-  let try_apply op (args : t list) depth acc =
-    incr attempts;
-    if !count >= config.max_stubs then begin
-      hit_cap := true;
-      raise Stop_enumeration
-    end;
-    (match config.deadline with
-    | Some d when !attempts land 1023 = 0 && Unix.gettimeofday () > d ->
-        hit_cap := true;
-        raise Stop_enumeration
-    | _ -> ());
-    match Types.check env (Ast.App (op, List.map (fun s -> s.prog) args)) with
-    | Error _ -> acc
-    | Ok vt -> (
-        match Sexec.apply_op op (List.map (fun s -> s.sem) args) with
-        | exception
-            ( Sexec.Eval_error _ | Invalid_argument _
-            | Symbolic.Q.Overflow (* e.g. pow towers of constants *) ) ->
-            acc
-        | sem ->
-            let arg_ts = List.map (fun s -> s.vt) args in
-            let cost =
-              List.fold_left (fun a s -> a +. s.cost) 0. args
-              +. model.Cost.Model.op_cost op arg_ts
-            in
-            let stub =
-              { prog = Ast.App (op, List.map (fun s -> s.prog) args);
-                vt; sem; cost; depth }
-            in
-            if register stub then stub :: acc else acc)
-  in
-  (try
-  for d = 1 to config.depth do
-    let lower = List.concat (Array.to_list (Array.sub levels 0 d)) in
-    let newest = levels.(d - 1) in
-    let produced = ref [] in
+  (* The per-depth work is split into three phases so the expensive one
+     can run on a domain pool without perturbing results: (1) the
+     candidate applications are listed in the exact order the sequential
+     enumeration would attempt them; (2) each candidate is evaluated —
+     type check, symbolic execution, costing — independently (this is
+     the embarrassingly parallel part); (3) evaluations are folded
+     through [register] sequentially in list order, so deduplication,
+     the [max_stubs] cap and the deadline cut off at the same attempt
+     regardless of [jobs].  The library is byte-identical either way. *)
+  let tasks_of_depth d lower newest =
+    let acc = ref [] in
+    let push op args = acc := (op, args) :: !acc in
     (* Unary ops applied to the newest level (lower levels were already
        expanded at previous depths). *)
     List.iter
       (fun (a : t) ->
         if a.vt.dtype = Types.Float then
           List.iter
-            (fun op -> produced := try_apply op [ a ] d !produced)
+            (fun op -> push op [ a ])
             (unary_ops ~extended:config.extended_ops
                (Shape.rank a.vt.shape)))
       newest;
@@ -193,7 +171,7 @@ let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
           let skip =
             op = Ast.Pow_op && Shape.rank (b : t).vt.shape > 0
           in
-          if not skip then produced := try_apply op [ a; b ] d !produced)
+          if not skip then push op [ a; b ])
         binaries
     in
     (* Beyond depth 1, non-atom x non-atom products are redundant with
@@ -210,6 +188,58 @@ let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
         List.iter (fun b -> consider a b) newest)
       newest;
     List.iter (fun a -> List.iter (fun b -> consider a b) newest) lower;
+    List.rev !acc
+  in
+  let eval d (op, (args : t list)) =
+    match Types.check env (Ast.App (op, List.map (fun s -> s.prog) args)) with
+    | Error _ -> None
+    | Ok vt -> (
+        match Sexec.apply_op op (List.map (fun s -> s.sem) args) with
+        | exception
+            ( Sexec.Eval_error _ | Invalid_argument _
+            | Symbolic.Q.Overflow (* e.g. pow towers of constants *) ) ->
+            None
+        | sem ->
+            let arg_ts = List.map (fun s -> s.vt) args in
+            let cost =
+              List.fold_left (fun a s -> a +. s.cost) 0. args
+              +. model.Cost.Model.op_cost op arg_ts
+            in
+            Some
+              { prog = Ast.App (op, List.map (fun s -> s.prog) args);
+                vt; sem; cost; depth = d })
+  in
+  let guard () =
+    incr attempts;
+    if !count >= config.max_stubs then begin
+      hit_cap := true;
+      raise Stop_enumeration
+    end;
+    match config.deadline with
+    | Some d when !attempts land 1023 = 0 && Unix.gettimeofday () > d ->
+        hit_cap := true;
+        raise Stop_enumeration
+    | _ -> ()
+  in
+  (try
+  for d = 1 to config.depth do
+    let lower = List.concat (Array.to_list (Array.sub levels 0 d)) in
+    let newest = levels.(d - 1) in
+    let tasks = tasks_of_depth d lower newest in
+    let produced = ref [] in
+    let accept = function
+      | None -> ()
+      | Some stub -> if register stub then produced := stub :: !produced
+    in
+    if config.jobs > 1 then
+      Array.iter
+        (fun cand -> guard (); accept cand)
+        (Par.map_array ~jobs:config.jobs ~chunk:32 (eval d)
+           (Array.of_list tasks))
+    else
+      (* Single-domain path: evaluate lazily so work past the cap or
+         deadline is never attempted. *)
+      List.iter (fun task -> guard (); accept (eval d task)) tasks;
     levels.(d) <- !produced
   done
   with Stop_enumeration -> ());

@@ -31,6 +31,12 @@ type config = {
   deadline : float option;
       (** absolute wall-clock instant (as [Unix.gettimeofday]) after
           which enumeration stops and reports truncation *)
+  jobs : int;
+      (** domains used to evaluate candidate stubs (type check, symbolic
+          execution, costing).  Registration — deduplication, the
+          [max_stubs] cap, the deadline — stays sequential and ordered,
+          so the resulting library is byte-identical to a [jobs = 1]
+          run. *)
 }
 
 val default_config : config

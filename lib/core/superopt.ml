@@ -116,25 +116,37 @@ let superoptimize ?(config = Search.default_config) ~model ~env prog =
         verified = true;
       }
 
-let validate_concrete ?(trials = 16) ~env a b =
+let optimize ?(config = Config.default) ?model ~env prog =
+  let model =
+    match model with Some m -> m | None -> Config.model config
+  in
+  superoptimize ~config:(Config.search_config config) ~model ~env prog
+
+let validate_concrete ?(trials = 16) ?(max_draws = 512) ~env a b =
   let st = Random.State.make [| 0xbeef |] in
   (* Rewrites hold on the engine's positive-value domain (see
      {!Symbolic.Expr}); a trial whose original already produces
      non-finite values (sqrt/log of a negative intermediate) is outside
-     that domain and carries no evidence either way, so it is skipped. *)
+     that domain and carries no evidence either way, so it is skipped —
+     and redrawn: skipped draws must not count toward [trials], or a
+     program that is almost never in domain would pass with zero
+     effective checks. *)
   let close x y = Float.abs (x -. y) <= 1e-9 +. (1e-6 *. Float.abs y) in
+  let max_draws = max trials max_draws in
   let ok = ref true in
-  for _ = 1 to trials do
-    if !ok then begin
-      let inputs = Dsl.Interp.random_inputs st env in
-      let ra = Dsl.Interp.eval_alist inputs a in
-      let in_domain =
-        Tensor.Ftensor.fold (fun acc x -> acc && Float.is_finite x) true ra
-      in
-      if in_domain then begin
-        let rb = Dsl.Interp.eval_alist inputs b in
-        if not (Tensor.Ftensor.for_all2 close ra rb) then ok := false
-      end
+  let effective = ref 0 in
+  let draws = ref 0 in
+  while !ok && !effective < trials && !draws < max_draws do
+    incr draws;
+    let inputs = Dsl.Interp.random_inputs st env in
+    let ra = Dsl.Interp.eval_alist inputs a in
+    let in_domain =
+      Tensor.Ftensor.fold (fun acc x -> acc && Float.is_finite x) true ra
+    in
+    if in_domain then begin
+      incr effective;
+      let rb = Dsl.Interp.eval_alist inputs b in
+      if not (Tensor.Ftensor.for_all2 close ra rb) then ok := false
     end
   done;
   !ok

@@ -32,6 +32,17 @@ val superoptimize :
   Dsl.Ast.t ->
   outcome
 
+val optimize :
+  ?config:Config.t ->
+  ?model:Cost.Model.t ->
+  env:Dsl.Types.env ->
+  Dsl.Ast.t ->
+  outcome
+(** {!superoptimize} driven by the builder-style {!Config} surface.
+    When [model] is omitted it is instantiated from the configuration
+    ({!Config.model}) — pass one explicitly to share a measured model's
+    profiling table across many calls. *)
+
 val robust_equivalent :
   env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool
 (** Symbolic equivalence at the given shapes {e and} at shapes with
@@ -40,6 +51,15 @@ val robust_equivalent :
     size coincidence of the synthesis shapes. *)
 
 val validate_concrete :
-  ?trials:int -> env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool
+  ?trials:int ->
+  ?max_draws:int ->
+  env:Dsl.Types.env ->
+  Dsl.Ast.t ->
+  Dsl.Ast.t ->
+  bool
 (** Differential testing on random concrete inputs — a secondary check
-    used by the test-suite alongside symbolic verification. *)
+    used by the test-suite alongside symbolic verification.  Draws whose
+    original output is non-finite fall outside the engine's
+    positive-value domain and are redrawn rather than counted, until
+    [trials] in-domain comparisons have actually run or [max_draws]
+    (default 512, never below [trials]) draws are exhausted. *)

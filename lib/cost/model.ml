@@ -229,6 +229,12 @@ let append_cache file key v =
 let measured ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file
     () =
   let table : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  (* The profiling table is shared by every domain of the parallel
+     synthesis engine; the lock also serializes the timing runs
+     themselves, so concurrent profiling cannot contend for the CPU and
+     skew each other's measurements, and each fingerprint is measured
+     exactly once. *)
+  let lock = Mutex.create () in
   Option.iter (load_cache table) cache_file;
   let op_cost op args =
     (* Type-check at the original shapes, profile at representative
@@ -240,20 +246,22 @@ let measured ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file
     let op' = scale_op scale op in
     let key = op_fingerprint op' args' in
     let measured_time =
-      match Hashtbl.find_opt table key with
-      | Some c -> c
-      | None ->
-          let c =
-            match profile_extrapolated ~min_time ~scale op args with
-            | c -> c
-            | exception (Dsl.Types.Type_error _ | Invalid_argument _) ->
-                (* Scaling broke an attribute constraint; fall back to a
-                   FLOPs+traffic proxy at the scaled shapes. *)
-                (flop_count op args *. 1e-9) +. (bytes_moved op args *. 1e-10)
-          in
-          Hashtbl.replace table key c;
-          Option.iter (fun f -> append_cache f key c) cache_file;
-          c
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt table key with
+          | Some c -> c
+          | None ->
+              let c =
+                match profile_extrapolated ~min_time ~scale op args with
+                | c -> c
+                | exception (Dsl.Types.Type_error _ | Invalid_argument _) ->
+                    (* Scaling broke an attribute constraint; fall back
+                       to a FLOPs+traffic proxy at the scaled shapes. *)
+                    (flop_count op args *. 1e-9)
+                    +. (bytes_moved op args *. 1e-10)
+              in
+              Hashtbl.replace table key c;
+              Option.iter (fun f -> append_cache f key c) cache_file;
+              c)
     in
     measured_time +. overhead
   in

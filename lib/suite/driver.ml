@@ -1,0 +1,43 @@
+type bench_result = {
+  bench : Benchmarks.t;
+  outcome : Stenso.Superopt.outcome;
+  elapsed : float;
+}
+
+type t = { results : bench_result list; elapsed : float }
+
+let run ?(config = Stenso.Config.default) ?model ?(jobs = 1) ?on_result
+    benches =
+  let model =
+    match model with Some m -> m | None -> Stenso.Config.model config
+  in
+  (* Benchmarks are the unit of parallelism here: each search runs
+     single-domain so [jobs] bounds total concurrency, and each honours
+     its own timeout, isolating slow benchmarks to their worker. *)
+  let search =
+    let s = Stenso.Config.search_config config in
+    {
+      s with
+      Stenso.Search.jobs = 1;
+      stub_config = { s.stub_config with Stenso.Stub.jobs = 1 };
+    }
+  in
+  let emit =
+    match on_result with
+    | None -> fun _ -> ()
+    | Some f ->
+        let lock = Mutex.create () in
+        fun r -> Mutex.protect lock (fun () -> f r)
+  in
+  let started = Unix.gettimeofday () in
+  let one (b : Benchmarks.t) =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Stenso.Superopt.superoptimize ~config:search ~model ~env:b.env b.program
+    in
+    let r = { bench = b; outcome; elapsed = Unix.gettimeofday () -. t0 } in
+    emit r;
+    r
+  in
+  let results = Stenso.Par.map ~jobs one benches in
+  { results; elapsed = Unix.gettimeofday () -. started }

@@ -1,0 +1,35 @@
+(** Suite-scale superoptimization: run many benchmarks concurrently on a
+    bounded pool of domains.
+
+    Each benchmark is synthesized by a single-domain search (so [jobs]
+    bounds the process's total concurrency) that honours the configured
+    per-benchmark timeout internally — a timing-out benchmark only
+    occupies its own worker and cannot stall the rest of the run.
+    Results come back in benchmark order and, for a deterministic
+    estimator such as [`Flops], are byte-identical for any [jobs]. *)
+
+type bench_result = {
+  bench : Benchmarks.t;
+  outcome : Stenso.Superopt.outcome;
+  elapsed : float;  (** wall-clock seconds for this benchmark *)
+}
+
+type t = {
+  results : bench_result list;  (** in input benchmark order *)
+  elapsed : float;  (** wall clock for the whole run *)
+}
+
+val run :
+  ?config:Stenso.Config.t ->
+  ?model:Cost.Model.t ->
+  ?jobs:int ->
+  ?on_result:(bench_result -> unit) ->
+  Benchmarks.t list ->
+  t
+(** [run benches] superoptimizes every benchmark at its synthesis
+    shapes.  [jobs] (default 1) sizes the benchmark pool; the search
+    config's own [jobs] field is overridden to 1 inside the pool.
+    [model] defaults to [Config.model config] built once and shared —
+    the measured estimator's profiling table is domain-safe.
+    [on_result] is invoked as each benchmark finishes (serialized by a
+    mutex; ordering follows completion, not input order). *)

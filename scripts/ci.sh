@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke-check that
+# the parallel engine is byte-identical to the sequential one on two
+# benchmarks through the actual CLI.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+smoke() {
+  dune exec --no-build bin/stenso_cli.exe -- suite \
+    --benchmarks diag_dot,common_factor --cost-estimator flops \
+    --jobs "$1" --quiet
+}
+
+seq_out=$(smoke 1)
+par_out=$(smoke 4)
+if [ "$seq_out" != "$par_out" ]; then
+  echo "FAIL: parallel suite output differs from sequential" >&2
+  printf 'jobs=1:\n%s\njobs=4:\n%s\n' "$seq_out" "$par_out" >&2
+  exit 1
+fi
+echo "parallel-vs-sequential smoke check passed"

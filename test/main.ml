@@ -14,6 +14,8 @@ let () =
       ("invert", Test_invert.suite);
       ("search", Test_search.suite);
       ("superopt", Test_superopt.suite);
+      ("config", Test_config.suite);
+      ("parallel", Test_parallel.suite);
       ("frameworks", Test_frameworks.suite);
       ("baseline", Test_baseline.suite);
       ("rules", Test_rules.suite);

@@ -61,6 +61,32 @@ let test_costs_consistent () =
         o.optimized_cost)
     (Lazy.force outcomes)
 
+let test_validate_redraws_out_of_domain () =
+  (* Regression: out-of-domain trials used to count toward [trials], so a
+     pair that is almost never in domain could pass with zero effective
+     checks.  Build a pair that differs everywhere on its domain, with a
+     threshold tuned from the validator's own RNG stream so that every
+     one of the first 16 draws lands out of domain. *)
+  let env = [ ("A", Types.float_t [||]) ] in
+  let draws n =
+    let st = Random.State.make [| 0xbeef |] in
+    List.init n (fun _ ->
+        match Interp.random_inputs st env with
+        | [ (_, v) ] -> Tensor.Ftensor.fold (fun _ x -> x) nan v
+        | _ -> assert false)
+  in
+  let max_of vs = List.fold_left Float.max neg_infinity vs in
+  let m16 = max_of (draws 16) and m512 = max_of (draws 512) in
+  Alcotest.(check bool) "an in-domain draw exists past the first 16" true
+    (m512 > m16);
+  let t = (m16 +. m512) /. 2. in
+  let a = Ast.App (Log, [ App (Sub, [ Input "A"; Const t ]) ]) in
+  let b = Ast.App (Add, [ a; Const 1. ]) in
+  Alcotest.(check bool) "inequivalent pair rejected" false
+    (Superopt.validate_concrete ~env a b);
+  Alcotest.(check bool) "identical pair accepted" true
+    (Superopt.validate_concrete ~env a a)
+
 let test_consts_of () =
   let p = Parser.expression "np.power(A, -1) + 3 * A" in
   Alcotest.(check (list (float 0.))) "constants plus unit" [ -1.; 1.; 3. ]
@@ -74,5 +100,7 @@ let suite =
     Alcotest.test_case "flops-model improvement coverage" `Slow
       test_flops_improvement_coverage;
     Alcotest.test_case "reported costs recompute" `Slow test_costs_consistent;
+    Alcotest.test_case "validate_concrete redraws out-of-domain trials"
+      `Quick test_validate_redraws_out_of_domain;
     Alcotest.test_case "constant extraction" `Quick test_consts_of;
   ]
