@@ -25,6 +25,11 @@ let out_dir : string option ref = ref None
    benchmarks across (per-benchmark results are identical for any N). *)
 let jobs = ref 1
 
+(* `--report FILE`: write the synthesis phase as a stenso.suite-report/1
+   JSON document (same schema as `stenso suite --report`), for archiving
+   as a BENCH_*.json performance-trajectory point. *)
+let report_file : string option ref = ref None
+
 let emit_file rel contents =
   match !out_dir with
   | None -> ()
@@ -83,9 +88,21 @@ let synthesize_all () =
       (if r.outcome.improved then Ast.to_string r.outcome.optimized
        else "(no cheaper variant)")
   in
-  let { Suite.Driver.results; _ } =
-    Suite.Driver.run ~model:(Lazy.force model) ~jobs:!jobs ~on_result B.all
+  let ({ Suite.Driver.results; _ } as run_result) =
+    Suite.Driver.run ~model:(Lazy.force model) ~jobs:!jobs
+      ~trace:(Option.is_some !report_file) ~on_result B.all
   in
+  (match !report_file with
+  | Some path ->
+      let doc = Suite.Driver.report run_result in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Stenso.Telemetry.Json.to_string doc);
+          output_char oc '\n');
+      Printf.printf "  wrote suite report to %s\n%!" path
+  | None -> ());
   List.map
     (fun ({ Suite.Driver.bench = b; outcome; _ } : Suite.Driver.bench_result)
        ->
@@ -596,6 +613,9 @@ let () =
         strip_out acc rest
     | "--jobs" :: n :: rest ->
         jobs := max 1 (int_of_string n);
+        strip_out acc rest
+    | "--report" :: path :: rest ->
+        report_file := Some path;
         strip_out acc rest
     | a :: rest -> strip_out (a :: acc) rest
     | [] -> List.rev acc

@@ -67,7 +67,7 @@ let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
 (* ------------------------------------------------------------------ *)
 
 let optimize_run program_path synth_out estimator timeout jobs no_bnb
-    no_simplification extended_ops cost_cache verbose =
+    no_simplification extended_ops cost_cache trace verbose =
   let source =
     match program_path with
     | Some p -> read_file p
@@ -79,7 +79,19 @@ let optimize_run program_path synth_out estimator timeout jobs no_bnb
     config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
       ~extended_ops ~cost_cache
   in
-  let outcome = Stenso.Superopt.optimize ~config ~env prog in
+  let tel =
+    match trace with
+    | Some _ -> Stenso.Telemetry.create ()
+    | None -> Stenso.Telemetry.null
+  in
+  let outcome = Stenso.Superopt.optimize ~tel ~config ~env prog in
+  (match trace with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Stenso.Telemetry.write_ndjson tel oc)
+  | None -> ());
   if verbose then begin
     let s = outcome.search.stats in
     Format.printf
@@ -117,7 +129,8 @@ let select_benchmarks names =
           | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
         names
 
-let suite_run list_only names jobs timeout estimator cost_cache out quiet =
+let suite_run list_only names jobs timeout estimator cost_cache out report
+    quiet =
   if list_only then
     List.iter
       (fun (b : Suite.Benchmarks.t) ->
@@ -142,9 +155,16 @@ let suite_run list_only names jobs timeout estimator cost_cache out quiet =
         (List.length benches)
         (Stenso.Config.estimator_name (Stenso.Config.estimator config))
         jobs;
-    let { Suite.Driver.results; elapsed } =
-      Suite.Driver.run ~config ~jobs ~on_result benches
+    let ({ Suite.Driver.results; elapsed } as run_result) =
+      Suite.Driver.run ~config ~jobs ~trace:(Option.is_some report) ~on_result
+        benches
     in
+    (match report with
+    | Some path ->
+        let doc = Suite.Driver.report ~config run_result in
+        write_file path (Stenso.Telemetry.Json.to_string doc ^ "\n");
+        if not quiet then Printf.printf "wrote suite report to %s\n" path
+    | None -> ());
     (* The deterministic result table: no timings, stable formatting, so
        parallel and sequential runs of a deterministic estimator can be
        compared byte for byte. *)
@@ -223,6 +243,35 @@ let profile_run names cost_cache extended_ops =
     (cache_entries cost_cache - before)
 
 (* ------------------------------------------------------------------ *)
+(* stenso report                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let report_run file =
+  (* Validate an archived suite report: parse, check the schema, print a
+     one-line summary.  CI runs this on freshly generated reports so the
+     BENCH_*.json trajectory keeps a stable shape. *)
+  let contents = read_file file in
+  match Stenso.Telemetry.Json.of_string contents with
+  | Error msg -> die "%s: invalid JSON: %s" file msg
+  | Ok doc -> (
+      match Suite.Driver.validate_report doc with
+      | Error msg -> die "%s: invalid suite report: %s" file msg
+      | Ok () ->
+          let module J = Stenso.Telemetry.Json in
+          let int name =
+            Option.value ~default:0
+              (Option.bind (J.member name doc) J.to_int_opt)
+          in
+          let str name =
+            Option.value ~default:"?"
+              (Option.bind (J.member name doc) J.to_string_opt)
+          in
+          Printf.printf
+            "%s: valid %s (%s estimator, %d benchmarks, %d improved)\n" file
+            (str "schema") (str "estimator") (int "n_benchmarks")
+            (int "n_improved"))
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,11 +346,21 @@ let cost_cache_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print search statistics.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a synthesis telemetry trace (phase timings, search \
+           counters, prune breakdown, bound trajectory) and write it to \
+           FILE as NDJSON — one JSON object per line.")
+
 let optimize_term =
   Term.(
     const optimize_run $ program_arg $ synth_out_arg $ estimator_arg
     $ timeout_arg $ jobs_arg $ no_bnb_arg $ no_simp_arg $ extended_ops_arg
-    $ cost_cache_arg $ verbose_arg)
+    $ cost_cache_arg $ trace_arg $ verbose_arg)
 
 let optimize_cmd =
   Cmd.v
@@ -337,6 +396,17 @@ let suite_cmd =
             "Print only the deterministic result table (no progress or \
              timing lines).")
   in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a schema-stable JSON suite report \
+             ($(b,stenso.suite-report/1)): per-benchmark costs, speedup, \
+             synthesis time, search statistics and the branch-and-bound \
+             bound trajectory.  Validate with $(b,stenso report FILE).")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
@@ -344,7 +414,7 @@ let suite_cmd =
           pool.")
     Term.(
       const suite_run $ list_arg $ benchmarks_arg $ jobs_arg $ timeout_arg
-      $ estimator_arg $ cost_cache_arg $ out_arg $ quiet_arg)
+      $ estimator_arg $ cost_cache_arg $ out_arg $ report_arg $ quiet_arg)
 
 let profile_cmd =
   let cache_arg =
@@ -368,10 +438,24 @@ let profile_cmd =
           persist it to $(b,--cost-cache) for later runs.")
     Term.(const profile_run $ benchmarks_arg $ cache_arg $ extended_ops_arg)
 
+let report_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Suite report to validate.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Validate a JSON suite report against the \
+          $(b,stenso.suite-report/1) schema and print its summary.")
+    Term.(const report_run $ file_arg)
+
 let cmd =
   let doc = "STENSO: tensor-program superoptimization by symbolic synthesis" in
   Cmd.group ~default:optimize_term
     (Cmd.info "stenso" ~doc)
-    [ optimize_cmd; suite_cmd; profile_cmd ]
+    [ optimize_cmd; suite_cmd; profile_cmd; report_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -70,11 +70,11 @@ let jobs t = t.search.Search.jobs
 let timeout t = t.search.Search.timeout
 let estimator t = t.estimator
 
-let model t =
+let model ?tel t =
   match t.estimator with
   | `Flops -> Cost.Model.flops
   | `Roofline -> Cost.Model.roofline ()
-  | `Measured -> Cost.Model.measured ?cache_file:t.cost_cache ()
+  | `Measured -> Cost.Model.measured ?tel ?cache_file:t.cost_cache ()
 
 let of_search search = { default with search }
 

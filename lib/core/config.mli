@@ -55,11 +55,13 @@ val jobs : t -> int
 val timeout : t -> float
 val estimator : t -> estimator
 
-val model : t -> Cost.Model.t
+val model : ?tel:Obs.Telemetry.t -> t -> Cost.Model.t
 (** Instantiate the configured cost estimator.  A fresh model each call:
     the measured estimator starts with an empty profiling table (seeded
     from [cost_cache] when set), so hoist the result when optimizing
-    many programs. *)
+    many programs.  [tel] feeds the measured estimator's profiling-cache
+    counters ([cost.cache_hits] / [cost.cache_misses]) and wall-time
+    accumulator ([cost.profile_seconds]). *)
 
 val of_search : Search.config -> t
 (** Adopt a legacy record, keeping the default estimator. *)

@@ -748,7 +748,8 @@ let recombines spec d =
   | exception (Invalid_argument _ | Dsl.Sexec.Eval_error _ | Q.Overflow) ->
       false
 
-let decompositions ?(config = default_config) lib spec =
+let decompositions ?(config = default_config) ?(tel = Obs.Telemetry.null) lib
+    spec =
   let svars = spec_vars spec in
   let spec_shape = St.shape spec in
   let concs =
@@ -778,12 +779,19 @@ let decompositions ?(config = default_config) lib spec =
         else [])
       concs
   in
-  List.filter (recombines spec)
-    (unary_candidates spec
+  let proposed =
+    unary_candidates spec
     @ sum_axis_candidates config spec
     @ sum_all_candidates config spec
     @ add_split_candidates config spec
     @ mul_split_candidates spec
     @ masked_candidates lib spec svars
     @ where_candidates lib spec svars
-    @ elementwise @ contractions)
+    @ elementwise @ contractions
+  in
+  let solved = List.filter (recombines spec) proposed in
+  if Obs.Telemetry.enabled tel then begin
+    Obs.Telemetry.add tel "invert.proposed" (List.length proposed);
+    Obs.Telemetry.add tel "invert.solved" (List.length solved)
+  end;
+  solved

@@ -39,10 +39,16 @@ type config = {
 val default_config : config
 
 val decompositions :
-  ?config:config -> Stub.library -> Spec.t -> decomposition list
+  ?config:config ->
+  ?tel:Obs.Telemetry.t ->
+  Stub.library ->
+  Spec.t ->
+  decomposition list
 (** All sketch decompositions of the spec, each with exact hole specs.
     The list is unpruned; the search applies the simplification and
-    branch-and-bound filters. *)
+    branch-and-bound filters.  [tel] counts [invert.proposed] (candidates
+    the per-operation solvers produced) and [invert.solved] (those whose
+    recombination reproduces the spec). *)
 
 val hole_specs : decomposition -> Spec.t list
 val conc_cost : decomposition -> float

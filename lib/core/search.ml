@@ -3,6 +3,7 @@ module Types = Dsl.Types
 module St = Dsl.Sexec.Stensor
 module Shape = Tensor.Shape
 module Expr = Symbolic.Expr
+module Tel = Obs.Telemetry
 
 type config = {
   stub_config : Stub.config;
@@ -34,6 +35,8 @@ type stats = {
   decomps : int;
   pruned_simp : int;
   pruned_bnb : int;
+  memo_hits : int;
+  memo_misses : int;
   elapsed : float;
   timed_out : bool;
   library_size : int;
@@ -45,19 +48,45 @@ exception Out_of_budget
 
 module Sset = Set.Make (String)
 
+(* The search statistics live in atomic counters shared by every domain
+   working on the search (the telemetry layer reads the same counters),
+   so sequential and parallel runs account identically — in particular
+   [nodes] is one global total, which is what [check_budget] compares
+   against the node budget. *)
+type counters = {
+  nodes : Tel.Counter.t;
+  decomps : Tel.Counter.t;
+  pruned_simp : Tel.Counter.t;
+  pruned_bnb_local : Tel.Counter.t;
+  pruned_bnb_global : Tel.Counter.t;
+  pruned_bnb_hole : Tel.Counter.t;
+  memo_hits : Tel.Counter.t;
+  memo_misses : Tel.Counter.t;
+}
+
+let make_counters tel =
+  {
+    nodes = Tel.counter tel "search.nodes";
+    decomps = Tel.counter tel "search.decomps";
+    pruned_simp = Tel.counter tel "search.pruned.simp";
+    pruned_bnb_local = Tel.counter tel "search.pruned.bnb_local";
+    pruned_bnb_global = Tel.counter tel "search.pruned.bnb_global";
+    pruned_bnb_hole = Tel.counter tel "search.pruned.bnb_hole";
+    memo_hits = Tel.counter tel "search.memo_hits";
+    memo_misses = Tel.counter tel "search.memo_misses";
+  }
+
 type state = {
   cfg : config;
   model : Cost.Model.t;
   lib : Stub.library;
   started : float;
+  tel : Tel.t;
+  c : counters;
   (* The branch-and-bound bound is shared by every domain working on the
      search, so a complete program found by one worker prunes all the
      others.  It only ever decreases (see [relax]). *)
   cost_min : float Atomic.t;
-  mutable nodes : int;
-  mutable decomps : int;
-  mutable pruned_simp : int;
-  mutable pruned_bnb : int;
   memo : (string, Dsl.Ast.t * float) Hashtbl.t;
   (* Specs that failed to synthesize, keyed with the smallest
      accumulated cost at which they failed: the global bound only ever
@@ -74,9 +103,17 @@ let rec relax a v =
   let cur = Atomic.get a in
   if v < cur && not (Atomic.compare_and_set a cur v) then relax a v
 
+(* A complete top-level program tightens the global bound; the bound
+   trajectory over time is the telemetry signal the paper's B&B-vs-
+   simplification-only comparison is about. *)
+let publish_bound st cost =
+  relax st.cost_min cost;
+  if Tel.enabled st.tel then
+    Tel.gauge st.tel "search.bound" (Atomic.get st.cost_min)
+
 let check_budget st =
   if
-    st.nodes > st.cfg.node_budget
+    Tel.Counter.get st.c.nodes > st.cfg.node_budget
     || Unix.gettimeofday () -. st.started > st.cfg.timeout
   then raise Out_of_budget
 
@@ -140,8 +177,11 @@ let decomp_op_cost st (d : Invert.decomposition) =
    and the parallel root. *)
 let viable_decomps st ~visited spec =
   let spec_cx = Spec.complexity spec in
-  let ds = Invert.decompositions ~config:st.cfg.invert_config st.lib spec in
-  st.decomps <- st.decomps + List.length ds;
+  let ds =
+    Invert.decompositions ~config:st.cfg.invert_config ~tel:st.tel st.lib
+      spec
+  in
+  Tel.Counter.add st.c.decomps (List.length ds);
   let visited_blocked = ref false in
   let viable =
     List.filter_map
@@ -165,7 +205,7 @@ let viable_decomps st ~visited spec =
               || (avg = spec_cx && structural_tie_op d.op)
           in
           if not simplifies then begin
-            st.pruned_simp <- st.pruned_simp + 1;
+            Tel.Counter.incr st.c.pruned_simp;
             None
           end
           else
@@ -179,7 +219,7 @@ let viable_decomps st ~visited spec =
 
 (* Algorithm 2. *)
 let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
-  st.nodes <- st.nodes + 1;
+  Tel.Counter.incr st.c.nodes;
   check_budget st;
   let top = level = 0 in
   (* Base case: direct template match (Algorithm 2 lines 2-8).  A match
@@ -195,7 +235,14 @@ let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
       else
         let key = Spec.key spec in
         let memo_hit =
-          if st.cfg.memoize then Hashtbl.find_opt st.memo key else None
+          if st.cfg.memoize then begin
+            let hit = Hashtbl.find_opt st.memo key in
+            (match hit with
+            | Some _ -> Tel.Counter.incr st.c.memo_hits
+            | None -> Tel.Counter.incr st.c.memo_misses);
+            hit
+          end
+          else None
         in
         (match memo_hit with
         | Some (prog, cost) ->
@@ -226,7 +273,7 @@ let rec dfs st ~level ~visited ~cost_in spec : (Dsl.Ast.t * float) option =
                    in the tree, [cost_in] excludes sibling holes that
                    are still unsynthesized, so tightening the global
                    bound here would over-prune. *)
-                if top && st.cfg.use_bnb then relax st.cost_min cost
+                if top && st.cfg.use_bnb then publish_bound st cost
             | None -> ());
             List.iteri
               (fun idx dhi ->
@@ -262,9 +309,9 @@ and explore st ~top ~level ~visited ~cost_in spec ~best ~best_cost ~best_idx
      results to the sequential engine: bound-publication timing can only
      cut strictly-losing branches, never a potential winner. *)
   if immediate > !best_cost then
-    st.pruned_bnb <- st.pruned_bnb + 1
+    Tel.Counter.incr st.c.pruned_bnb_local
   else if st.cfg.use_bnb && !cost_total > Atomic.get st.cost_min then
-    st.pruned_bnb <- st.pruned_bnb + 1
+    Tel.Counter.incr st.c.pruned_bnb_global
   else begin
     let progs = ref [] in
     let ok = ref true in
@@ -272,7 +319,7 @@ and explore st ~top ~level ~visited ~cost_in spec ~best ~best_cost ~best_idx
       (fun hole ->
         if !ok then
           if st.cfg.use_bnb && !cost_total > Atomic.get st.cost_min then begin
-            st.pruned_bnb <- st.pruned_bnb + 1;
+            Tel.Counter.incr st.c.pruned_bnb_hole;
             ok := false
           end
           else
@@ -323,20 +370,27 @@ and explore st ~top ~level ~visited ~cost_in spec ~best ~best_cost ~best_idx
         best := Some prog;
         best_idx := idx
       end;
-      if top && st.cfg.use_bnb then relax st.cost_min !cost_total
+      if top && st.cfg.use_bnb then publish_bound st !cost_total
       end
     end
   end
 
 (* The root of Algorithm 2 with the viable top-level decompositions
-   distributed round-robin over a fixed pool of domains.  Workers share
-   the branch-and-bound bound through [st.cost_min] but keep private
-   memo tables and counters; results merge by minimal
+   distributed round-robin over a fixed pool of domains; [jobs = 1] is
+   the sequential engine (same code path, no domains spawned).  Workers
+   share the branch-and-bound bound and the statistics counters — so the
+   node budget is one global budget regardless of [jobs] — but keep
+   private memo tables; results merge by minimal
    (cost, program size, decomposition index), which reproduces the
    sequential iteration's "first minimal (cost, size) wins" rule, with
-   the direct match carrying index -1. *)
+   the direct match carrying index -1.
+
+   A worker that runs out of budget keeps the best complete program it
+   has found so far (anytime behaviour): the budget exception is caught
+   per worker, not propagated through the root, so an expired budget
+   degrades the answer instead of discarding it. *)
 let search_root ~jobs st spec =
-  st.nodes <- st.nodes + 1;
+  Tel.Counter.incr st.c.nodes;
   check_budget st;
   let matched = match_spec st ~top:true spec in
   if st.cfg.max_depth <= 0 then (matched, false)
@@ -345,7 +399,7 @@ let search_root ~jobs st spec =
     let visited = Sset.add key Sset.empty in
     let viable, _blocked = viable_decomps st ~visited spec in
     (match matched with
-    | Some (_, cost) when st.cfg.use_bnb -> relax st.cost_min cost
+    | Some (_, cost) when st.cfg.use_bnb -> publish_bound st cost
     | _ -> ());
     let viable = Array.of_list viable in
     let n = Array.length viable in
@@ -354,10 +408,6 @@ let search_root ~jobs st spec =
       let stw =
         {
           st with
-          nodes = 0;
-          decomps = 0;
-          pruned_simp = 0;
-          pruned_bnb = 0;
           memo = Hashtbl.create 256;
           memo_fail = Hashtbl.create 256;
         }
@@ -378,11 +428,9 @@ let search_root ~jobs st spec =
            i := !i + jobs
          done
        with Out_of_budget -> timed_out := true);
-      (stw, !best, !best_cost, !best_idx, !timed_out)
+      (!best, !best_cost, !best_idx, !timed_out)
     in
-    let outs =
-      Par.map_array ~jobs worker (Array.init jobs (fun w -> w))
-    in
+    let outs = Par.map_array ~jobs worker (Array.init jobs (fun w -> w)) in
     let best =
       ref
         (match matched with
@@ -391,11 +439,7 @@ let search_root ~jobs st spec =
     in
     let timed_out = ref false in
     Array.iter
-      (fun (stw, b, bc, bi, t_o) ->
-        st.nodes <- st.nodes + stw.nodes;
-        st.decomps <- st.decomps + stw.decomps;
-        st.pruned_simp <- st.pruned_simp + stw.pruned_simp;
-        st.pruned_bnb <- st.pruned_bnb + stw.pruned_bnb;
+      (fun (b, bc, bi, t_o) ->
         if t_o then timed_out := true;
         match b with
         | Some p when bi >= 0 ->
@@ -412,7 +456,8 @@ let search_root ~jobs st spec =
       !timed_out )
   end
 
-let run ?(config = default_config) ~model ~env ~spec ~initial_bound ~consts () =
+let run ?(tel = Tel.null) ?(config = default_config) ~model ~env ~spec
+    ~initial_bound ~consts () =
   let started = Unix.gettimeofday () in
   let stub_config =
     {
@@ -420,43 +465,74 @@ let run ?(config = default_config) ~model ~env ~spec ~initial_bound ~consts () =
       Stub.deadline = Some (started +. config.timeout);
     }
   in
-  let lib = Stub.enumerate ~config:stub_config ~model ~consts env in
+  let key_builds0, key_hits0, key_secs0 = Spec.key_stats () in
+  let lib =
+    Tel.span tel "phase.stub_enum" (fun () ->
+        Stub.enumerate ~config:stub_config ~tel ~model ~consts env)
+  in
   let st =
     {
       cfg = config;
       model;
       lib;
       started;
+      tel;
+      c = make_counters tel;
       cost_min = Atomic.make initial_bound;
-      nodes = 0;
-      decomps = 0;
-      pruned_simp = 0;
-      pruned_bnb = 0;
       memo = Hashtbl.create 256;
       memo_fail = Hashtbl.create 256;
     }
   in
   let outcome, timed_out =
-    if config.jobs > 1 then
-      match search_root ~jobs:config.jobs st spec with
-      | r -> r
-      | exception Out_of_budget -> (None, true)
-    else
-      match dfs st ~level:0 ~visited:Sset.empty ~cost_in:0. spec with
-      | r -> (r, false)
-      | exception Out_of_budget -> (None, true)
+    Tel.span tel "phase.search" (fun () ->
+        match search_root ~jobs:(max 1 config.jobs) st spec with
+        | r -> r
+        | exception Out_of_budget ->
+            (* The budget expired before the root finished setting up
+               (first node or root decomposition listing). *)
+            (None, true))
+  in
+  let elapsed = Unix.gettimeofday () -. started in
+  let pruned_bnb =
+    Tel.Counter.get st.c.pruned_bnb_local
+    + Tel.Counter.get st.c.pruned_bnb_global
+    + Tel.Counter.get st.c.pruned_bnb_hole
   in
   let stats =
     {
-      nodes = st.nodes;
-      decomps = st.decomps;
-      pruned_simp = st.pruned_simp;
-      pruned_bnb = st.pruned_bnb;
-      elapsed = Unix.gettimeofday () -. started;
+      nodes = Tel.Counter.get st.c.nodes;
+      decomps = Tel.Counter.get st.c.decomps;
+      pruned_simp = Tel.Counter.get st.c.pruned_simp;
+      pruned_bnb;
+      memo_hits = Tel.Counter.get st.c.memo_hits;
+      memo_misses = Tel.Counter.get st.c.memo_misses;
+      elapsed;
       timed_out;
       library_size = Stub.size lib;
     }
   in
+  if Tel.enabled tel then begin
+    let key_builds1, key_hits1, key_secs1 = Spec.key_stats () in
+    Tel.add tel "spec.key_builds" (key_builds1 - key_builds0);
+    Tel.add tel "spec.key_cache_hits" (key_hits1 - key_hits0);
+    Tel.Acc.add (Tel.acc tel "spec.key_build_seconds") (key_secs1 -. key_secs0);
+    Tel.event tel "search.summary"
+      [
+        ("nodes", Tel.Int stats.nodes);
+        ("decomps", Tel.Int stats.decomps);
+        ("pruned_simp", Tel.Int stats.pruned_simp);
+        ("pruned_bnb", Tel.Int pruned_bnb);
+        ("memo_hits", Tel.Int stats.memo_hits);
+        ("memo_misses", Tel.Int stats.memo_misses);
+        ("library_size", Tel.Int stats.library_size);
+        ("elapsed", Tel.Float elapsed);
+        ( "node_rate",
+          Tel.Float
+            (if elapsed > 0. then float_of_int stats.nodes /. elapsed else 0.)
+        );
+        ("timed_out", Tel.Bool timed_out);
+      ]
+  end;
   match outcome with
   | Some (program, cost) -> { program = Some program; cost; stats }
   | None -> { program = None; cost = infinity; stats }

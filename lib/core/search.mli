@@ -21,7 +21,18 @@
     found by one worker prunes the others), and per-worker results merge
     deterministically by minimal (cost, program size, decomposition
     index) — reproducing the sequential tie-breaking, so parallel and
-    sequential runs return the same program and cost. *)
+    sequential runs return the same program and cost.
+
+    The search is {e anytime}: when the node budget or timeout expires,
+    the best complete program found so far is returned with
+    [stats.timed_out] set, in both the sequential and parallel engines.
+
+    Statistics are kept in atomic counters shared by all workers and
+    surfaced twice: as the flat {!stats} record on every result, and —
+    when a {!Telemetry} sink is passed — as named telemetry counters,
+    phase spans ([phase.stub_enum], [phase.search]), a prune breakdown
+    by cause, and the branch-and-bound bound trajectory over time
+    (gauge [search.bound]). *)
 
 type config = {
   stub_config : Stub.config;
@@ -29,8 +40,8 @@ type config = {
   use_bnb : bool;
   use_simplification : bool;
   node_budget : int;
-      (** maximum DFS nodes before giving up (per worker when
-          [jobs > 1]) *)
+      (** maximum DFS nodes before giving up — one global budget shared
+          by all workers, independent of [jobs] *)
   timeout : float;  (** wall-clock seconds before giving up *)
   max_depth : int;  (** recursion depth cap *)
   memoize : bool;  (** cache synthesized sub-programs per spec *)
@@ -45,7 +56,12 @@ type stats = {
   nodes : int;  (** DFS invocations *)
   decomps : int;  (** decompositions examined *)
   pruned_simp : int;  (** decompositions cut by the simplification objective *)
-  pruned_bnb : int;  (** branches cut by branch-and-bound *)
+  pruned_bnb : int;
+      (** branches cut by branch-and-bound (all causes; the telemetry
+          counters [search.pruned.bnb_local] / [bnb_global] / [bnb_hole]
+          give the breakdown) *)
+  memo_hits : int;  (** sub-spec memo table hits *)
+  memo_misses : int;  (** sub-spec memo table misses *)
   elapsed : float;
   timed_out : bool;
   library_size : int;
@@ -60,6 +76,7 @@ type result = {
 }
 
 val run :
+  ?tel:Obs.Telemetry.t ->
   ?config:config ->
   model:Cost.Model.t ->
   env:Dsl.Types.env ->
@@ -70,4 +87,6 @@ val run :
   result
 (** Synthesize a program equivalent to [spec] with estimated cost below
     [initial_bound].  [consts] seeds the grammar's constant terminals
-    (the constants of the original program). *)
+    (the constants of the original program).  [tel] (default
+    {!Telemetry.null}, which costs nothing) receives phase spans, the
+    prune/memo counter breakdown, and the bound trajectory. *)

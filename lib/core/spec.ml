@@ -7,7 +7,7 @@ type t = St.t
 let shape = St.shape
 let equal = St.equal
 
-let key t =
+let build_key t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Shape.to_string (St.shape t));
   Array.iter
@@ -16,6 +16,54 @@ let key t =
       Buffer.add_string buf (Expr.to_string e))
     (St.to_array t);
   Buffer.contents buf
+
+(* [key] is O(numel * |expr|) to build and the search probes it on every
+   memo lookup, visited-set check and library lookup, so the result is
+   cached per spec.  The cache is keyed on the physical identity of the
+   spec's element buffer: specs are never mutated once they leave the
+   solver (holes are filled element by element {e during} construction,
+   before any [key] call), so a buffer's rendering is stable.  Each
+   domain keeps its own ephemeron table — no synchronization on the hot
+   path, and entries die with their specs. *)
+let key_builds = Atomic.make 0
+let key_cache_hits = Atomic.make 0
+let key_build_ns = Atomic.make 0
+
+let key_stats () =
+  ( Atomic.get key_builds,
+    Atomic.get key_cache_hits,
+    float_of_int (Atomic.get key_build_ns) *. 1e-9 )
+
+module Keytbl = Ephemeron.K1.Make (struct
+  type t = Expr.t array
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let key_cache : string Keytbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Keytbl.create 1024)
+
+let key t =
+  let data = St.unsafe_data t in
+  (* The empty array may be physically shared between distinct specs
+     (whose keys still differ by shape); never cache it. *)
+  if Array.length data = 0 then build_key t
+  else
+    let tbl = Domain.DLS.get key_cache in
+    match Keytbl.find_opt tbl data with
+    | Some k ->
+        Atomic.incr key_cache_hits;
+        k
+    | None ->
+        let t0 = Unix.gettimeofday () in
+        let k = build_key t in
+        Atomic.incr key_builds;
+        ignore
+          (Atomic.fetch_and_add key_build_ns
+             (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)));
+        Keytbl.add tbl data k;
+        k
 
 let complexity = Dsl.Sexec.complexity
 

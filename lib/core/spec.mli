@@ -14,7 +14,13 @@ val equal : t -> t -> bool
 
 val key : t -> string
 (** Canonical rendering usable as a hash key; equal specs have equal
-    keys. *)
+    keys.  Cached per spec (per domain), so repeated probes on the same
+    spec are O(1); specs must not be mutated after their first [key]. *)
+
+val key_stats : unit -> int * int * float
+(** [(builds, cache_hits, build_seconds)] — process-wide totals since
+    start, feeding the telemetry layer's key-build counters.  When
+    several searches run concurrently the totals span all of them. *)
 
 val complexity : t -> float
 (** [|var(Φ)| * density(Φ)] — mean per-element distinct-symbol count

@@ -75,7 +75,9 @@ let binary_ops ~extended =
   ]
   @ if extended then [ Ast.Less ] else []
 
-let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
+let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ~model
+    ~consts (env : Types.env) =
+  let enum_t0 = Unix.gettimeofday () in
   let sym_inputs = Sexec.sym_env env in
   let sym_lookup name =
     match List.assoc_opt name sym_inputs with
@@ -223,6 +225,8 @@ let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
   in
   (try
   for d = 1 to config.depth do
+    let depth_t0 = Unix.gettimeofday () in
+    let attempts_before = !attempts in
     let lower = List.concat (Array.to_list (Array.sub levels 0 d)) in
     let newest = levels.(d - 1) in
     let tasks = tasks_of_depth d lower newest in
@@ -231,20 +235,42 @@ let enumerate ?(config = default_config) ~model ~consts (env : Types.env) =
       | None -> ()
       | Some stub -> if register stub then produced := stub :: !produced
     in
-    if config.jobs > 1 then
-      Array.iter
-        (fun cand -> guard (); accept cand)
-        (Par.map_array ~jobs:config.jobs ~chunk:32 (eval d)
-           (Array.of_list tasks))
-    else
-      (* Single-domain path: evaluate lazily so work past the cap or
-         deadline is never attempted. *)
-      List.iter (fun task -> guard (); accept (eval d task)) tasks;
-    levels.(d) <- !produced
+    let finished =
+      try
+        if config.jobs > 1 then
+          Array.iter
+            (fun cand -> guard (); accept cand)
+            (Par.map_array ~jobs:config.jobs ~chunk:32 (eval d)
+               (Array.of_list tasks))
+        else
+          (* Single-domain path: evaluate lazily so work past the cap or
+             deadline is never attempted. *)
+          List.iter (fun task -> guard (); accept (eval d task)) tasks;
+        true
+      with Stop_enumeration -> false
+    in
+    levels.(d) <- !produced;
+    if Obs.Telemetry.enabled tel then
+      Obs.Telemetry.event tel "stub.depth"
+        [
+          ("depth", Obs.Telemetry.Int d);
+          ("candidates", Obs.Telemetry.Int (!attempts - attempts_before));
+          ("kept", Obs.Telemetry.Int (List.length !produced));
+          ("elapsed", Obs.Telemetry.Float (Unix.gettimeofday () -. depth_t0));
+        ];
+    if not finished then raise Stop_enumeration
   done
   with Stop_enumeration -> ());
   let all = Hashtbl.fold (fun _ s acc -> s :: acc) by_sem [] in
   let all = List.sort (fun a b -> compare (a.cost, a.depth) (b.cost, b.depth)) all in
+  if Obs.Telemetry.enabled tel then
+    Obs.Telemetry.event tel "stub.library"
+      [
+        ("size", Obs.Telemetry.Int !count);
+        ("attempts", Obs.Telemetry.Int !attempts);
+        ("truncated", Obs.Telemetry.Bool !hit_cap);
+        ("elapsed", Obs.Telemetry.Float (Unix.gettimeofday () -. enum_t0));
+      ];
   { all; atom_list; by_sem; lib_env = env; hit_cap = !hit_cap;
     attempts = !attempts }
 

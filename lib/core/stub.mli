@@ -45,12 +45,16 @@ type library
 
 val enumerate :
   ?config:config ->
+  ?tel:Obs.Telemetry.t ->
   model:Cost.Model.t ->
   consts:float list ->
   Dsl.Types.env ->
   library
 (** Build the stub library for a set of inputs plus the constants that
-    occur in the original program (the grammar's [FCons] terminals). *)
+    occur in the original program (the grammar's [FCons] terminals).
+    [tel] receives one [stub.depth] event per bottom-up iteration
+    (candidates examined, stubs kept, elapsed seconds) and a final
+    [stub.library] summary. *)
 
 val stubs : library -> t list
 val atoms : library -> t list

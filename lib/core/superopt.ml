@@ -56,11 +56,15 @@ let robust_equivalent ~env a b =
   || (not (Types.well_typed env' a && Types.well_typed env' b))
   || Dsl.Sexec.equivalent env' a b
 
-let superoptimize ?(config = Search.default_config) ~model ~env prog =
+let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
+    ~model ~env prog =
   let original_cost = Cost.Model.program_cost model env prog in
-  let spec = Dsl.Sexec.exec_env env prog in
+  let spec =
+    Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
+        Dsl.Sexec.exec_env env prog)
+  in
   let search =
-    Search.run ~config ~model ~env ~spec ~initial_bound:original_cost
+    Search.run ~tel ~config ~model ~env ~spec ~initial_bound:original_cost
       ~consts:(consts_of prog) ()
   in
   (* Re-estimate the synthesized program as a whole: search-time cost
@@ -116,11 +120,12 @@ let superoptimize ?(config = Search.default_config) ~model ~env prog =
         verified = true;
       }
 
-let optimize ?(config = Config.default) ?model ~env prog =
+let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?model ~env
+    prog =
   let model =
-    match model with Some m -> m | None -> Config.model config
+    match model with Some m -> m | None -> Config.model ~tel config
   in
-  superoptimize ~config:(Config.search_config config) ~model ~env prog
+  superoptimize ~tel ~config:(Config.search_config config) ~model ~env prog
 
 let validate_concrete ?(trials = 16) ?(max_draws = 512) ~env a b =
   let st = Random.State.make [| 0xbeef |] in

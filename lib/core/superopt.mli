@@ -26,13 +26,18 @@ val consts_of : Dsl.Ast.t -> float list
     the always-available unit constant. *)
 
 val superoptimize :
+  ?tel:Obs.Telemetry.t ->
   ?config:Search.config ->
   model:Cost.Model.t ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
   outcome
+(** [tel] (default {!Telemetry.null}) receives the full synthesis trace:
+    phase spans ([phase.symbolic_exec], [phase.stub_enum],
+    [phase.search]), search counters and the bound trajectory. *)
 
 val optimize :
+  ?tel:Obs.Telemetry.t ->
   ?config:Config.t ->
   ?model:Cost.Model.t ->
   env:Dsl.Types.env ->
@@ -40,8 +45,8 @@ val optimize :
   outcome
 (** {!superoptimize} driven by the builder-style {!Config} surface.
     When [model] is omitted it is instantiated from the configuration
-    ({!Config.model}) — pass one explicitly to share a measured model's
-    profiling table across many calls. *)
+    ({!Config.model}), wired to the same [tel] — pass one explicitly to
+    share a measured model's profiling table across many calls. *)
 
 val robust_equivalent :
   env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool

@@ -1,0 +1,4 @@
+(* Re-export so users write [Stenso.Telemetry] alongside [Stenso.Search]
+   and friends; the implementation lives in lib/obs (dependency-free, so
+   lib/cost can also use it). *)
+include Obs.Telemetry

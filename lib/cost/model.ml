@@ -23,8 +23,11 @@ let contracted_size (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
         1 axes_a
   | _ -> 1
 
-let flop_count (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
-  let out = numel_out op args in
+(* The [_out] variants take the output element count explicitly, for
+   callers whose arguments do not type-check as given (the measured
+   model's fallback proxy costs scaled shapes whose scaled attributes no
+   longer infer). *)
+let flop_count_out ~out (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
   let in_numel =
     List.fold_left (fun acc (a : Dsl.Types.vt) -> acc + Shape.numel a.shape) 0 args
   in
@@ -39,12 +42,16 @@ let flop_count (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
   | Triu | Tril -> out (* one select per element, as XLA counts *)
   | Transpose _ | Reshape _ | Stack _ | Diag | Full _ -> 0.
 
-let bytes_moved (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
-  let out = numel_out op args in
+let flop_count op args = flop_count_out ~out:(numel_out op args) op args
+
+let bytes_moved_out ~out (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
+  ignore op;
   let in_numel =
     List.fold_left (fun acc (a : Dsl.Types.vt) -> acc + Shape.numel a.shape) 0 args
   in
   8. *. (float_of_int in_numel +. out)
+
+let bytes_moved op args = bytes_moved_out ~out:(numel_out op args) op args
 
 let flops = { name = "flops"; op_cost = flop_count; iter_scale = 1 }
 
@@ -226,8 +233,8 @@ let append_cache file key v =
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> Printf.fprintf oc "%s\t%.17g\n" key v)
 
-let measured ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file
-    () =
+let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
+    ?(overhead = 5e-7) ?cache_file () =
   let table : (string, float) Hashtbl.t = Hashtbl.create 256 in
   (* The profiling table is shared by every domain of the parallel
      synthesis engine; the lock also serializes the timing runs
@@ -236,6 +243,9 @@ let measured ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file
      exactly once. *)
   let lock = Mutex.create () in
   Option.iter (load_cache table) cache_file;
+  let cache_hits = Obs.Telemetry.counter tel "cost.cache_hits" in
+  let cache_misses = Obs.Telemetry.counter tel "cost.cache_misses" in
+  let profile_secs = Obs.Telemetry.acc tel "cost.profile_seconds" in
   let op_cost op args =
     (* Type-check at the original shapes, profile at representative
        (scaled) shapes.  [overhead] models the eager framework's per-op
@@ -248,17 +258,32 @@ let measured ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file
     let measured_time =
       Mutex.protect lock (fun () ->
           match Hashtbl.find_opt table key with
-          | Some c -> c
+          | Some c ->
+              Obs.Telemetry.Counter.incr cache_hits;
+              c
           | None ->
+              Obs.Telemetry.Counter.incr cache_misses;
+              let t0 = Unix.gettimeofday () in
               let c =
                 match profile_extrapolated ~min_time ~scale op args with
                 | c -> c
                 | exception (Dsl.Types.Type_error _ | Invalid_argument _) ->
                     (* Scaling broke an attribute constraint; fall back
-                       to a FLOPs+traffic proxy at the scaled shapes. *)
-                    (flop_count op args *. 1e-9)
-                    +. (bytes_moved op args *. 1e-10)
+                       to a FLOPs+traffic proxy at the same scaled
+                       shapes the table key describes (the scaled
+                       attributes no longer infer, so the output size
+                       is scaled separately from the unscaled
+                       inference). *)
+                    let out' =
+                      float_of_int
+                        (Shape.numel
+                           (scale_vt scale (Dsl.Types.infer_op op args)).shape)
+                    in
+                    (flop_count_out ~out:out' op' args' *. 1e-9)
+                    +. (bytes_moved_out ~out:out' op' args' *. 1e-10)
               in
+              Obs.Telemetry.Acc.add profile_secs
+                (Unix.gettimeofday () -. t0);
               Hashtbl.replace table key c;
               Option.iter (fun f -> append_cache f key c) cache_file;
               c)

@@ -45,6 +45,7 @@ val roofline :
     search outcomes matter more than platform fidelity. *)
 
 val measured :
+  ?tel:Obs.Telemetry.t ->
   ?scale:int ->
   ?min_time:float ->
   ?overhead:float ->
@@ -62,7 +63,9 @@ val measured :
     Measurements are memoized per (operation, shapes) in an internal
     table, mirroring the paper's one-time offline profiling phase; with
     [cache_file] the table persists across processes, amortizing the
-    profiling cost as Section VII-E describes. *)
+    profiling cost as Section VII-E describes.  [tel] counts table hits
+    and misses ([cost.cache_hits] / [cost.cache_misses]) and accumulates
+    profiling wall time ([cost.profile_seconds]). *)
 
 val flop_count : Dsl.Ast.op -> Dsl.Types.vt list -> float
 (** The raw FLOP count used by {!flops}. *)
@@ -70,6 +73,13 @@ val flop_count : Dsl.Ast.op -> Dsl.Types.vt list -> float
 val bytes_moved : Dsl.Ast.op -> Dsl.Types.vt list -> float
 (** Memory traffic in bytes (reads + writes, 8-byte elements) — used by
     the roofline timing model of the framework simulators. *)
+
+val flop_count_out : out:float -> Dsl.Ast.op -> Dsl.Types.vt list -> float
+(** {!flop_count} with the output element count supplied explicitly, for
+    argument lists that do not type-check as given (the measured model's
+    fallback proxy at scaled shapes). *)
+
+val bytes_moved_out : out:float -> Dsl.Ast.op -> Dsl.Types.vt list -> float
 
 val program_cost : t -> Dsl.Types.env -> Dsl.Ast.t -> float
 (** Total cost of a program: the sum over all operation nodes, with

@@ -2,12 +2,13 @@ type bench_result = {
   bench : Benchmarks.t;
   outcome : Stenso.Superopt.outcome;
   elapsed : float;
+  tel : Stenso.Telemetry.t;
 }
 
 type t = { results : bench_result list; elapsed : float }
 
-let run ?(config = Stenso.Config.default) ?model ?(jobs = 1) ?on_result
-    benches =
+let run ?(config = Stenso.Config.default) ?model ?(jobs = 1) ?(trace = false)
+    ?on_result benches =
   let model =
     match model with Some m -> m | None -> Stenso.Config.model config
   in
@@ -32,12 +33,166 @@ let run ?(config = Stenso.Config.default) ?model ?(jobs = 1) ?on_result
   let started = Unix.gettimeofday () in
   let one (b : Benchmarks.t) =
     let t0 = Unix.gettimeofday () in
-    let outcome =
-      Stenso.Superopt.superoptimize ~config:search ~model ~env:b.env b.program
+    let tel =
+      if trace then Stenso.Telemetry.create () else Stenso.Telemetry.null
     in
-    let r = { bench = b; outcome; elapsed = Unix.gettimeofday () -. t0 } in
+    let outcome =
+      Stenso.Superopt.superoptimize ~tel ~config:search ~model ~env:b.env
+        b.program
+    in
+    let r =
+      { bench = b; outcome; elapsed = Unix.gettimeofday () -. t0; tel }
+    in
     emit r;
     r
   in
   let results = Stenso.Par.map ~jobs one benches in
   { results; elapsed = Unix.gettimeofday () -. started }
+
+(* ------------------------------------------------------------------ *)
+(* Suite report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Stenso.Telemetry.Json
+
+let schema_version = "stenso.suite-report/1"
+
+let bench_json (r : bench_result) : Json.t =
+  let o = r.outcome in
+  let s = o.search.stats in
+  let speedup =
+    if o.optimized_cost > 0. then o.original_cost /. o.optimized_cost else 1.
+  in
+  let ast_str a = Format.asprintf "%a" Dsl.Ast.pp a in
+  let search_stats =
+    Json.Obj
+      [
+        ("nodes", Json.Int s.nodes);
+        ("decomps", Json.Int s.decomps);
+        ("pruned_simp", Json.Int s.pruned_simp);
+        ("pruned_bnb", Json.Int s.pruned_bnb);
+        ("memo_hits", Json.Int s.memo_hits);
+        ("memo_misses", Json.Int s.memo_misses);
+        ("elapsed", Json.Float s.elapsed);
+        ("timed_out", Json.Bool s.timed_out);
+        ("library_size", Json.Int s.library_size);
+      ]
+  in
+  let trajectory =
+    Json.List
+      (List.map
+         (fun (ts, v) -> Json.List [ Json.Float ts; Json.Float v ])
+         (Stenso.Telemetry.series r.tel "search.bound"))
+  in
+  Json.Obj
+    [
+      ("name", Json.Str r.bench.name);
+      ( "source",
+        Json.Str
+          (match r.bench.source with
+          | `Github -> "github"
+          | `Synthetic -> "synthetic") );
+      ("klass", Json.Str (Benchmarks.klass_name r.bench.klass));
+      ("improved", Json.Bool o.improved);
+      ("verified", Json.Bool o.verified);
+      ("cost_before", Json.Float o.original_cost);
+      ("cost_after", Json.Float o.optimized_cost);
+      ("speedup", Json.Float speedup);
+      ("synthesis_time", Json.Float r.elapsed);
+      ("original", Json.Str (ast_str o.original));
+      ("optimized", Json.Str (ast_str o.optimized));
+      ("search", search_stats);
+      ("bound_trajectory", trajectory);
+    ]
+
+let report ?(config = Stenso.Config.default) t : Json.t =
+  let improved =
+    List.length (List.filter (fun r -> r.outcome.Stenso.Superopt.improved)
+                   t.results)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ( "estimator",
+        Json.Str (Stenso.Config.estimator_name (Stenso.Config.estimator config))
+      );
+      ("jobs", Json.Int (Stenso.Config.jobs config));
+      ("timeout", Json.Float (Stenso.Config.timeout config));
+      ("elapsed", Json.Float t.elapsed);
+      ("n_benchmarks", Json.Int (List.length t.results));
+      ("n_improved", Json.Int improved);
+      ("benchmarks", Json.List (List.map bench_json t.results));
+    ]
+
+(* Structural validation used by the CLI's [report] subcommand and the
+   CI harness: the fields above must exist with the kinds above — the
+   [BENCH_*.json] trajectory depends on the schema staying stable. *)
+let validate_report (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need name extract j =
+    match Option.bind (Json.member name j) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* schema = need "schema" Json.to_string_opt j in
+  let* () =
+    if String.equal schema schema_version then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _ = need "estimator" Json.to_string_opt j in
+  let* _ = need "jobs" Json.to_int_opt j in
+  let* _ = need "timeout" Json.to_float_opt j in
+  let* _ = need "elapsed" Json.to_float_opt j in
+  let* n = need "n_benchmarks" Json.to_int_opt j in
+  let* benches = need "benchmarks" Json.to_list_opt j in
+  let* () =
+    if List.length benches = n then Ok ()
+    else Error "n_benchmarks disagrees with the benchmarks array"
+  in
+  let check_bench i b =
+    let* _ = need "name" Json.to_string_opt b in
+    let* _ = need "source" Json.to_string_opt b in
+    let* _ = need "klass" Json.to_string_opt b in
+    let* _ = need "improved" Json.to_bool_opt b in
+    let* _ = need "verified" Json.to_bool_opt b in
+    let* _ = need "cost_before" Json.to_float_opt b in
+    let* _ = need "cost_after" Json.to_float_opt b in
+    let* _ = need "speedup" Json.to_float_opt b in
+    let* _ = need "synthesis_time" Json.to_float_opt b in
+    let* _ = need "original" Json.to_string_opt b in
+    let* _ = need "optimized" Json.to_string_opt b in
+    let* search = need "search" Option.some b in
+    let* _ = need "nodes" Json.to_int_opt search in
+    let* _ = need "decomps" Json.to_int_opt search in
+    let* _ = need "pruned_simp" Json.to_int_opt search in
+    let* _ = need "pruned_bnb" Json.to_int_opt search in
+    let* _ = need "memo_hits" Json.to_int_opt search in
+    let* _ = need "memo_misses" Json.to_int_opt search in
+    let* _ = need "elapsed" Json.to_float_opt search in
+    let* _ = need "timed_out" Json.to_bool_opt search in
+    let* _ = need "library_size" Json.to_int_opt search in
+    let* traj = need "bound_trajectory" Json.to_list_opt b in
+    List.fold_left
+      (fun acc point ->
+        let* () = acc in
+        match point with
+        | Json.List [ ts; v ]
+          when Option.is_some (Json.to_float_opt ts)
+               && Option.is_some (Json.to_float_opt v) ->
+            Ok ()
+        | _ ->
+            Error
+              (Printf.sprintf "benchmark %d: malformed bound_trajectory" i))
+      (Ok ()) traj
+  in
+  let* () =
+    List.fold_left
+      (fun acc (i, b) ->
+        let* () = acc in
+        Result.map_error
+          (fun e -> Printf.sprintf "benchmark %d: %s" i e)
+          (check_bench i b))
+      (Ok ())
+      (List.mapi (fun i b -> (i, b)) benches)
+  in
+  Ok ()

@@ -6,12 +6,20 @@
     per-benchmark timeout internally — a timing-out benchmark only
     occupies its own worker and cannot stall the rest of the run.
     Results come back in benchmark order and, for a deterministic
-    estimator such as [`Flops], are byte-identical for any [jobs]. *)
+    estimator such as [`Flops], are byte-identical for any [jobs].
+
+    With [trace] each benchmark records into its own telemetry sink, and
+    {!report} renders the whole run as a schema-stable JSON document
+    ([stenso.suite-report/1]) — the format the repository's
+    [BENCH_*.json] performance trajectory is archived in. *)
 
 type bench_result = {
   bench : Benchmarks.t;
   outcome : Stenso.Superopt.outcome;
   elapsed : float;  (** wall-clock seconds for this benchmark *)
+  tel : Stenso.Telemetry.t;
+      (** this benchmark's telemetry sink; {!Stenso.Telemetry.null}
+          unless the run was traced *)
 }
 
 type t = {
@@ -23,6 +31,7 @@ val run :
   ?config:Stenso.Config.t ->
   ?model:Cost.Model.t ->
   ?jobs:int ->
+  ?trace:bool ->
   ?on_result:(bench_result -> unit) ->
   Benchmarks.t list ->
   t
@@ -30,6 +39,26 @@ val run :
     shapes.  [jobs] (default 1) sizes the benchmark pool; the search
     config's own [jobs] field is overridden to 1 inside the pool.
     [model] defaults to [Config.model config] built once and shared —
-    the measured estimator's profiling table is domain-safe.
-    [on_result] is invoked as each benchmark finishes (serialized by a
-    mutex; ordering follows completion, not input order). *)
+    the measured estimator's profiling table is domain-safe.  [trace]
+    (default false) gives each benchmark a fresh recording sink (search
+    counters, phase spans, bound trajectory) on its result.  [on_result]
+    is invoked as each benchmark finishes (serialized by a mutex;
+    ordering follows completion, not input order). *)
+
+val schema_version : string
+(** ["stenso.suite-report/1"]. *)
+
+val report : ?config:Stenso.Config.t -> t -> Stenso.Telemetry.Json.t
+(** Render a run as the suite-report document: run metadata (schema,
+    estimator, jobs, timeout, wall clock) and one record per benchmark —
+    name, source, class, costs before/after, speedup, synthesis time,
+    both programs, the search statistics, and the branch-and-bound bound
+    trajectory ([(seconds, bound)] pairs; empty when the run was not
+    traced).  [config] supplies the metadata and should be the one the
+    run used. *)
+
+val validate_report : Stenso.Telemetry.Json.t -> (unit, string) result
+(** Check that a JSON document structurally conforms to
+    [stenso.suite-report/1]: every schema field present with the right
+    kind.  Used by [stenso report] and the CI harness to keep archived
+    [BENCH_*.json] files comparable over time. *)

@@ -22,3 +22,15 @@ if [ "$seq_out" != "$par_out" ]; then
   exit 1
 fi
 echo "parallel-vs-sequential smoke check passed"
+
+# Telemetry smoke check: a traced suite run must produce a suite report
+# that validates against the stenso.suite-report/1 schema (the format
+# the BENCH_*.json performance trajectory is archived in), and a traced
+# optimize must produce parseable NDJSON.
+report=$(mktemp)
+trap 'rm -f "$report"' EXIT
+dune exec --no-build bin/stenso_cli.exe -- suite \
+  --benchmarks diag_dot,common_factor,sum_stack --cost-estimator flops \
+  --report "$report" --quiet > /dev/null
+dune exec --no-build bin/stenso_cli.exe -- report "$report"
+echo "suite-report smoke check passed"

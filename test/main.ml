@@ -16,6 +16,7 @@ let () =
       ("superopt", Test_superopt.suite);
       ("config", Test_config.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
       ("frameworks", Test_frameworks.suite);
       ("baseline", Test_baseline.suite);
       ("rules", Test_rules.suite);

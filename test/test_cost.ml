@@ -61,6 +61,19 @@ let test_measured_model () =
   let r = model.op_cost (Ast.Reshape [| 4; 3 |]) [ Types.float_t [| 3; 4 |] ] in
   Alcotest.(check bool) "reshape cost finite" true (r >= 0. && r < 1.)
 
+let test_measured_fallback_scaled_proxy () =
+  (* reshape [2,3] -> [6] is valid unscaled, but scaling turns the
+     operands into [24,36] (864 elements) while the attribute becomes
+     [72]: profiling cannot run, so the model falls back to its
+     FLOPs+traffic proxy.  Regression: the proxy used to be computed at
+     the unscaled synthesis shapes while the lookup key and every
+     profiled entry describe scaled shapes, under-pricing fallback ops
+     by the scale factor squared. *)
+  let model = Cost.Model.measured ~scale:12 ~overhead:0. () in
+  let c = model.op_cost (Ast.Reshape [| 6 |]) [ Types.float_t [| 2; 3 |] ] in
+  (* reshape moves no FLOPs; traffic at scale: 8 * (24*36 + 72) * 1e-10 *)
+  Alcotest.(check (float 1e-12)) "proxy priced at scaled shapes" 7.488e-7 c
+
 let test_roofline_model () =
   let m = Cost.Model.roofline () in
   let a = Types.float_t [| 64; 64 |] in
@@ -98,6 +111,8 @@ let suite =
     Alcotest.test_case "type errors propagate" `Quick test_type_errors_propagate;
     Alcotest.test_case "memory traffic" `Quick test_bytes_moved;
     Alcotest.test_case "measured model" `Slow test_measured_model;
+    Alcotest.test_case "measured fallback at scaled shapes" `Quick
+      test_measured_fallback_scaled_proxy;
     Alcotest.test_case "roofline model" `Quick test_roofline_model;
     Alcotest.test_case "iteration scaling" `Slow test_iter_scale;
   ]

@@ -113,6 +113,50 @@ let test_node_budget () =
   Alcotest.(check bool) "budget reported" true
     (r.stats.timed_out || r.stats.nodes <= 4)
 
+let test_anytime_returns_best () =
+  (* Regression: in the sequential engine an expired budget used to
+     unwind through the root and discard the best program found so far
+     (returning [None] with [timed_out]), while parallel workers kept
+     theirs.  Both engines must now degrade to best-so-far. *)
+  List.iter
+    (fun jobs ->
+      let config = { Search.default_config with node_budget = 1; jobs } in
+      let _, _, r =
+        run ~config "input A : f32[3,4]\ninput B : f32[4,3]"
+          "np.diag(np.dot(A, B))"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: budget expired" jobs)
+        true r.stats.timed_out;
+      match r.program with
+      | None ->
+          Alcotest.failf "jobs=%d: best-so-far discarded on budget expiry"
+            jobs
+      | Some _ -> ())
+    [ 1; 2 ]
+
+let test_shared_node_budget () =
+  (* Regression: each parallel worker used to start its own node count
+     at zero, so [--jobs N] multiplied the node budget by N.  The count
+     is now one shared atomic total; each worker can overshoot by at
+     most the one increment it was executing when the budget tripped. *)
+  let budget = 20 in
+  let env_src = "input A : f32[3,3]\ninput B : f32[3,3]" in
+  let prog = "np.sqrt(A) * B + np.sqrt(A) * A" in
+  List.iter
+    (fun jobs ->
+      let config =
+        { Search.default_config with node_budget = budget; jobs }
+      in
+      let _, _, r = run ~config env_src prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: budget expired" jobs)
+        true r.stats.timed_out;
+      if r.stats.nodes > budget + jobs + 2 then
+        Alcotest.failf "jobs=%d: %d nodes for a budget of %d" jobs
+          r.stats.nodes budget)
+    [ 1; 4 ]
+
 let test_cost_never_above_bound () =
   (* Algorithm 1: returned cost is below the original's estimate. *)
   List.iter
@@ -139,6 +183,10 @@ let suite =
     Alcotest.test_case "simplification objective" `Quick
       test_simplification_prunes;
     Alcotest.test_case "node budget" `Quick test_node_budget;
+    Alcotest.test_case "anytime: budget expiry keeps best-so-far" `Quick
+      test_anytime_returns_best;
+    Alcotest.test_case "node budget shared across workers" `Quick
+      test_shared_node_budget;
     Alcotest.test_case "Algorithm 1 contract (github suite)" `Slow
       test_cost_never_above_bound;
   ]
