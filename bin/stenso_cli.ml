@@ -3,6 +3,8 @@
      stenso optimize --program original.tdsl --synth-out optimized.tdsl
      stenso suite --jobs 8 --cost-estimator flops
      stenso profile --cost-cache ops.cache
+     stenso serve --socket /tmp/stenso.sock --workers 4
+     stenso request --socket /tmp/stenso.sock --program original.tdsl
 
    The bare legacy invocation (mirroring the artifact's
    `stenso/main.py`) still works as an alias of [optimize]:
@@ -26,23 +28,16 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
-let render_program env prog =
-  (* Emit the same surface syntax the parser accepts, so outputs can be
-     fed back in. *)
-  let render_vt (vt : Dsl.Types.vt) =
-    Printf.sprintf "%s[%s]"
-      (match vt.dtype with Dsl.Types.Float -> "f32" | Dsl.Types.Bool -> "bool")
-      (String.concat ", "
-         (Array.to_list (Array.map string_of_int vt.shape)))
+(* Emit the same surface syntax the parser accepts, so outputs can be
+   fed back in — the same rendering the persistent store serves, so
+   cached and fresh runs are byte-identical. *)
+let render_program = Dsl.Parser.unparse
+
+let open_store ~tel store_dir =
+  let dir =
+    match store_dir with Some d -> d | None -> Stenso.Store.default_dir ()
   in
-  let buf = Buffer.create 256 in
-  List.iter
-    (fun (name, vt) ->
-      Buffer.add_string buf
-        (Printf.sprintf "input %s : %s\n" name (render_vt vt)))
-    env;
-  Buffer.add_string buf (Format.asprintf "return %a\n" Dsl.Ast.pp prog);
-  Buffer.contents buf
+  Stenso.Store.open_store ~tel ~dir ()
 
 let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
     ~extended_ops ~cost_cache =
@@ -67,7 +62,8 @@ let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
 (* ------------------------------------------------------------------ *)
 
 let optimize_run program_path synth_out estimator timeout jobs no_bnb
-    no_simplification extended_ops cost_cache trace verbose =
+    no_simplification extended_ops cost_cache no_store store_dir trace verbose
+    =
   let source =
     match program_path with
     | Some p -> read_file p
@@ -84,7 +80,8 @@ let optimize_run program_path synth_out estimator timeout jobs no_bnb
     | Some _ -> Stenso.Telemetry.create ()
     | None -> Stenso.Telemetry.null
   in
-  let outcome = Stenso.Superopt.optimize ~tel ~config ~env prog in
+  let store = if no_store then None else Some (open_store ~tel store_dir) in
+  let outcome = Stenso.Superopt.optimize ~tel ~config ?store ~env prog in
   (match trace with
   | Some path ->
       let oc = open_out path in
@@ -93,12 +90,17 @@ let optimize_run program_path synth_out estimator timeout jobs no_bnb
         (fun () -> Stenso.Telemetry.write_ndjson tel oc)
   | None -> ());
   if verbose then begin
-    let s = outcome.search.stats in
-    Format.printf
-      "# search: %d nodes, %d decompositions, %d simp-pruned, %d bnb-pruned,@\n\
-       # %.2fs, library of %d stubs%s@\n"
-      s.nodes s.decomps s.pruned_simp s.pruned_bnb s.elapsed s.library_size
-      (if s.timed_out then " (timed out)" else "")
+    if outcome.from_cache then
+      Format.printf "# served from the persistent store (cache hit)@\n"
+    else begin
+      let s = outcome.search.stats in
+      Format.printf
+        "# search: %d nodes, %d decompositions, %d simp-pruned, %d \
+         bnb-pruned,@\n\
+         # %.2fs, library of %d stubs%s@\n"
+        s.nodes s.decomps s.pruned_simp s.pruned_bnb s.elapsed s.library_size
+        (if s.timed_out then " (timed out)" else "")
+    end
   end;
   Format.printf "# original  (cost %.6g): %a@\n" outcome.original_cost
     Dsl.Ast.pp outcome.original;
@@ -129,8 +131,8 @@ let select_benchmarks names =
           | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
         names
 
-let suite_run list_only names jobs timeout estimator cost_cache out report
-    quiet =
+let suite_run list_only names jobs timeout estimator cost_cache use_store
+    store_dir out report quiet =
   if list_only then
     List.iter
       (fun (b : Suite.Benchmarks.t) ->
@@ -155,9 +157,16 @@ let suite_run list_only names jobs timeout estimator cost_cache out report
         (List.length benches)
         (Stenso.Config.estimator_name (Stenso.Config.estimator config))
         jobs;
+    (* Off by default: the suite is the determinism yardstick, and a
+       store warmed by a previous run would skew timing comparisons. *)
+    let store =
+      if use_store then
+        Some (open_store ~tel:Stenso.Telemetry.null store_dir)
+      else None
+    in
     let ({ Suite.Driver.results; elapsed } as run_result) =
-      Suite.Driver.run ~config ~jobs ~trace:(Option.is_some report) ~on_result
-        benches
+      Suite.Driver.run ~config ?store ~jobs ~trace:(Option.is_some report)
+        ~on_result benches
     in
     (match report with
     | Some path ->
@@ -272,6 +281,72 @@ let report_run file =
             (int "n_improved"))
 
 (* ------------------------------------------------------------------ *)
+(* stenso serve / stenso request                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "stenso.sock"
+
+let serve_run socket workers queue_capacity estimator timeout no_bnb
+    no_simplification extended_ops cost_cache no_store store_dir trace =
+  let config =
+    config_of ~estimator ~timeout ~jobs:1 ~no_bnb ~no_simplification
+      ~extended_ops ~cost_cache
+  in
+  let tel =
+    match trace with
+    | Some _ -> Stenso.Telemetry.create ()
+    | None -> Stenso.Telemetry.null
+  in
+  let store = if no_store then None else Some (open_store ~tel store_dir) in
+  Printf.printf "stenso %s serving on %s (%d workers, queue %d%s)\n%!"
+    Stenso.Version.current socket workers queue_capacity
+    (match store with
+    | Some s -> ", store " ^ Stenso.Store.dir s
+    | None -> ", no store");
+  Stenso.Serve.serve ~tel ?store ~workers ~queue_capacity ~base:config ~socket
+    ();
+  match trace with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Stenso.Telemetry.write_ndjson tel oc)
+  | None -> ()
+
+let request_run socket program_path id estimator timeout =
+  let module J = Stenso.Telemetry.Json in
+  let source =
+    match program_path with
+    | Some p -> read_file p
+    | None -> die "--program is required"
+  in
+  let overrides =
+    List.filter_map Fun.id
+      [
+        Option.map (fun e -> ("cost_estimator", J.Str e)) estimator;
+        Option.map (fun t -> ("timeout", J.Float t)) timeout;
+      ]
+  in
+  let fields =
+    (match id with Some i -> [ ("id", J.Str i) ] | None -> [])
+    @ [ ("program", J.Str source) ]
+    @ (match overrides with [] -> [] | o -> [ ("config", J.Obj o) ])
+  in
+  match Stenso.Serve.request ~socket (J.to_string (J.Obj fields)) with
+  | Error msg -> die "%s" msg
+  | Ok resp ->
+      print_endline resp;
+      let ok =
+        match J.of_string resp with
+        | Ok doc ->
+            Option.value ~default:false
+              (Option.bind (J.member "ok" doc) J.to_bool_opt)
+        | Error _ -> false
+      in
+      if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -343,6 +418,29 @@ let cost_cache_arg =
           "Persist the measured cost model's profiling table, amortizing \
            the offline phase across runs (see $(b,stenso profile)).")
 
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:
+          "Do not consult or update the persistent synthesis store; \
+           always run the search.")
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent synthesis store directory (default: \
+           $(b,\\$STENSO_CACHE_DIR), else $(b,~/.cache/stenso)).")
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print search statistics.")
 
@@ -360,7 +458,7 @@ let optimize_term =
   Term.(
     const optimize_run $ program_arg $ synth_out_arg $ estimator_arg
     $ timeout_arg $ jobs_arg $ no_bnb_arg $ no_simp_arg $ extended_ops_arg
-    $ cost_cache_arg $ trace_arg $ verbose_arg)
+    $ cost_cache_arg $ no_store_arg $ store_dir_arg $ trace_arg $ verbose_arg)
 
 let optimize_cmd =
   Cmd.v
@@ -396,6 +494,15 @@ let suite_cmd =
             "Print only the deterministic result table (no progress or \
              timing lines).")
   in
+  let use_store_arg =
+    Arg.(
+      value & flag
+      & info [ "store" ]
+          ~doc:
+            "Serve benchmarks cache-first from the persistent synthesis \
+             store and record fresh outcomes into it (off by default so \
+             suite runs stay comparable).")
+  in
   let report_arg =
     Arg.(
       value
@@ -414,7 +521,8 @@ let suite_cmd =
           pool.")
     Term.(
       const suite_run $ list_arg $ benchmarks_arg $ jobs_arg $ timeout_arg
-      $ estimator_arg $ cost_cache_arg $ out_arg $ report_arg $ quiet_arg)
+      $ estimator_arg $ cost_cache_arg $ use_store_arg $ store_dir_arg
+      $ out_arg $ report_arg $ quiet_arg)
 
 let profile_cmd =
   let cache_arg =
@@ -452,10 +560,70 @@ let report_cmd =
           $(b,stenso.suite-report/1) schema and print its summary.")
     Term.(const report_run $ file_arg)
 
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains serving requests concurrently.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:
+            "Pending-connection bound; beyond it new connections are \
+             shed immediately with a $(b,busy) response.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived synthesis daemon: NDJSON requests over a \
+          Unix-domain socket, answered cache-first from the persistent \
+          store by a bounded worker pool.  SIGINT/SIGTERM shut it down \
+          gracefully.")
+    Term.(
+      const serve_run $ socket_arg $ workers_arg $ queue_arg $ estimator_arg
+      $ timeout_arg $ no_bnb_arg $ no_simp_arg $ extended_ops_arg
+      $ cost_cache_arg $ no_store_arg $ store_dir_arg $ trace_arg)
+
+let request_cmd =
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:"Request id echoed back in the response.")
+  in
+  let req_estimator_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info
+          [ "cost_estimator"; "cost-estimator" ]
+          ~docv:"NAME" ~doc:"Per-request cost estimator override.")
+  in
+  let req_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request synthesis budget override.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one program to a running $(b,stenso serve) daemon and \
+          print its response line.  Exits non-zero when the daemon \
+          reports $(b,ok:false) or cannot be reached.")
+    Term.(
+      const request_run $ socket_arg $ program_arg $ id_arg
+      $ req_estimator_arg $ req_timeout_arg)
+
 let cmd =
   let doc = "STENSO: tensor-program superoptimization by symbolic synthesis" in
   Cmd.group ~default:optimize_term
-    (Cmd.info "stenso" ~doc)
-    [ optimize_cmd; suite_cmd; profile_cmd; report_cmd ]
+    (Cmd.info "stenso" ~doc ~version:Stenso.Version.current)
+    [ optimize_cmd; suite_cmd; profile_cmd; report_cmd; serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -88,3 +88,22 @@ let estimator_name = function
   | `Flops -> "flops"
   | `Roofline -> "roofline"
   | `Measured -> "measured"
+
+(* Everything that determines the search's *result*, canonically
+   rendered.  [jobs] is excluded (the engine is deterministic in it) and
+   so is [cost_cache] (a warm profiling table changes measured values,
+   but the measured estimator is already declared non-reproducible by
+   its [est=measured] tag).  [timeout] and [node_budget] stay in: an
+   expired budget changes the anytime answer, so outcomes are cached per
+   budget. *)
+let fingerprint t =
+  let s = t.search in
+  let stub = s.Search.stub_config in
+  let inv = s.Search.invert_config in
+  Printf.sprintf
+    "cfg:est=%s;bnb=%b;simp=%b;budget=%d;timeout=%.17g;depth=%d;memo=%b;stub[d=%d,max=%d,ext=%b,full=%b];inv[conc=%d,split=%d]"
+    (estimator_name t.estimator)
+    s.Search.use_bnb s.Search.use_simplification s.Search.node_budget
+    s.Search.timeout s.Search.max_depth s.Search.memoize stub.Stub.depth
+    stub.Stub.max_stubs stub.Stub.extended_ops stub.Stub.full_binary
+    inv.Invert.max_conc_depth inv.Invert.max_split_terms

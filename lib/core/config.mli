@@ -66,6 +66,14 @@ val model : ?tel:Obs.Telemetry.t -> t -> Cost.Model.t
 val of_search : Search.config -> t
 (** Adopt a legacy record, keeping the default estimator. *)
 
+val fingerprint : t -> string
+(** Canonical rendering of every field that determines a synthesis
+    result: estimator id, pruning switches, budgets, depths, and the
+    nested stub/invert parameters.  [jobs] is excluded (results are
+    independent of it by construction), as is the [cost_cache] path.
+    Together with the spec key, a {!Stub.fingerprint} and the cost-model
+    id, this keys the persistent outcome store. *)
+
 val estimator_of_string : string -> (estimator, string) result
 (** ["flops"], ["roofline"], or ["measured"]. *)
 

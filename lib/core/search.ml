@@ -83,6 +83,9 @@ type state = {
   started : float;
   tel : Tel.t;
   c : counters;
+  keyc : Spec.key_counters;
+      (* per-run spec-key attribution; installed as the ambient cell in
+         every worker domain of this search *)
   (* The branch-and-bound bound is shared by every domain working on the
      search, so a complete program found by one worker prunes all the
      others.  It only ever decreases (see [relax]). *)
@@ -405,6 +408,7 @@ let search_root ~jobs st spec =
     let n = Array.length viable in
     let jobs = max 1 (min jobs n) in
     let worker w =
+      Spec.with_counters st.keyc @@ fun () ->
       let stw =
         {
           st with
@@ -456,19 +460,28 @@ let search_root ~jobs st spec =
       !timed_out )
   end
 
-let run ?(tel = Tel.null) ?(config = default_config) ~model ~env ~spec
-    ~initial_bound ~consts () =
+let run ?(tel = Tel.null) ?(config = default_config) ?library ~model ~env
+    ~spec ~initial_bound ~consts () =
   let started = Unix.gettimeofday () in
-  let stub_config =
-    {
-      config.stub_config with
-      Stub.deadline = Some (started +. config.timeout);
-    }
-  in
-  let key_builds0, key_hits0, key_secs0 = Spec.key_stats () in
+  let keyc = Spec.fresh_counters () in
+  Spec.with_counters keyc @@ fun () ->
   let lib =
-    Tel.span tel "phase.stub_enum" (fun () ->
-        Stub.enumerate ~config:stub_config ~tel ~model ~consts env)
+    match library with
+    | Some lib ->
+        (* Pre-enumerated (shared) library: no enumeration phase. *)
+        if Tel.enabled tel then
+          Tel.event tel "stub.shared"
+            [ ("library_size", Tel.Int (Stub.size lib)) ];
+        lib
+    | None ->
+        let stub_config =
+          {
+            config.stub_config with
+            Stub.deadline = Some (started +. config.timeout);
+          }
+        in
+        Tel.span tel "phase.stub_enum" (fun () ->
+            Stub.enumerate ~config:stub_config ~tel ~model ~consts env)
   in
   let st =
     {
@@ -478,6 +491,7 @@ let run ?(tel = Tel.null) ?(config = default_config) ~model ~env ~spec
       started;
       tel;
       c = make_counters tel;
+      keyc;
       cost_min = Atomic.make initial_bound;
       memo = Hashtbl.create 256;
       memo_fail = Hashtbl.create 256;
@@ -512,10 +526,12 @@ let run ?(tel = Tel.null) ?(config = default_config) ~model ~env ~spec
     }
   in
   if Tel.enabled tel then begin
-    let key_builds1, key_hits1, key_secs1 = Spec.key_stats () in
-    Tel.add tel "spec.key_builds" (key_builds1 - key_builds0);
-    Tel.add tel "spec.key_cache_hits" (key_hits1 - key_hits0);
-    Tel.Acc.add (Tel.acc tel "spec.key_build_seconds") (key_secs1 -. key_secs0);
+    (* Per-run attribution: this run's own cell, not the process-wide
+       totals — concurrent traced runs no longer double-count. *)
+    let key_builds, key_hits, key_secs = Spec.counters_stats keyc in
+    Tel.add tel "spec.key_builds" key_builds;
+    Tel.add tel "spec.key_cache_hits" key_hits;
+    Tel.Acc.add (Tel.acc tel "spec.key_build_seconds") key_secs;
     Tel.event tel "search.summary"
       [
         ("nodes", Tel.Int stats.nodes);

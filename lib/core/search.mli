@@ -78,6 +78,7 @@ type result = {
 val run :
   ?tel:Obs.Telemetry.t ->
   ?config:config ->
+  ?library:Stub.library ->
   model:Cost.Model.t ->
   env:Dsl.Types.env ->
   spec:Spec.t ->
@@ -87,6 +88,11 @@ val run :
   result
 (** Synthesize a program equivalent to [spec] with estimated cost below
     [initial_bound].  [consts] seeds the grammar's constant terminals
-    (the constants of the original program).  [tel] (default
-    {!Telemetry.null}, which costs nothing) receives phase spans, the
-    prune/memo counter breakdown, and the bound trajectory. *)
+    (the constants of the original program).  [library], when given,
+    must be an enumeration for the same [env]/[consts]/model (e.g. from
+    {!Stub.Cache}); the enumeration phase is then skipped — the suite
+    driver and serve daemon share one library per input environment this
+    way.  [tel] (default {!Telemetry.null}, which costs nothing)
+    receives phase spans, the prune/memo counter breakdown, and the
+    bound trajectory; its [spec.key_*] counters are attributed to this
+    run alone even when other searches run concurrently. *)

@@ -1,0 +1,315 @@
+module Json = Obs.Telemetry.Json
+module Tel = Obs.Telemetry
+
+let schema = "stenso.serve/1"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let base_fields ~id ~ok =
+  [
+    ("schema", Json.Str schema);
+    ("version", Json.Str Version.current);
+    ("id", id);
+    ("ok", Json.Bool ok);
+  ]
+
+let error_json ?(id = Json.Null) msg =
+  Json.Obj (base_fields ~id ~ok:false @ [ ("error", Json.Str msg) ])
+
+let busy_line = Json.to_string (error_json "busy")
+
+let outcome_json ~id ~env (o : Superopt.outcome) =
+  let s = o.search.stats in
+  Json.Obj
+    (base_fields ~id ~ok:true
+    @ [
+        ("cache_hit", Json.Bool o.from_cache);
+        ("improved", Json.Bool o.improved);
+        ("verified", Json.Bool o.verified);
+        ("cost_before", Json.Float o.original_cost);
+        ("cost_after", Json.Float o.optimized_cost);
+        ("optimized", Json.Str (Dsl.Parser.unparse env o.optimized));
+        ( "search",
+          Json.Obj
+            [
+              ("nodes", Json.Int s.nodes);
+              ("elapsed", Json.Float s.elapsed);
+              ("timed_out", Json.Bool s.timed_out);
+              ("library_size", Json.Int s.library_size);
+            ] );
+      ])
+
+(* Per-request configuration overrides on top of the daemon's base. *)
+let config_of_json ~base j =
+  let ( let* ) = Result.bind in
+  let field name conv apply acc =
+    let* cfg = acc in
+    match Json.member name j with
+    | None -> Ok cfg
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok (apply x cfg)
+        | None -> Error (Printf.sprintf "mistyped config field %S" name))
+  in
+  Ok base
+  |> field "cost_estimator" Json.to_string_opt (fun s cfg ->
+         match Config.estimator_of_string s with
+         | Ok e -> Config.with_estimator e cfg
+         | Error _ -> cfg)
+  |> field "timeout" Json.to_float_opt Config.with_timeout
+  |> field "node_budget" Json.to_int_opt Config.with_node_budget
+  |> field "max_depth" Json.to_int_opt Config.with_max_depth
+  |> field "extended_ops" Json.to_bool_opt Config.with_extended_ops
+  |> field "use_bnb" Json.to_bool_opt Config.with_bnb
+  |> field "use_simplification" Json.to_bool_opt Config.with_simplification
+
+type request = { id : Json.t; source : string; config : Config.t }
+
+let parse_request ~base doc =
+  let ( let* ) = Result.bind in
+  let id = Option.value ~default:Json.Null (Json.member "id" doc) in
+  let* source =
+    match Option.bind (Json.member "program" doc) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (id, "missing or mistyped \"program\" field")
+  in
+  let* config =
+    match Json.member "config" doc with
+    | None -> Ok base
+    | Some (Json.Obj _ as cfg) ->
+        Result.map_error (fun e -> (id, e)) (config_of_json ~base cfg)
+    | Some _ -> Error (id, "\"config\" must be an object")
+  in
+  Ok { id; source; config }
+
+(* ------------------------------------------------------------------ *)
+(* Handler                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type handler = {
+  tel : Tel.t;
+  store : Store.t option;
+  base : Config.t;
+  stub_cache : Stub.Cache.cache;
+  (* One model per estimator, shared across requests: the measured
+     model's profiling table (and its internal lock) amortize over the
+     daemon's lifetime instead of re-profiling per request. *)
+  models : (string, Cost.Model.t) Hashtbl.t;
+  models_lock : Mutex.t;
+}
+
+let handler ?(tel = Tel.null) ?store ~base () =
+  {
+    tel;
+    store;
+    (* The worker pool is the daemon's parallelism; per-request domain
+       fan-out on top of it would oversubscribe the machine. *)
+    base = Config.with_jobs 1 base;
+    stub_cache = Stub.Cache.create ();
+    models = Hashtbl.create 4;
+    models_lock = Mutex.create ();
+  }
+
+let model_for h config =
+  let name = Config.estimator_name (Config.estimator config) in
+  Mutex.protect h.models_lock (fun () ->
+      match Hashtbl.find_opt h.models name with
+      | Some m -> m
+      | None ->
+          let m = Config.model ~tel:h.tel config in
+          Hashtbl.add h.models name m;
+          m)
+
+let handle_doc h doc =
+  match parse_request ~base:h.base doc with
+  | Error (id, msg) -> error_json ~id msg
+  | Ok { id; source; config } -> (
+      match
+        let env, prog = Dsl.Parser.program source in
+        ignore (Dsl.Types.infer env prog);
+        let model = model_for h config in
+        let outcome =
+          Superopt.optimize ~tel:h.tel ~config ?store:h.store
+            ~stub_cache:h.stub_cache ~model ~env prog
+        in
+        outcome_json ~id ~env outcome
+      with
+      | resp -> resp
+      | exception Dsl.Parser.Parse_error msg ->
+          error_json ~id ("parse error: " ^ msg)
+      | exception Dsl.Types.Type_error msg ->
+          error_json ~id ("type error: " ^ msg)
+      | exception e ->
+          (* The daemon must survive any request: report, don't die. *)
+          error_json ~id ("internal error: " ^ Printexc.to_string e))
+
+let handle_line h line =
+  Tel.incr h.tel "serve.requests";
+  let resp =
+    match Json.of_string (String.trim line) with
+    | Error msg -> error_json ("invalid JSON: " ^ msg)
+    | Ok doc -> handle_doc h doc
+  in
+  Json.to_string resp
+
+(* ------------------------------------------------------------------ *)
+(* Daemon                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type queue = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  conns : Unix.file_descr Queue.t;
+  capacity : int;
+  stop : bool Atomic.t;
+}
+
+let respond_and_close fd line =
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     output_string oc (line ^ "\n");
+     flush oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_connection h fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         output_string oc (handle_line h line);
+         output_char oc '\n';
+         flush oc
+       end;
+       loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  (* Closing either channel closes the shared descriptor. *)
+  close_out_noerr oc;
+  close_in_noerr ic
+
+let worker_loop h q () =
+  let rec next () =
+    Mutex.lock q.lock;
+    while Queue.is_empty q.conns && not (Atomic.get q.stop) do
+      Condition.wait q.cond q.lock
+    done;
+    (* Graceful shutdown: drain what was accepted before stopping. *)
+    let job =
+      if Queue.is_empty q.conns then None else Some (Queue.pop q.conns)
+    in
+    Mutex.unlock q.lock;
+    match job with
+    | Some fd ->
+        serve_connection h fd;
+        next ()
+    | None -> ()
+  in
+  next ()
+
+let serve ?(tel = Tel.null) ?store ?(workers = 2) ?(queue_capacity = 64)
+    ~base ~socket () =
+  let h = handler ~tel ?store ~base () in
+  let q =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      conns = Queue.create ();
+      capacity = max 1 queue_capacity;
+      stop = Atomic.make false;
+    }
+  in
+  (* A client that disconnects mid-response must not kill the daemon. *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let request_stop _ = Atomic.set q.stop true in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  (try if Sys.file_exists socket then Sys.remove socket
+   with Sys_error _ -> ());
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen with Unix.Unix_error _ -> ());
+      (try Sys.remove socket with Sys_error _ -> ());
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigpipe prev_pipe)
+    (fun () ->
+      Unix.bind listen (Unix.ADDR_UNIX socket);
+      Unix.listen listen 64;
+      let pool = Array.init (max 1 workers) (fun _ -> Domain.spawn (worker_loop h q)) in
+      Tel.event tel "serve.start"
+        [
+          ("socket", Tel.Str socket);
+          ("workers", Tel.Int (max 1 workers));
+          ("queue_capacity", Tel.Int q.capacity);
+        ];
+      (* Accept loop: poll with a short timeout so SIGINT/SIGTERM are
+         honoured promptly whether or not the signal interrupts the
+         syscall. *)
+      while not (Atomic.get q.stop) do
+        match Unix.select [ listen ] [] [] 0.25 with
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.accept listen with
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+                ()
+            | fd, _ ->
+                let accepted =
+                  Mutex.protect q.lock (fun () ->
+                      if Queue.length q.conns >= q.capacity then false
+                      else begin
+                        Queue.push fd q.conns;
+                        Condition.signal q.cond;
+                        true
+                      end)
+                in
+                if not accepted then begin
+                  (* Explicit backpressure: shed instead of queueing
+                     unboundedly. *)
+                  Tel.incr tel "serve.shed";
+                  respond_and_close fd busy_line
+                end)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* Graceful shutdown: wake the pool, drain, flush the store. *)
+      Mutex.protect q.lock (fun () -> Condition.broadcast q.cond);
+      Array.iter Domain.join pool;
+      Option.iter Store.flush store;
+      Tel.event tel "serve.stop" [])
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let request ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket
+           (Unix.error_message e))
+  | () -> (
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      let finish r =
+        close_out_noerr oc;
+        close_in_noerr ic;
+        r
+      in
+      match
+        output_string oc (line ^ "\n");
+        flush oc;
+        input_line ic
+      with
+      | resp -> finish (Ok resp)
+      | exception End_of_file ->
+          finish (Error "connection closed without a response")
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          finish (Error "transport error while talking to the daemon"))

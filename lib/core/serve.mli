@@ -1,0 +1,79 @@
+(** The [stenso serve] daemon and its NDJSON protocol
+    ([stenso.serve/1]).
+
+    A long-lived process owns the persistent synthesis store, a shared
+    stub-library cache and a shared cost-model pool, and serves
+    superoptimization requests over a Unix-domain socket.  The protocol
+    is NDJSON — one JSON object per line in each direction:
+
+    {v
+    → {"id": 1, "program": "input A : f32[3,3]\n...", "config": {"cost_estimator": "flops"}}
+    ← {"schema":"stenso.serve/1","version":"...","id":1,"ok":true,
+       "cache_hit":false,"improved":true,"verified":true,
+       "cost_before":123.0,"cost_after":27.0,
+       "optimized":"input A : f32[3,3]\n...","search":{...}}
+    v}
+
+    [id] is echoed verbatim (any JSON value; [null] when absent).
+    [config] is optional; recognized fields — [cost_estimator] (string),
+    [timeout] (seconds), [node_budget], [max_depth] (ints),
+    [extended_ops], [use_bnb], [use_simplification] (bools) — override
+    the daemon's base configuration per request.  A malformed line, an
+    unparseable program or any synthesis failure yields
+    [{"ok":false,"error":...}] on that request only; the daemon never
+    dies on request content.  When all worker slots are busy and the
+    connection queue is full, new connections are shed immediately with
+    [{"ok":false,"error":"busy"}] instead of queueing unboundedly. *)
+
+module Json = Obs.Telemetry.Json
+
+val schema : string
+(** ["stenso.serve/1"]. *)
+
+(** {2 Request handling} — socket-free core, reused by tests. *)
+
+type handler
+
+val handler :
+  ?tel:Obs.Telemetry.t ->
+  ?store:Store.t ->
+  base:Config.t ->
+  unit ->
+  handler
+(** A request handler sharing one stub-library cache and one cost model
+    per estimator across all requests it serves.  [base] supplies the
+    defaults requests may override; its [jobs] is forced to 1 — the
+    daemon's parallelism is its worker pool, not per-request domains. *)
+
+val handle_line : handler -> string -> string
+(** Process one NDJSON request line into one response line (no trailing
+    newline).  Never raises: every failure is an [ok:false] response. *)
+
+val busy_line : string
+(** The load-shedding response. *)
+
+(** {2 The daemon} *)
+
+val serve :
+  ?tel:Obs.Telemetry.t ->
+  ?store:Store.t ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  base:Config.t ->
+  socket:string ->
+  unit ->
+  unit
+(** Bind [socket] (replacing a stale file), then serve until SIGINT or
+    SIGTERM: a bounded pool of [workers] domains (default 2) drains a
+    connection queue of capacity [queue_capacity] (default 64); beyond
+    that, connections receive {!busy_line} and are closed.  Shutdown is
+    graceful — queued connections finish, the store is flushed, the
+    socket file is removed. *)
+
+(** {2 Client side} *)
+
+val request : socket:string -> string -> (string, string) result
+(** Send one request line to a running daemon and read one response
+    line.  [Error] describes a transport failure (daemon not running,
+    connection closed); protocol-level failures come back as [Ok] lines
+    with [ok:false]. *)

@@ -25,14 +25,56 @@ let build_key t =
    before any [key] call), so a buffer's rendering is stable.  Each
    domain keeps its own ephemeron table — no synchronization on the hot
    path, and entries die with their specs. *)
-let key_builds = Atomic.make 0
-let key_cache_hits = Atomic.make 0
-let key_build_ns = Atomic.make 0
 
-let key_stats () =
-  ( Atomic.get key_builds,
-    Atomic.get key_cache_hits,
-    float_of_int (Atomic.get key_build_ns) *. 1e-9 )
+(* Key-build accounting.  One process-wide cell keeps the historical
+   totals, and an {e ambient} per-run cell (installed by [with_counters]
+   in every domain working on a given search) gives each telemetry sink
+   its own attribution — two concurrent traced runs no longer count each
+   other's key builds. *)
+type key_counters = {
+  builds : int Atomic.t;
+  cache_hits : int Atomic.t;
+  build_ns : int Atomic.t;
+}
+
+let fresh_counters () =
+  { builds = Atomic.make 0; cache_hits = Atomic.make 0; build_ns = Atomic.make 0 }
+
+let global_counters = fresh_counters ()
+
+let counters_stats c =
+  ( Atomic.get c.builds,
+    Atomic.get c.cache_hits,
+    float_of_int (Atomic.get c.build_ns) *. 1e-9 )
+
+let key_stats () = counters_stats global_counters
+
+let ambient_counters : key_counters option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let ambient () = Domain.DLS.get ambient_counters
+
+let with_counters c f =
+  let prev = Domain.DLS.get ambient_counters in
+  Domain.DLS.set ambient_counters (Some c);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set ambient_counters prev)
+    f
+
+let note_hit () =
+  Atomic.incr global_counters.cache_hits;
+  match Domain.DLS.get ambient_counters with
+  | Some c -> Atomic.incr c.cache_hits
+  | None -> ()
+
+let note_build ns =
+  Atomic.incr global_counters.builds;
+  ignore (Atomic.fetch_and_add global_counters.build_ns ns);
+  match Domain.DLS.get ambient_counters with
+  | Some c ->
+      Atomic.incr c.builds;
+      ignore (Atomic.fetch_and_add c.build_ns ns)
+  | None -> ()
 
 module Keytbl = Ephemeron.K1.Make (struct
   type t = Expr.t array
@@ -53,15 +95,12 @@ let key t =
     let tbl = Domain.DLS.get key_cache in
     match Keytbl.find_opt tbl data with
     | Some k ->
-        Atomic.incr key_cache_hits;
+        note_hit ();
         k
     | None ->
         let t0 = Unix.gettimeofday () in
         let k = build_key t in
-        Atomic.incr key_builds;
-        ignore
-          (Atomic.fetch_and_add key_build_ns
-             (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)));
+        note_build (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
         Keytbl.add tbl data k;
         k
 

@@ -19,8 +19,31 @@ val key : t -> string
 
 val key_stats : unit -> int * int * float
 (** [(builds, cache_hits, build_seconds)] — process-wide totals since
-    start, feeding the telemetry layer's key-build counters.  When
-    several searches run concurrently the totals span all of them. *)
+    start.  For per-run attribution (what the telemetry layer reports)
+    use an ambient {!key_counters} cell instead: concurrent runs each
+    read their own cell, not each other's work. *)
+
+(** {2 Per-run key-build attribution} *)
+
+type key_counters
+(** An attribution cell: atomic, shareable across the domains of one
+    search. *)
+
+val fresh_counters : unit -> key_counters
+
+val counters_stats : key_counters -> int * int * float
+(** [(builds, cache_hits, build_seconds)] recorded into this cell. *)
+
+val with_counters : key_counters -> (unit -> 'a) -> 'a
+(** Run [f] with [c] installed as the calling domain's ambient cell
+    (restored afterwards): every {!key} build or cache hit inside is
+    credited to [c] in addition to the process-wide totals.  The cell is
+    domain-local — code that fans work out to other domains re-installs
+    it in each worker (the search engine and stub enumerator do). *)
+
+val ambient : unit -> key_counters option
+(** The calling domain's current cell, for propagating into spawned
+    workers. *)
 
 val complexity : t -> float
 (** [|var(Φ)| * density(Φ)] — mean per-element distinct-symbol count

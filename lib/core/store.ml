@@ -1,0 +1,106 @@
+include Pstore
+
+let schema = "stenso.store/1"
+
+let outcome_key ~spec_key ~stub_fp ~config_fp ~model_id =
+  String.concat "\x00" [ model_id; config_fp; stub_fp; spec_key ]
+
+type outcome_entry = {
+  version : string;
+  original : string;
+  optimized : string;
+  improved : bool;
+  original_cost : float;
+  optimized_cost : float;
+  stats : Search.stats;
+}
+
+let stats_json (s : Search.stats) =
+  Json.Obj
+    [
+      ("nodes", Json.Int s.nodes);
+      ("decomps", Json.Int s.decomps);
+      ("pruned_simp", Json.Int s.pruned_simp);
+      ("pruned_bnb", Json.Int s.pruned_bnb);
+      ("memo_hits", Json.Int s.memo_hits);
+      ("memo_misses", Json.Int s.memo_misses);
+      ("elapsed", Json.Float s.elapsed);
+      ("timed_out", Json.Bool s.timed_out);
+      ("library_size", Json.Int s.library_size);
+    ]
+
+let entry_json (e : outcome_entry) =
+  Json.Obj
+    [
+      ("version", Json.Str e.version);
+      ("original", Json.Str e.original);
+      ("optimized", Json.Str e.optimized);
+      ("improved", Json.Bool e.improved);
+      ("original_cost", Json.Float e.original_cost);
+      ("optimized_cost", Json.Float e.optimized_cost);
+      ("search", stats_json e.stats);
+    ]
+
+let ( let* ) = Option.bind
+
+let stats_of_json j : Search.stats option =
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  let* nodes = int "nodes" in
+  let* decomps = int "decomps" in
+  let* pruned_simp = int "pruned_simp" in
+  let* pruned_bnb = int "pruned_bnb" in
+  let* memo_hits = int "memo_hits" in
+  let* memo_misses = int "memo_misses" in
+  let* elapsed = Option.bind (Json.member "elapsed" j) Json.to_float_opt in
+  let* timed_out = Option.bind (Json.member "timed_out" j) Json.to_bool_opt in
+  let* library_size = int "library_size" in
+  Some
+    {
+      Search.nodes;
+      decomps;
+      pruned_simp;
+      pruned_bnb;
+      memo_hits;
+      memo_misses;
+      elapsed;
+      timed_out;
+      library_size;
+    }
+
+let entry_of_json j : outcome_entry option =
+  let str name = Option.bind (Json.member name j) Json.to_string_opt in
+  let* version = str "version" in
+  let* original = str "original" in
+  let* optimized = str "optimized" in
+  let* improved = Option.bind (Json.member "improved" j) Json.to_bool_opt in
+  let* original_cost =
+    Option.bind (Json.member "original_cost" j) Json.to_float_opt
+  in
+  let* optimized_cost =
+    Option.bind (Json.member "optimized_cost" j) Json.to_float_opt
+  in
+  let* stats = Option.bind (Json.member "search" j) stats_of_json in
+  Some
+    {
+      version;
+      original;
+      optimized;
+      improved;
+      original_cost;
+      optimized_cost;
+      stats;
+    }
+
+let find_outcome t ~key =
+  match find t ~schema key with
+  | None -> None
+  | Some payload -> (
+      match entry_of_json payload with
+      | Some e -> Some e
+      | None ->
+          (* Envelope intact but payload unreadable (e.g. written by an
+             incompatible build that kept the schema id): corrupt. *)
+          invalidate t key;
+          None)
+
+let record_outcome t ~key e = add t ~schema key (entry_json e)

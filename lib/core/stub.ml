@@ -238,9 +238,17 @@ let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ~model
     let finished =
       try
         if config.jobs > 1 then
+          (* Worker domains inherit the caller's ambient key-stats cell
+             so spec-key builds stay attributed to this run. *)
+          let amb = Spec.ambient () in
+          let eval_in_worker cand =
+            match amb with
+            | Some cell -> Spec.with_counters cell (fun () -> eval d cand)
+            | None -> eval d cand
+          in
           Array.iter
             (fun cand -> guard (); accept cand)
-            (Par.map_array ~jobs:config.jobs ~chunk:32 (eval d)
+            (Par.map_array ~jobs:config.jobs ~chunk:32 eval_in_worker
                (Array.of_list tasks))
         else
           (* Single-domain path: evaluate lazily so work past the cap or
@@ -273,6 +281,79 @@ let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ~model
       ];
   { all; atom_list; by_sem; lib_env = env; hit_cap = !hit_cap;
     attempts = !attempts }
+
+(* Canonical identity of an enumeration: everything the resulting
+   library depends on.  [deadline] and [jobs] are deliberately excluded
+   — [jobs] never changes the library (registration is sequential) and
+   [deadline] only truncates it, which the cache accepts as the answer
+   for the run that built it. *)
+let fingerprint (config : config) ~consts (env : Types.env) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "stub:d=%d,max=%d,ext=%b,full=%b" config.depth
+       config.max_stubs config.extended_ops config.full_binary);
+  Buffer.add_string buf ";consts=";
+  List.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%.17g," c))
+    (List.sort_uniq compare consts);
+  Buffer.add_string buf ";env=";
+  List.iter
+    (fun ((name, vt) : string * Types.vt) ->
+      Buffer.add_string buf
+        (Format.asprintf "%s:%a|" name Types.pp_vt vt))
+    env;
+  Buffer.contents buf
+
+(* Share one enumerated library per (config, consts, env, model)
+   fingerprint: the suite driver and the serve daemon optimize many
+   programs over recurring input environments, and enumeration is a
+   fixed cost per environment, not per program.  A slot under
+   construction is awaited, not rebuilt, so concurrent requests for the
+   same environment enumerate exactly once. *)
+module Cache = struct
+  type slot = Building | Ready of library
+
+  type cache = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    slots : (string, slot) Hashtbl.t;
+  }
+
+  let create () =
+    { lock = Mutex.create (); cond = Condition.create (); slots = Hashtbl.create 16 }
+
+  let enumerate cache ?(config = default_config) ?tel ~model ~consts env =
+    let key =
+      fingerprint config ~consts env ^ ";model=" ^ model.Cost.Model.name
+    in
+    let rec obtain () =
+      match Hashtbl.find_opt cache.slots key with
+      | Some (Ready lib) -> `Hit lib
+      | Some Building ->
+          Condition.wait cache.cond cache.lock;
+          obtain ()
+      | None ->
+          Hashtbl.replace cache.slots key Building;
+          `Build
+    in
+    match Mutex.protect cache.lock obtain with
+    | `Hit lib -> (lib, true)
+    | `Build ->
+        let finish slot =
+          Mutex.protect cache.lock (fun () ->
+              (match slot with
+              | Some lib -> Hashtbl.replace cache.slots key (Ready lib)
+              | None -> Hashtbl.remove cache.slots key);
+              Condition.broadcast cache.cond)
+        in
+        (match enumerate ?tel ~config ~model ~consts env with
+        | lib ->
+            finish (Some lib);
+            (lib, false)
+        | exception e ->
+            finish None;
+            raise e)
+end
 
 let lookup_exact lib spec = Hashtbl.find_opt lib.by_sem (Spec.key spec)
 

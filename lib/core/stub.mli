@@ -56,6 +56,38 @@ val enumerate :
     (candidates examined, stubs kept, elapsed seconds) and a final
     [stub.library] summary. *)
 
+val fingerprint : config -> consts:float list -> Dsl.Types.env -> string
+(** Canonical identity of an enumeration: the config fields that shape
+    the library ([depth], [max_stubs], [extended_ops], [full_binary]),
+    the constant terminals, and the input environment.  [jobs] and
+    [deadline] are excluded — the former never changes the library, the
+    latter only truncates it.  Two calls with equal fingerprints (and
+    the same cost model) produce interchangeable libraries; this keys
+    both {!Cache} and the persistent outcome store. *)
+
+(** Share one enumerated library per [(config, consts, env, model)]
+    fingerprint across many synthesis runs — the suite driver and the
+    serve daemon hit the same input environments over and over, and
+    enumeration is a per-environment fixed cost. *)
+module Cache : sig
+  type cache
+
+  val create : unit -> cache
+
+  val enumerate :
+    cache ->
+    ?config:config ->
+    ?tel:Obs.Telemetry.t ->
+    model:Cost.Model.t ->
+    consts:float list ->
+    Dsl.Types.env ->
+    library * bool
+  (** The library for this fingerprint, built on first request and
+      shared afterwards; the flag is [true] when it was served from the
+      cache.  Concurrent requests for a fingerprint under construction
+      block until it is ready instead of re-enumerating. *)
+end
+
 val stubs : library -> t list
 val atoms : library -> t list
 val size : library -> int

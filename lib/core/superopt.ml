@@ -9,6 +9,7 @@ type outcome = {
   optimized_cost : float;
   search : Search.result;
   verified : bool;
+  from_cache : bool;
 }
 
 let consts_of prog =
@@ -57,15 +58,32 @@ let robust_equivalent ~env a b =
   || Dsl.Sexec.equivalent env' a b
 
 let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
-    ~model ~env prog =
+    ?stub_cache ?spec ~model ~env prog =
   let original_cost = Cost.Model.program_cost model env prog in
   let spec =
-    Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
-        Dsl.Sexec.exec_env env prog)
+    match spec with
+    | Some s -> s
+    | None ->
+        Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
+            Dsl.Sexec.exec_env env prog)
+  in
+  let consts = consts_of prog in
+  let library =
+    match stub_cache with
+    | None -> None
+    | Some cache ->
+        let lib, shared =
+          Obs.Telemetry.span tel "phase.stub_enum" (fun () ->
+              Stub.Cache.enumerate cache ~config:config.Search.stub_config
+                ~tel ~model ~consts env)
+        in
+        if shared && Obs.Telemetry.enabled tel then
+          Obs.Telemetry.incr tel "stub.cache_hits";
+        Some lib
   in
   let search =
-    Search.run ~tel ~config ~model ~env ~spec ~initial_bound:original_cost
-      ~consts:(consts_of prog) ()
+    Search.run ~tel ~config ?library ~model ~env ~spec
+      ~initial_bound:original_cost ~consts ()
   in
   (* Re-estimate the synthesized program as a whole: search-time cost
      accumulation prices holes at collapsed shapes, which is the right
@@ -90,6 +108,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
           optimized_cost = search.cost;
           search;
           verified;
+          from_cache = false;
         }
       else begin
         (* The candidate failed re-verification (for example a rewrite
@@ -107,6 +126,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
           optimized_cost = original_cost;
           search;
           verified = true;
+          from_cache = false;
         }
       end
   | _ ->
@@ -118,14 +138,104 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
         optimized_cost = original_cost;
         search;
         verified = true;
+        from_cache = false;
       }
 
-let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?model ~env
-    prog =
+(* The full store key for one request: what will be synthesized (the
+   spec), from what material (stub fingerprint: env, consts, grammar),
+   under which search parameters (config fingerprint) and which cost
+   notion (model id). *)
+let store_key ~config ~model ~env ~spec prog =
+  let search = Config.search_config config in
+  Store.outcome_key ~spec_key:(Spec.key spec)
+    ~stub_fp:
+      (Stub.fingerprint search.Search.stub_config ~consts:(consts_of prog) env)
+    ~config_fp:(Config.fingerprint config)
+    ~model_id:model.Cost.Model.name
+
+(* Reconstitute an outcome from a store entry.  The entry's program text
+   must still parse, type-check and match this request's environment —
+   anything else means the entry is stale or corrupt and is invalidated
+   so the search runs instead. *)
+let outcome_of_entry ~env prog (e : Store.outcome_entry) : outcome option =
+  match Dsl.Parser.program e.optimized with
+  | exception _ -> None
+  | entry_env, optimized ->
+      if entry_env <> env then None
+      else if not (Dsl.Types.well_typed env optimized) then None
+      else
+        Some
+          {
+            original = prog;
+            optimized;
+            improved = e.improved;
+            original_cost = e.original_cost;
+            optimized_cost = e.optimized_cost;
+            search =
+              {
+                Search.program = (if e.improved then Some optimized else None);
+                cost = e.optimized_cost;
+                stats = e.stats;
+              };
+            verified = true;
+            from_cache = true;
+          }
+
+let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
+    ?stub_cache ?model ~env prog =
   let model =
     match model with Some m -> m | None -> Config.model ~tel config
   in
-  superoptimize ~tel ~config:(Config.search_config config) ~model ~env prog
+  let search_config = Config.search_config config in
+  match store with
+  | None -> superoptimize ~tel ~config:search_config ?stub_cache ~model ~env prog
+  | Some store -> (
+      let spec =
+        Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
+            Dsl.Sexec.exec_env env prog)
+      in
+      let key = store_key ~config ~model ~env ~spec prog in
+      let cached =
+        match Store.find_outcome store ~key with
+        | None -> None
+        | Some entry -> (
+            match outcome_of_entry ~env prog entry with
+            | Some o -> Some o
+            | None ->
+                Store.invalidate store key;
+                None)
+      in
+      match cached with
+      | Some outcome ->
+          (* Check-before-search: served without entering [Search]. *)
+          Obs.Telemetry.incr tel "store.hits";
+          Obs.Telemetry.event tel "store.serve"
+            [
+              ("key", Obs.Telemetry.Str (Store.digest key));
+              ("improved", Obs.Telemetry.Bool outcome.improved);
+            ];
+          outcome
+      | None ->
+          Obs.Telemetry.incr tel "store.misses";
+          let outcome =
+            superoptimize ~tel ~config:search_config ?stub_cache ~spec ~model
+              ~env prog
+          in
+          (* Record-after-search.  Unverified candidates never reach the
+             outcome (superoptimize falls back to the original), so
+             every recorded entry is correct by construction. *)
+          if outcome.verified then
+            Store.record_outcome store ~key
+              {
+                Store.version = Version.current;
+                original = Dsl.Parser.unparse env outcome.original;
+                optimized = Dsl.Parser.unparse env outcome.optimized;
+                improved = outcome.improved;
+                original_cost = outcome.original_cost;
+                optimized_cost = outcome.optimized_cost;
+                stats = outcome.search.stats;
+              };
+          outcome)
 
 let validate_concrete ?(trials = 16) ?(max_draws = 512) ~env a b =
   let st = Random.State.make [| 0xbeef |] in

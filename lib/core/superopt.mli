@@ -19,6 +19,9 @@ type outcome = {
       (** symbolic equivalence of [optimized] and [original]; always
           true for [improved] outcomes (enforced), trivially true
           otherwise *)
+  from_cache : bool;
+      (** served from the persistent store without entering the search
+          (only possible through {!optimize} with a store) *)
 }
 
 val consts_of : Dsl.Ast.t -> float list
@@ -28,17 +31,25 @@ val consts_of : Dsl.Ast.t -> float list
 val superoptimize :
   ?tel:Obs.Telemetry.t ->
   ?config:Search.config ->
+  ?stub_cache:Stub.Cache.cache ->
+  ?spec:Spec.t ->
   model:Cost.Model.t ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
   outcome
 (** [tel] (default {!Telemetry.null}) receives the full synthesis trace:
     phase spans ([phase.symbolic_exec], [phase.stub_enum],
-    [phase.search]), search counters and the bound trajectory. *)
+    [phase.search]), search counters and the bound trajectory.
+    [stub_cache] shares one enumerated stub library per input
+    environment across calls (see {!Stub.Cache}); [spec], when the
+    caller has already symbolically executed the program, skips the
+    redundant execution. *)
 
 val optimize :
   ?tel:Obs.Telemetry.t ->
   ?config:Config.t ->
+  ?store:Store.t ->
+  ?stub_cache:Stub.Cache.cache ->
   ?model:Cost.Model.t ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
@@ -46,7 +57,15 @@ val optimize :
 (** {!superoptimize} driven by the builder-style {!Config} surface.
     When [model] is omitted it is instantiated from the configuration
     ({!Config.model}), wired to the same [tel] — pass one explicitly to
-    share a measured model's profiling table across many calls. *)
+    share a measured model's profiling table across many calls.
+
+    With [store], serving is cache-first: the request key (spec +
+    fingerprints + model id, {!Store.outcome_key}) is looked up before
+    the search — a hit reconstitutes the outcome (with
+    [outcome.from_cache] set, [store.hits] bumped, and a [store.serve]
+    event in the trace) without entering {!Search}, and every verified
+    fresh outcome is recorded after the search.  A stale or undecodable
+    entry is invalidated and the search runs normally. *)
 
 val robust_equivalent :
   env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool

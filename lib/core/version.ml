@@ -1,0 +1,7 @@
+(* The build identity stamped into everything this tree emits: the CLI's
+   [--version], suite reports ([stenso.suite-report/1] gained a
+   [version] field), persistent-store entries ([stenso.store/1]) and
+   serve responses ([stenso.serve/1]).  Bump on releases; archived
+   BENCH_*.json trajectory points and cache entries then record which
+   build produced them. *)
+let current = "0.3.0"

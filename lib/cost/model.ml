@@ -225,13 +225,23 @@ let load_cache table file =
             done
           with End_of_file -> ())
 
-let append_cache file key v =
-  match open_out_gen [ Open_append; Open_creat ] 0o644 file with
-  | exception Sys_error _ -> ()
-  | oc ->
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> Printf.fprintf oc "%s\t%.17g\n" key v)
+(* The whole table is rewritten through the store's atomic
+   write-rename path: a concurrent reader never observes a torn file,
+   and two processes profiling against the same cache file converge on
+   the union of their tables (each write reload-merges the file first,
+   and timings for a given fingerprint agree up to noise). *)
+let save_cache file table =
+  let merged = Hashtbl.copy table in
+  load_cache merged file;
+  Hashtbl.iter (Hashtbl.replace merged) table;
+  let lines =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, v) -> Printf.sprintf "%s\t%.17g\n" k v)
+  in
+  match Pstore.write_atomic file (String.concat "" lines) with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) -> ()
 
 let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
     ?(overhead = 5e-7) ?cache_file () =
@@ -285,7 +295,7 @@ let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
               Obs.Telemetry.Acc.add profile_secs
                 (Unix.gettimeofday () -. t0);
               Hashtbl.replace table key c;
-              Option.iter (fun f -> append_cache f key c) cache_file;
+              Option.iter (fun f -> save_cache f table) cache_file;
               c)
     in
     measured_time +. overhead

@@ -499,3 +499,23 @@ let expression src =
   | EOF -> ()
   | t -> fail "trailing input after expression: %s" (pp_token t));
   e
+
+(* The inverse of [program]: render an environment and expression back
+   to the surface syntax, such that [program (unparse env e)] yields the
+   same environment and AST.  Shared by the CLI's program output and the
+   persistent store's cached-outcome entries, so both always produce the
+   byte-identical text for a given program. *)
+let unparse (env : Types.env) (prog : Ast.t) =
+  let render_vt (vt : Types.vt) =
+    Printf.sprintf "%s[%s]"
+      (match vt.dtype with Types.Float -> "f32" | Types.Bool -> "bool")
+      (String.concat ", " (Array.to_list (Array.map string_of_int vt.shape)))
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, vt) ->
+      Buffer.add_string buf
+        (Printf.sprintf "input %s : %s\n" name (render_vt vt)))
+    env;
+  Buffer.add_string buf (Format.asprintf "return %a\n" Ast.pp prog);
+  Buffer.contents buf

@@ -21,3 +21,11 @@ val program : string -> Types.env * Ast.t
 
 val expression : string -> Ast.t
 (** Parse a bare expression (no declarations). *)
+
+val unparse : Types.env -> Ast.t -> string
+(** Render a program back to the surface syntax accepted by {!program}
+    ([input] declarations in environment order, then [return]); the
+    round trip [program (unparse env e)] reproduces [(env, e)].  This is
+    the canonical program rendering: the CLI's output files and the
+    persistent store's cached entries both use it, so "byte-identical
+    program" is well defined across them. *)

@@ -7,22 +7,18 @@ type bench_result = {
 
 type t = { results : bench_result list; elapsed : float }
 
-let run ?(config = Stenso.Config.default) ?model ?(jobs = 1) ?(trace = false)
-    ?on_result benches =
+let run ?(config = Stenso.Config.default) ?model ?store ?(jobs = 1)
+    ?(trace = false) ?on_result benches =
   let model =
     match model with Some m -> m | None -> Stenso.Config.model config
   in
   (* Benchmarks are the unit of parallelism here: each search runs
      single-domain so [jobs] bounds total concurrency, and each honours
      its own timeout, isolating slow benchmarks to their worker. *)
-  let search =
-    let s = Stenso.Config.search_config config in
-    {
-      s with
-      Stenso.Search.jobs = 1;
-      stub_config = { s.stub_config with Stenso.Stub.jobs = 1 };
-    }
-  in
+  let run_config = Stenso.Config.with_jobs 1 config in
+  (* Benchmarks sharing an input environment (and stub grammar) share
+     one enumerated library instead of re-enumerating per benchmark. *)
+  let stub_cache = Stenso.Stub.Cache.create () in
   let emit =
     match on_result with
     | None -> fun _ -> ()
@@ -37,8 +33,8 @@ let run ?(config = Stenso.Config.default) ?model ?(jobs = 1) ?(trace = false)
       if trace then Stenso.Telemetry.create () else Stenso.Telemetry.null
     in
     let outcome =
-      Stenso.Superopt.superoptimize ~tel ~config:search ~model ~env:b.env
-        b.program
+      Stenso.Superopt.optimize ~tel ~config:run_config ?store ~stub_cache
+        ~model ~env:b.env b.program
     in
     let r =
       { bench = b; outcome; elapsed = Unix.gettimeofday () -. t0; tel }
@@ -113,6 +109,7 @@ let report ?(config = Stenso.Config.default) t : Json.t =
   Json.Obj
     [
       ("schema", Json.Str schema_version);
+      ("version", Json.Str Stenso.Version.current);
       ( "estimator",
         Json.Str (Stenso.Config.estimator_name (Stenso.Config.estimator config))
       );
@@ -138,6 +135,15 @@ let validate_report (j : Json.t) : (unit, string) result =
   let* () =
     if String.equal schema schema_version then Ok ()
     else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  (* [version] arrived after the schema froze: absent in archived
+     reports, so optional — but a string when present. *)
+  let* () =
+    match Json.member "version" j with
+    | None -> Ok ()
+    | Some v ->
+        if Option.is_some (Json.to_string_opt v) then Ok ()
+        else Error "mistyped field \"version\""
   in
   let* _ = need "estimator" Json.to_string_opt j in
   let* _ = need "jobs" Json.to_int_opt j in

@@ -30,6 +30,7 @@ type t = {
 val run :
   ?config:Stenso.Config.t ->
   ?model:Cost.Model.t ->
+  ?store:Stenso.Store.t ->
   ?jobs:int ->
   ?trace:bool ->
   ?on_result:(bench_result -> unit) ->
@@ -39,11 +40,15 @@ val run :
     shapes.  [jobs] (default 1) sizes the benchmark pool; the search
     config's own [jobs] field is overridden to 1 inside the pool.
     [model] defaults to [Config.model config] built once and shared —
-    the measured estimator's profiling table is domain-safe.  [trace]
-    (default false) gives each benchmark a fresh recording sink (search
-    counters, phase spans, bound trajectory) on its result.  [on_result]
-    is invoked as each benchmark finishes (serialized by a mutex;
-    ordering follows completion, not input order). *)
+    the measured estimator's profiling table is domain-safe.  [store]
+    serves benchmarks cache-first from the persistent synthesis store
+    and records fresh outcomes into it ({!Stenso.Superopt.optimize}).
+    Benchmarks sharing an input environment share one enumerated stub
+    library per run regardless.  [trace] (default false) gives each
+    benchmark a fresh recording sink (search counters, phase spans,
+    bound trajectory) on its result.  [on_result] is invoked as each
+    benchmark finishes (serialized by a mutex; ordering follows
+    completion, not input order). *)
 
 val schema_version : string
 (** ["stenso.suite-report/1"]. *)

@@ -28,9 +28,54 @@ echo "parallel-vs-sequential smoke check passed"
 # the BENCH_*.json performance trajectory is archived in), and a traced
 # optimize must produce parseable NDJSON.
 report=$(mktemp)
-trap 'rm -f "$report"' EXIT
+scratch=$(mktemp -d)
+trap 'rm -f "$report"; rm -rf "$scratch"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 dune exec --no-build bin/stenso_cli.exe -- suite \
   --benchmarks diag_dot,common_factor,sum_stack --cost-estimator flops \
   --report "$report" --quiet > /dev/null
 dune exec --no-build bin/stenso_cli.exe -- report "$report"
 echo "suite-report smoke check passed"
+
+# Serve smoke check: a daemon against a fresh store directory must
+# answer the same request twice, the second time from the store
+# (cache_hit:true), and shut down cleanly on SIGTERM.  The daemon runs
+# from the built binary directly so the signal reaches it, not a dune
+# wrapper.
+stenso=_build/default/bin/stenso_cli.exe
+socket="$scratch/stenso.sock"
+printf 'input A : f32[2,2]\ninput B : f32[2,2]\nreturn np.exp(np.log(A + B))\n' \
+  > "$scratch/prog.tdsl"
+"$stenso" serve \
+  --socket "$socket" --store-dir "$scratch/store" \
+  --cost-estimator flops --timeout 60 --workers 2 > /dev/null &
+serve_pid=$!
+i=0
+while [ ! -S "$socket" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: serve daemon never bound its socket" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+first=$("$stenso" request \
+  --socket "$socket" --program "$scratch/prog.tdsl" --id ci-1)
+second=$("$stenso" request \
+  --socket "$socket" --program "$scratch/prog.tdsl" --id ci-2)
+case "$first" in
+  *'"ok":true'*) ;;
+  *) echo "FAIL: first serve request did not succeed: $first" >&2; exit 1 ;;
+esac
+case "$second" in
+  *'"cache_hit":true'*) ;;
+  *) echo "FAIL: second serve request was not a cache hit: $second" >&2
+     exit 1 ;;
+esac
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+if [ -S "$socket" ]; then
+  echo "FAIL: serve daemon left its socket behind" >&2
+  exit 1
+fi
+echo "serve smoke check passed"

@@ -17,6 +17,7 @@ let () =
       ("config", Test_config.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("store", Test_store.suite);
       ("frameworks", Test_frameworks.suite);
       ("baseline", Test_baseline.suite);
       ("rules", Test_rules.suite);
