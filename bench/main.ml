@@ -27,8 +27,13 @@ let jobs = ref 1
 
 (* `--report FILE`: write the synthesis phase as a stenso.suite-report/1
    JSON document (same schema as `stenso suite --report`), for archiving
-   as a BENCH_*.json performance-trajectory point. *)
+   as a BENCH_*.json performance-trajectory point.  The `vm` section
+   instead writes a stenso.exec-bench/1 document to the same path. *)
 let report_file : string option ref = ref None
+
+(* `--engine NAME`: execution engine behind the measured cost model of
+   the synthesis phase (vm | interp). *)
+let engine : Stenso.Exec.kind ref = ref `Vm
 
 let emit_file rel contents =
   match !out_dir with
@@ -77,7 +82,7 @@ type synthesis = {
   opt_perf : Ast.t;  (** optimized program usable at perf shapes *)
 }
 
-let model = lazy (Cost.Model.measured ())
+let model = lazy (Cost.Model.measured ~engine:!engine ())
 
 let synthesize_all () =
   Printf.printf
@@ -530,6 +535,139 @@ let scaling () =
     [ 2; 4; 6; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Execution engines: interpreter vs compiled VM                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimum of per-batch means with doubling batches — the same robust
+   statistic the measured cost model uses. *)
+let time_min ~budget f =
+  f ();
+  let best = ref infinity in
+  let total = ref 0. and reps = ref 1 in
+  while !total < budget do
+    let batch = !reps in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let per = dt /. float_of_int batch in
+    if per < !best then best := per;
+    total := !total +. dt;
+    reps := !reps * 2
+  done;
+  !best
+
+let exec_micro =
+  [
+    ( "saxpy",
+      "input A : f32[512,512]\ninput B : f32[512,512]\n\
+       return A * 1.5 + B" );
+    ( "lerp",
+      "input A : f32[512,512]\ninput B : f32[512,512]\n\
+       return A + (B - A) * 0.25" );
+    ( "dist",
+      "input A : f32[512,512]\ninput B : f32[512,512]\n\
+       return np.sqrt(A * A + B * B)" );
+    ( "clamp_mask",
+      "input A : f32[512,512]\ninput B : f32[512,512]\n\
+       return np.where(np.less(A, B), A, B)" );
+    ( "poly3",
+      "input A : f32[512,512]\n\
+       return A * A * A + A * A * 2.0 + A * 0.5 + 1.0" );
+    ( "row_scale",
+      "input A : f32[512,512]\ninput S : f32[512]\nreturn A * S + A" );
+    ( "sum_prod",
+      "input A : f32[512,512]\ninput B : f32[512,512]\n\
+       return np.sum(A * B, 0)" );
+    ( "sum_all",
+      "input A : f32[512,512]\ninput B : f32[512,512]\n\
+       return np.sum(A + B)" );
+    ( "normalize", "input A : f32[512,512]\nreturn A / np.sum(A)" );
+    ( "max_rows", "input A : f32[512,512]\nreturn np.max(A, 1)" );
+  ]
+
+let exec_bench ~full () =
+  header
+    "Execution engines: tree-walking interpreter vs compiled VM\n\
+     elementwise/reduction microbenchmarks; per-iteration wall-clock,\n\
+     minimum of doubling batches";
+  let budget = if full then 0.5 else 0.1 in
+  Printf.printf "%-12s %12s %12s %9s  %s\n" "Benchmark" "interp" "vm"
+    "speedup" "plan (steps, fused, reused, arena)";
+  Printf.printf "%s\n" subline;
+  let rows =
+    List.map
+      (fun (name, source) ->
+        let env, prog = Dsl.Parser.program source in
+        ignore (Dsl.Types.infer env prog);
+        let st = Random.State.make [| 0xe4ec |] in
+        let inputs = Dsl.Interp.random_inputs st env in
+        let lookup n = List.assoc n inputs in
+        let compiled = Stenso.Exec.compile ~env prog in
+        let ti =
+          time_min ~budget (fun () ->
+              ignore (Dsl.Interp.eval_alist inputs prog))
+        in
+        let tv =
+          time_min ~budget (fun () -> ignore (Stenso.Exec.run compiled lookup))
+        in
+        let s = Stenso.Exec.stats compiled in
+        let speedup = ti /. tv in
+        Printf.printf "%-12s %10.1fus %10.1fus %8.2fx  (%d, %d, %d, %dB)\n"
+          name (ti *. 1e6) (tv *. 1e6) speedup s.steps s.ops_fused
+          s.buffers_reused s.arena_bytes;
+        (name, ti, tv, speedup, s))
+      exec_micro
+  in
+  let g = geomean (List.map (fun (_, _, _, s, _) -> s) rows) in
+  Printf.printf "%s\n" subline;
+  Printf.printf "%-12s %36.2fx geomean\n" "" g;
+  emit_csv "exec_vm"
+    [ "benchmark"; "interp_seconds"; "vm_seconds"; "speedup" ]
+    (List.map
+       (fun (name, ti, tv, s, _) ->
+         [ name; Printf.sprintf "%.9g" ti; Printf.sprintf "%.9g" tv;
+           Printf.sprintf "%.4f" s ])
+       rows);
+  match !report_file with
+  | None -> ()
+  | Some path ->
+      let module J = Stenso.Telemetry.Json in
+      let doc =
+        J.Obj
+          [
+            ("schema", J.Str "stenso.exec-bench/1");
+            ("version", J.Str Stenso.Version.current);
+            ("n_benchmarks", J.Int (List.length rows));
+            ("geomean_speedup", J.Float g);
+            ( "results",
+              J.List
+                (List.map
+                   (fun (name, ti, tv, s, (st : Stenso.Exec.stats)) ->
+                     J.Obj
+                       [
+                         ("name", J.Str name);
+                         ("interp_seconds", J.Float ti);
+                         ("vm_seconds", J.Float tv);
+                         ("speedup", J.Float s);
+                         ("steps", J.Int st.steps);
+                         ("ops_fused", J.Int st.ops_fused);
+                         ("buffers_reused", J.Int st.buffers_reused);
+                         ("arena_bytes", J.Int st.arena_bytes);
+                       ])
+                   rows) );
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (J.to_string doc);
+          output_char oc '\n');
+      Printf.printf "  wrote exec-bench report to %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: real wall-clock on the tensor substrate                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -617,6 +755,11 @@ let () =
     | "--report" :: path :: rest ->
         report_file := Some path;
         strip_out acc rest
+    | "--engine" :: name :: rest ->
+        (match Stenso.Exec.kind_of_string name with
+        | Some k -> engine := k
+        | None -> failwith ("unknown engine " ^ name));
+        strip_out acc rest
     | a :: rest -> strip_out (a :: acc) rest
     | [] -> List.rev acc
   in
@@ -641,6 +784,7 @@ let () =
   if want "rules" then rules (need results);
   if want "egraph" then egraph (need results);
   if want "ablation" then ablations ();
+  if want "vm" then exec_bench ~full ();
   if want "masking" then masking ();
   if want "scaling" then scaling ();
   if want "bechamel" then bechamel (need results)

@@ -39,7 +39,12 @@ let open_store ~tel store_dir =
   in
   Stenso.Store.open_store ~tel ~dir ()
 
-let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
+let engine_of engine =
+  match Stenso.Config.engine_of_string engine with
+  | Ok e -> e
+  | Error msg -> die "%s" msg
+
+let config_of ~estimator ~engine ~timeout ~jobs ~no_bnb ~no_simplification
     ~extended_ops ~cost_cache =
   let estimator =
     match Stenso.Config.estimator_of_string estimator with
@@ -48,6 +53,7 @@ let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
   in
   Stenso.Config.default
   |> Stenso.Config.with_estimator estimator
+  |> Stenso.Config.with_engine (engine_of engine)
   |> Stenso.Config.with_timeout timeout
   |> Stenso.Config.with_jobs jobs
   |> Stenso.Config.with_bnb (not no_bnb)
@@ -61,7 +67,7 @@ let config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
 (* stenso optimize                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let optimize_run program_path synth_out estimator timeout jobs no_bnb
+let optimize_run program_path synth_out estimator engine timeout jobs no_bnb
     no_simplification extended_ops cost_cache no_store store_dir trace verbose
     =
   let source =
@@ -72,7 +78,7 @@ let optimize_run program_path synth_out estimator timeout jobs no_bnb
   let env, prog = Dsl.Parser.program source in
   ignore (Dsl.Types.infer env prog);
   let config =
-    config_of ~estimator ~timeout ~jobs ~no_bnb ~no_simplification
+    config_of ~estimator ~engine ~timeout ~jobs ~no_bnb ~no_simplification
       ~extended_ops ~cost_cache
   in
   let tel =
@@ -131,8 +137,8 @@ let select_benchmarks names =
           | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
         names
 
-let suite_run list_only names jobs timeout estimator cost_cache use_store
-    store_dir out report quiet =
+let suite_run list_only names jobs timeout estimator engine cost_cache
+    use_store store_dir out report quiet =
   if list_only then
     List.iter
       (fun (b : Suite.Benchmarks.t) ->
@@ -142,7 +148,7 @@ let suite_run list_only names jobs timeout estimator cost_cache use_store
   else begin
     let benches = select_benchmarks names in
     let config =
-      config_of ~estimator ~timeout ~jobs ~no_bnb:false
+      config_of ~estimator ~engine ~timeout ~jobs ~no_bnb:false
         ~no_simplification:false ~extended_ops:false ~cost_cache
     in
     let on_result (r : Suite.Driver.bench_result) =
@@ -204,6 +210,57 @@ let suite_run list_only names jobs timeout estimator cost_cache use_store
       Printf.printf "# %d/%d improved, %.1fs wall clock\n" improved
         (List.length results) elapsed
   end
+
+(* ------------------------------------------------------------------ *)
+(* stenso run                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_run program_path engine seed trace verbose =
+  (* Execute a program on random seeded inputs through the selected
+     engine — a quick way to exercise the compiled path and inspect its
+     fusion/arena statistics on a concrete program. *)
+  let source = read_file program_path in
+  let env, prog = Dsl.Parser.program source in
+  ignore (Dsl.Types.infer env prog);
+  let engine = engine_of engine in
+  let tel =
+    match trace with
+    | Some _ -> Stenso.Telemetry.create ()
+    | None -> Stenso.Telemetry.null
+  in
+  let st = Random.State.make [| seed |] in
+  let inputs = Dsl.Interp.random_inputs st env in
+  let lookup n = List.assoc n inputs in
+  let t0 = Unix.gettimeofday () in
+  let result, stats =
+    match engine with
+    | `Interp -> (Stenso.Exec.eval ~tel `Interp ~env lookup prog, None)
+    | `Vm ->
+        let compiled = Stenso.Exec.compile ~tel ~env prog in
+        (Stenso.Exec.run compiled lookup, Some (Stenso.Exec.stats compiled))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if verbose then begin
+    Format.printf "# engine %s, seed %d, %.6fs@\n"
+      (Stenso.Config.engine_name engine)
+      seed elapsed;
+    match stats with
+    | None -> ()
+    | Some s ->
+        Format.printf
+          "# plan: %d IR nodes, %d steps, %d ops fused, %d consts folded,@\n\
+           # %d buffers reused, arena %d slots / %d bytes@\n"
+          s.ir_nodes s.steps s.ops_fused s.consts_folded s.buffers_reused
+          s.arena_slots s.arena_bytes
+  end;
+  Format.printf "%a@." Tensor.Ftensor.pp result;
+  match trace with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Stenso.Telemetry.write_ndjson tel oc)
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* stenso profile                                                      *)
@@ -290,8 +347,8 @@ let default_socket =
 let serve_run socket workers queue_capacity estimator timeout no_bnb
     no_simplification extended_ops cost_cache no_store store_dir trace =
   let config =
-    config_of ~estimator ~timeout ~jobs:1 ~no_bnb ~no_simplification
-      ~extended_ops ~cost_cache
+    config_of ~estimator ~engine:"vm" ~timeout ~jobs:1 ~no_bnb
+      ~no_simplification ~extended_ops ~cost_cache
   in
   let tel =
     match trace with
@@ -314,7 +371,7 @@ let serve_run socket workers queue_capacity estimator timeout no_bnb
         (fun () -> Stenso.Telemetry.write_ndjson tel oc)
   | None -> ()
 
-let request_run socket program_path id estimator timeout =
+let request_run socket program_path id estimator timeout io_timeout =
   let module J = Stenso.Telemetry.Json in
   let source =
     match program_path with
@@ -333,7 +390,10 @@ let request_run socket program_path id estimator timeout =
     @ [ ("program", J.Str source) ]
     @ (match overrides with [] -> [] | o -> [ ("config", J.Obj o) ])
   in
-  match Stenso.Serve.request ~socket (J.to_string (J.Obj fields)) with
+  match
+    Stenso.Serve.request ~timeout:io_timeout ~socket
+      (J.to_string (J.Obj fields))
+  with
   | Error msg -> die "%s" msg
   | Ok resp ->
       print_endline resp;
@@ -378,6 +438,15 @@ let timeout_arg =
     value & opt float 600.
     & info [ "timeout" ] ~docv:"SECONDS"
         ~doc:"Synthesis time budget (per benchmark for $(b,suite)).")
+
+let engine_arg =
+  Arg.(
+    value & opt string "vm"
+    & info [ "engine" ] ~docv:"NAME"
+        ~doc:
+          "Execution engine for concrete runs (measured-model profiling \
+           and candidate validation): $(b,vm) (compiled, default) or \
+           $(b,interp) (tree-walking reference).")
 
 let jobs_arg =
   Arg.(
@@ -457,8 +526,9 @@ let trace_arg =
 let optimize_term =
   Term.(
     const optimize_run $ program_arg $ synth_out_arg $ estimator_arg
-    $ timeout_arg $ jobs_arg $ no_bnb_arg $ no_simp_arg $ extended_ops_arg
-    $ cost_cache_arg $ no_store_arg $ store_dir_arg $ trace_arg $ verbose_arg)
+    $ engine_arg $ timeout_arg $ jobs_arg $ no_bnb_arg $ no_simp_arg
+    $ extended_ops_arg $ cost_cache_arg $ no_store_arg $ store_dir_arg
+    $ trace_arg $ verbose_arg)
 
 let optimize_cmd =
   Cmd.v
@@ -521,8 +591,32 @@ let suite_cmd =
           pool.")
     Term.(
       const suite_run $ list_arg $ benchmarks_arg $ jobs_arg $ timeout_arg
-      $ estimator_arg $ cost_cache_arg $ use_store_arg $ store_dir_arg
-      $ out_arg $ report_arg $ quiet_arg)
+      $ estimator_arg $ engine_arg $ cost_cache_arg $ use_store_arg
+      $ store_dir_arg $ out_arg $ report_arg $ quiet_arg)
+
+let run_cmd =
+  let prog_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PROG" ~doc:"Program file to execute.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Random seed for the generated inputs.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute one tensor program on random seeded inputs through the \
+          selected engine and print the result.  With $(b,--verbose) the \
+          compiled engine also reports its plan: steps, fused \
+          operations, folded constants, and arena reuse.")
+    Term.(
+      const run_run $ prog_pos_arg $ engine_arg $ seed_arg $ trace_arg
+      $ verbose_arg)
 
 let profile_cmd =
   let cache_arg =
@@ -610,6 +704,15 @@ let request_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Per-request synthesis budget override.")
   in
+  let io_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "io-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Transport deadline for the whole exchange: connecting to \
+             the daemon is retried with backoff until it, and the \
+             socket reads/writes are bounded by the remaining budget.")
+  in
   Cmd.v
     (Cmd.info "request"
        ~doc:
@@ -618,12 +721,20 @@ let request_cmd =
           reports $(b,ok:false) or cannot be reached.")
     Term.(
       const request_run $ socket_arg $ program_arg $ id_arg
-      $ req_estimator_arg $ req_timeout_arg)
+      $ req_estimator_arg $ req_timeout_arg $ io_timeout_arg)
 
 let cmd =
   let doc = "STENSO: tensor-program superoptimization by symbolic synthesis" in
   Cmd.group ~default:optimize_term
     (Cmd.info "stenso" ~doc ~version:Stenso.Version.current)
-    [ optimize_cmd; suite_cmd; profile_cmd; report_cmd; serve_cmd; request_cmd ]
+    [
+      optimize_cmd;
+      suite_cmd;
+      run_cmd;
+      profile_cmd;
+      report_cmd;
+      serve_cmd;
+      request_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

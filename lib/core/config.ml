@@ -4,10 +4,16 @@ type t = {
   search : Search.config;
   estimator : estimator;
   cost_cache : string option;
+  engine : Texec.Engine.kind;
 }
 
 let default =
-  { search = Search.default_config; estimator = `Measured; cost_cache = None }
+  {
+    search = Search.default_config;
+    estimator = `Measured;
+    cost_cache = None;
+    engine = `Vm;
+  }
 
 let with_search search t = { t with search }
 let with_timeout timeout t = { t with search = { t.search with timeout } }
@@ -25,6 +31,7 @@ let with_jobs jobs t =
 
 let with_estimator estimator t = { t with estimator }
 let with_cost_cache file t = { t with cost_cache = Some file }
+let with_engine engine t = { t with engine }
 let with_bnb use_bnb t = { t with search = { t.search with use_bnb } }
 
 let with_simplification use_simplification t =
@@ -69,12 +76,20 @@ let search_config t = t.search
 let jobs t = t.search.Search.jobs
 let timeout t = t.search.Search.timeout
 let estimator t = t.estimator
+let engine t = t.engine
+let engine_name = Texec.Engine.kind_name
+
+let engine_of_string s =
+  match Texec.Engine.kind_of_string s with
+  | Some k -> Ok k
+  | None -> Error (Printf.sprintf "unknown execution engine %S" s)
 
 let model ?tel t =
   match t.estimator with
   | `Flops -> Cost.Model.flops
   | `Roofline -> Cost.Model.roofline ()
-  | `Measured -> Cost.Model.measured ?tel ?cache_file:t.cost_cache ()
+  | `Measured ->
+      Cost.Model.measured ?tel ~engine:t.engine ?cache_file:t.cost_cache ()
 
 let of_search search = { default with search }
 
@@ -101,8 +116,9 @@ let fingerprint t =
   let stub = s.Search.stub_config in
   let inv = s.Search.invert_config in
   Printf.sprintf
-    "cfg:est=%s;bnb=%b;simp=%b;budget=%d;timeout=%.17g;depth=%d;memo=%b;stub[d=%d,max=%d,ext=%b,full=%b];inv[conc=%d,split=%d]"
+    "cfg:est=%s;eng=%s;bnb=%b;simp=%b;budget=%d;timeout=%.17g;depth=%d;memo=%b;stub[d=%d,max=%d,ext=%b,full=%b];inv[conc=%d,split=%d]"
     (estimator_name t.estimator)
+    (engine_name t.engine)
     s.Search.use_bnb s.Search.use_simplification s.Search.node_budget
     s.Search.timeout s.Search.max_depth s.Search.memoize stub.Stub.depth
     stub.Stub.max_stubs stub.Stub.extended_ops stub.Stub.full_binary

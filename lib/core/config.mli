@@ -23,6 +23,10 @@ type t = {
   estimator : estimator;
   cost_cache : string option;
       (** persists the measured estimator's profiling table *)
+  engine : Texec.Engine.kind;
+      (** what executes programs concretely: the measured estimator's
+          timing runs and {!Superopt.validate_concrete}'s candidate
+          evaluations (default [`Vm]) *)
 }
 
 val default : t
@@ -37,6 +41,7 @@ val with_jobs : int -> t -> t
 
 val with_estimator : estimator -> t -> t
 val with_cost_cache : string -> t -> t
+val with_engine : Texec.Engine.kind -> t -> t
 val with_bnb : bool -> t -> t
 val with_simplification : bool -> t -> t
 val with_extended_ops : bool -> t -> t
@@ -54,6 +59,7 @@ val search_config : t -> Search.config
 val jobs : t -> int
 val timeout : t -> float
 val estimator : t -> estimator
+val engine : t -> Texec.Engine.kind
 
 val model : ?tel:Obs.Telemetry.t -> t -> Cost.Model.t
 (** Instantiate the configured cost estimator.  A fresh model each call:
@@ -78,3 +84,8 @@ val estimator_of_string : string -> (estimator, string) result
 (** ["flops"], ["roofline"], or ["measured"]. *)
 
 val estimator_name : estimator -> string
+
+val engine_of_string : string -> (Texec.Engine.kind, string) result
+(** ["interp"] or ["vm"]. *)
+
+val engine_name : Texec.Engine.kind -> string

@@ -1,0 +1,3 @@
+(* Re-export of the compiled execution engine as [Stenso.Exec]; the
+   implementation lives in lib/exec (see Texec.Engine). *)
+include Texec.Engine

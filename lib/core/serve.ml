@@ -287,15 +287,45 @@ let serve ?(tel = Tel.null) ?store ?(workers = 2) ?(queue_capacity = 64)
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let request ~socket line =
+(* Connect with retry: a daemon that is still binding its socket (or
+   briefly saturated) makes [connect] fail with ENOENT / ECONNREFUSED /
+   EAGAIN; back off geometrically and retry until [deadline].  Other
+   errors (permissions, not a socket) fail immediately. *)
+let connect_with_retry ~deadline fd addr =
+  let rec go delay =
+    match Unix.connect fd addr with
+    | () -> Ok ()
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN) as e, _, _)
+      ->
+        let now = Unix.gettimeofday () in
+        if now >= deadline then Error e
+        else begin
+          Unix.sleepf (Float.min delay (deadline -. now));
+          go (Float.min (delay *. 2.) 1.)
+        end
+    | exception Unix.Unix_error (e, _, _) -> Error e
+  in
+  go 0.05
+
+let request ?(timeout = 30.) ~socket line =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | exception Unix.Unix_error (e, _, _) ->
+  let deadline = Unix.gettimeofday () +. Float.max 0. timeout in
+  match connect_with_retry ~deadline fd (Unix.ADDR_UNIX socket) with
+  | Error e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
         (Printf.sprintf "cannot connect to %s: %s" socket
            (Unix.error_message e))
-  | () -> (
+  | Ok () -> (
+      (* Bound each read/write so a hung daemon cannot block the client
+         forever; the remaining budget after connecting caps both. *)
+      let io_budget = Float.max 0.05 (deadline -. Unix.gettimeofday ()) in
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_budget;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_budget
+       with Unix.Unix_error _ -> ());
       let oc = Unix.out_channel_of_descr fd in
       let ic = Unix.in_channel_of_descr fd in
       let finish r =
@@ -311,5 +341,13 @@ let request ~socket line =
       | resp -> finish (Ok resp)
       | exception End_of_file ->
           finish (Error "connection closed without a response")
-      | exception (Sys_error _ | Unix.Unix_error _) ->
+      | exception Sys_error _ ->
+          finish (Error "transport error while talking to the daemon")
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          finish
+            (Error
+               (Printf.sprintf "no response from the daemon within %gs"
+                  timeout))
+      | exception Unix.Unix_error _ ->
           finish (Error "transport error while talking to the daemon"))

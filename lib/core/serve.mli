@@ -72,8 +72,13 @@ val serve :
 
 (** {2 Client side} *)
 
-val request : socket:string -> string -> (string, string) result
+val request : ?timeout:float -> socket:string -> string -> (string, string) result
 (** Send one request line to a running daemon and read one response
-    line.  [Error] describes a transport failure (daemon not running,
-    connection closed); protocol-level failures come back as [Ok] lines
-    with [ok:false]. *)
+    line.  [timeout] (seconds, default 30) bounds the whole exchange: a
+    daemon whose socket is not accepting yet is retried with geometric
+    backoff (50ms doubling, capped at 1s) until the deadline, and the
+    remaining budget bounds the socket reads and writes, so a hung
+    daemon yields an [Error] instead of blocking forever.  [Error]
+    describes a transport failure (daemon not running, connection
+    closed, deadline exceeded); protocol-level failures come back as
+    [Ok] lines with [ok:false]. *)

@@ -237,8 +237,21 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
               };
           outcome)
 
-let validate_concrete ?(trials = 16) ?(max_draws = 512) ~env a b =
+let validate_concrete ?(trials = 16) ?(max_draws = 512)
+    ?(engine : Texec.Engine.kind = `Vm) ~env a b =
   let st = Random.State.make [| 0xbeef |] in
+  (* The reference side [a] always goes through the tree-walking
+     interpreter; the candidate side [b] goes through the selected
+     engine, so VM-backed validation doubles as a differential test of
+     the compiled path.  Compile once, reuse across trials. *)
+  let eval_b =
+    match engine with
+    | `Interp -> fun inputs -> Dsl.Interp.eval_alist inputs b
+    | `Vm ->
+        let compiled = Texec.Engine.compile ~env b in
+        fun inputs ->
+          Texec.Engine.run compiled (fun n -> List.assoc n inputs)
+  in
   (* Rewrites hold on the engine's positive-value domain (see
      {!Symbolic.Expr}); a trial whose original already produces
      non-finite values (sqrt/log of a negative intermediate) is outside
@@ -260,7 +273,7 @@ let validate_concrete ?(trials = 16) ?(max_draws = 512) ~env a b =
     in
     if in_domain then begin
       incr effective;
-      let rb = Dsl.Interp.eval_alist inputs b in
+      let rb = eval_b inputs in
       if not (Tensor.Ftensor.for_all2 close ra rb) then ok := false
     end
   done;

@@ -77,13 +77,18 @@ val robust_equivalent :
 val validate_concrete :
   ?trials:int ->
   ?max_draws:int ->
+  ?engine:Texec.Engine.kind ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
   Dsl.Ast.t ->
   bool
 (** Differential testing on random concrete inputs — a secondary check
-    used by the test-suite alongside symbolic verification.  Draws whose
-    original output is non-finite fall outside the engine's
-    positive-value domain and are redrawn rather than counted, until
-    [trials] in-domain comparisons have actually run or [max_draws]
-    (default 512, never below [trials]) draws are exhausted. *)
+    used by the test-suite alongside symbolic verification.  The
+    reference program (first argument) always runs on the tree-walking
+    interpreter; the candidate runs on [engine] (default [`Vm], compiled
+    once and reused across trials), so VM-backed validation doubles as a
+    differential test of the compiled path.  Draws whose original output
+    is non-finite fall outside the engine's positive-value domain and
+    are redrawn rather than counted, until [trials] in-domain
+    comparisons have actually run or [max_draws] (default 512, never
+    below [trials]) draws are exhausted. *)

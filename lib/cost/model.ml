@@ -140,7 +140,42 @@ let op_fingerprint (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
 let work_units op args =
   flop_count op args +. (bytes_moved op args /. 8.)
 
-let time_op ~min_time op (args : Dsl.Types.vt list) =
+(* One timing window: warm, then take the minimum of per-batch means —
+   the minimum is the standard robust statistic against scheduling
+   noise.  A measurement is the median of three windows (robust against
+   a whole window landing on a descheduled slice), and the sample
+   standard deviation across the windows is kept alongside as the
+   per-fingerprint noise estimate. *)
+let time_windows ~min_time runner =
+  runner ();
+  let window () =
+    let best = ref infinity in
+    let total = ref 0. and reps = ref 1 in
+    while !total < min_time do
+      let batch = !reps in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batch do
+        runner ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let mean = dt /. float_of_int batch in
+      if mean < !best then best := mean;
+      total := !total +. dt;
+      reps := !reps * 2
+    done;
+    !best
+  in
+  let w = Array.init 3 (fun _ -> window ()) in
+  Array.sort Float.compare w;
+  let mean = (w.(0) +. w.(1) +. w.(2)) /. 3. in
+  let var =
+    (Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. w)
+    /. 2.
+  in
+  (w.(1), sqrt var)
+
+let time_op ~min_time ~(engine : Texec.Engine.kind) op
+    (args : Dsl.Types.vt list) =
   let st = Random.State.make [| 0x5e50; Hashtbl.hash (op_fingerprint op args) |] in
   let tensors =
     List.map
@@ -152,26 +187,24 @@ let time_op ~min_time op (args : Dsl.Types.vt list) =
                 if Random.State.bool st then 1. else 0.))
       args
   in
-  (* Warm up once, then take the minimum of per-batch means: the
-     minimum is the standard robust statistic against scheduling noise
-     and keeps the lookup table deterministic enough for stable search
-     outcomes. *)
-  ignore (Dsl.Interp.apply_op op tensors);
-  let best = ref infinity in
-  let total = ref 0. and reps = ref 1 in
-  while !total < min_time do
-    let batch = !reps in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to batch do
-      ignore (Dsl.Interp.apply_op op tensors)
-    done;
-    let dt = Unix.gettimeofday () -. t0 in
-    let mean = dt /. float_of_int batch in
-    if mean < !best then best := mean;
-    total := !total +. dt;
-    reps := !reps * 2
-  done;
-  !best
+  let runner =
+    match engine with
+    | `Interp -> fun () -> ignore (Dsl.Interp.apply_op op tensors)
+    | `Vm ->
+        (* Compile the single-op program once per fingerprint; only the
+           run loop is timed, so the table measures steady-state kernel
+           time rather than planning overhead. *)
+        let name i = "x" ^ string_of_int i in
+        let env = List.mapi (fun i vt -> (name i, vt)) args in
+        let prog =
+          Dsl.Ast.App (op, List.mapi (fun i _ -> Dsl.Ast.Input (name i)) args)
+        in
+        let compiled = Texec.Engine.compile ~env prog in
+        let bound = List.map2 (fun (n, _) t -> (n, t)) env tensors in
+        let lookup n = List.assoc n bound in
+        fun () -> ignore (Texec.Engine.run compiled lookup)
+  in
+  time_windows ~min_time runner
 
 (* Profile at the largest scale (halving from [scale]) whose predicted
    work stays affordable, then extrapolate linearly in work units.  Big
@@ -179,7 +212,7 @@ let time_op ~min_time op (args : Dsl.Types.vt list) =
    their ranking while keeping the offline profiling phase fast. *)
 let profile_budget = 3_000_000.
 
-let profile_extrapolated ~min_time ~scale op args =
+let profile_extrapolated ~min_time ~scale ~engine op args =
   let rec usable s =
     if s <= 1 then 1
     else
@@ -190,17 +223,20 @@ let profile_extrapolated ~min_time ~scale op args =
   let s = usable scale in
   let args_s = List.map (scale_vt s) args in
   let op_s = scale_op s op in
-  let t = time_op ~min_time op_s args_s in
-  if s = scale then t
+  let t, sd = time_op ~min_time ~engine op_s args_s in
+  if s = scale then (t, sd)
   else
     let full =
       work_units (scale_op scale op) (List.map (scale_vt scale) args)
     in
-    t *. (full /. work_units op_s args_s)
+    let f = full /. work_units op_s args_s in
+    (t *. f, sd *. f)
 
 (* Persistent lookup-table support: the paper amortizes the one-time
-   profiling phase by caching it (Section VII-E); entries are simple
-   "fingerprint<TAB>seconds" lines. *)
+   profiling phase by caching it (Section VII-E); entries are
+   "fingerprint<TAB>seconds<TAB>stddev" lines, keyed per engine
+   ("vm:..." / "interp:...").  Older two-column files load with a zero
+   noise estimate. *)
 let load_cache table file =
   match open_in file with
   | exception Sys_error _ -> ()
@@ -211,17 +247,19 @@ let load_cache table file =
           try
             while true do
               let line = input_line ic in
-              match String.index_opt line '\t' with
-              | Some i ->
-                  let key = String.sub line 0 i in
-                  let v =
-                    float_of_string_opt
-                      (String.sub line (i + 1) (String.length line - i - 1))
-                  in
-                  (match v with
-                  | Some v -> Hashtbl.replace table key v
+              match String.split_on_char '\t' line with
+              | key :: secs :: rest -> (
+                  match float_of_string_opt secs with
+                  | Some v ->
+                      let sd =
+                        match rest with
+                        | sd :: _ ->
+                            Option.value ~default:0. (float_of_string_opt sd)
+                        | [] -> 0.
+                      in
+                      Hashtbl.replace table key (v, sd)
                   | None -> ())
-              | None -> ()
+              | _ -> ()
             done
           with End_of_file -> ())
 
@@ -237,15 +275,15 @@ let save_cache file table =
   let lines =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.map (fun (k, v) -> Printf.sprintf "%s\t%.17g\n" k v)
+    |> List.map (fun (k, (v, sd)) -> Printf.sprintf "%s\t%.17g\t%.17g\n" k v sd)
   in
   match Pstore.write_atomic file (String.concat "" lines) with
   | () -> ()
   | exception (Sys_error _ | Unix.Unix_error _) -> ()
 
-let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
-    ?(overhead = 5e-7) ?cache_file () =
-  let table : (string, float) Hashtbl.t = Hashtbl.create 256 in
+let measured ?(tel = Obs.Telemetry.null) ?(engine : Texec.Engine.kind = `Vm)
+    ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file () =
+  let table : (string, float * float) Hashtbl.t = Hashtbl.create 256 in
   (* The profiling table is shared by every domain of the parallel
      synthesis engine; the lock also serializes the timing runs
      themselves, so concurrent profiling cannot contend for the CPU and
@@ -264,8 +302,8 @@ let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
     ignore (Dsl.Types.infer_op op args);
     let args' = List.map (scale_vt scale) args in
     let op' = scale_op scale op in
-    let key = op_fingerprint op' args' in
-    let measured_time =
+    let key = Texec.Engine.kind_name engine ^ ":" ^ op_fingerprint op' args' in
+    let measured_time, _stddev =
       Mutex.protect lock (fun () ->
           match Hashtbl.find_opt table key with
           | Some c ->
@@ -274,9 +312,9 @@ let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
           | None ->
               Obs.Telemetry.Counter.incr cache_misses;
               let t0 = Unix.gettimeofday () in
-              let c =
-                match profile_extrapolated ~min_time ~scale op args with
-                | c -> c
+              let c, sd =
+                match profile_extrapolated ~min_time ~scale ~engine op args with
+                | r -> r
                 | exception (Dsl.Types.Type_error _ | Invalid_argument _) ->
                     (* Scaling broke an attribute constraint; fall back
                        to a FLOPs+traffic proxy at the same scaled
@@ -289,18 +327,29 @@ let measured ?(tel = Obs.Telemetry.null) ?(scale = 12) ?(min_time = 1e-3)
                         (Shape.numel
                            (scale_vt scale (Dsl.Types.infer_op op args)).shape)
                     in
-                    (flop_count_out ~out:out' op' args' *. 1e-9)
-                    +. (bytes_moved_out ~out:out' op' args' *. 1e-10)
+                    ( (flop_count_out ~out:out' op' args' *. 1e-9)
+                      +. (bytes_moved_out ~out:out' op' args' *. 1e-10),
+                      0. )
               in
               Obs.Telemetry.Acc.add profile_secs
                 (Unix.gettimeofday () -. t0);
-              Hashtbl.replace table key c;
+              if Obs.Telemetry.enabled tel then
+                Obs.Telemetry.event tel "cost.profile"
+                  [
+                    ("key", Obs.Telemetry.Str key);
+                    ("seconds", Obs.Telemetry.Float c);
+                    ("stddev", Obs.Telemetry.Float sd);
+                  ];
+              Hashtbl.replace table key (c, sd);
               Option.iter (fun f -> save_cache f table) cache_file;
-              c)
+              (c, sd))
     in
     measured_time +. overhead
   in
-  { name = "measured"; op_cost; iter_scale = scale }
+  let name =
+    match engine with `Vm -> "measured" | `Interp -> "measured-interp"
+  in
+  { name; op_cost; iter_scale = scale }
 
 let program_cost model (env : Dsl.Types.env) (prog : Dsl.Ast.t) =
   let rec go env (t : Dsl.Ast.t) : Dsl.Types.vt * float =

@@ -46,26 +46,37 @@ val roofline :
 
 val measured :
   ?tel:Obs.Telemetry.t ->
+  ?engine:Texec.Engine.kind ->
   ?scale:int ->
   ?min_time:float ->
   ?overhead:float ->
   ?cache_file:string ->
   unit ->
   t
-(** Profiling-based model.  [scale] multiplies every tensor dimension
-    (and shape attribute) before timing so that small synthesis-time
-    shapes are measured at representative sizes (default 12).
-    [min_time] is the minimum wall-clock per measurement in seconds
-    (default 1e-3).  [overhead] (default 0.5 microseconds) is added per
-    operation, modelling the eager framework's per-op dispatch cost —
-    this is what makes replacing a Python-level loop by one broadcast
-    operation profitable, as in the paper's Vectorization class.
-    Measurements are memoized per (operation, shapes) in an internal
-    table, mirroring the paper's one-time offline profiling phase; with
-    [cache_file] the table persists across processes, amortizing the
-    profiling cost as Section VII-E describes.  [tel] counts table hits
-    and misses ([cost.cache_hits] / [cost.cache_misses]) and accumulates
-    profiling wall time ([cost.profile_seconds]). *)
+(** Profiling-based model.  [engine] selects what executes the timed
+    operations: the compiled VM (default [`Vm], model name ["measured"])
+    compiles each single-op program once per fingerprint and times only
+    its run loop, so the table reflects steady-state kernel time;
+    [`Interp] (model name ["measured-interp"]) times the tree-walking
+    interpreter.  Each measurement is the median of three timing windows
+    (each window takes the minimum of doubling batches until [min_time]
+    wall-clock, default 1e-3), and the sample standard deviation across
+    windows is recorded per fingerprint in the cache and in the
+    [cost.profile] telemetry event.  [scale] multiplies every tensor
+    dimension (and shape attribute) before timing so that small
+    synthesis-time shapes are measured at representative sizes (default
+    12).  [overhead] (default 0.5 microseconds) is added per operation,
+    modelling the eager framework's per-op dispatch cost — this is what
+    makes replacing a Python-level loop by one broadcast operation
+    profitable, as in the paper's Vectorization class.  Measurements are
+    memoized per (engine, operation, shapes) in an internal table,
+    mirroring the paper's one-time offline profiling phase; with
+    [cache_file] the table persists across processes
+    ("key<TAB>seconds<TAB>stddev" lines; older two-column files still
+    load), amortizing the profiling cost as Section VII-E describes.
+    [tel] counts table hits and misses ([cost.cache_hits] /
+    [cost.cache_misses]) and accumulates profiling wall time
+    ([cost.profile_seconds]). *)
 
 val flop_count : Dsl.Ast.op -> Dsl.Types.vt list -> float
 (** The raw FLOP count used by {!flops}. *)

@@ -1,0 +1,86 @@
+(* Engine facade: the switchable execution backends, compiled-program
+   caching, and the telemetry wiring for fusion/arena statistics. *)
+
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+module Tel = Obs.Telemetry
+
+type kind = [ `Interp | `Vm ]
+
+let kind_name = function `Interp -> "interp" | `Vm -> "vm"
+
+let kind_of_string = function
+  | "interp" -> Some `Interp
+  | "vm" -> Some `Vm
+  | _ -> None
+
+let all_kinds : kind list = [ `Interp; `Vm ]
+
+type compiled = Plan.t
+type stats = Plan.stats = {
+  ir_nodes : int;
+  steps : int;
+  ops_fused : int;
+  consts_folded : int;
+  buffers_reused : int;
+  arena_slots : int;
+  arena_bytes : int;
+}
+
+let stats (p : compiled) = p.Plan.stats
+let result_shape (p : compiled) = p.Plan.result_shape
+
+let compile ?(tel = Tel.null) ~(env : Types.env) (prog : Ast.t) : compiled =
+  let p = Plan.compile (Ir.of_ast ~env prog) in
+  if Tel.enabled tel then begin
+    let s = p.Plan.stats in
+    Tel.incr tel "exec.compiles";
+    Tel.add tel "exec.ops_fused" s.ops_fused;
+    Tel.add tel "exec.buffers_reused" s.buffers_reused;
+    Tel.add tel "exec.consts_folded" s.consts_folded;
+    Tel.gauge tel "exec.arena_bytes" (float_of_int s.arena_bytes);
+    Tel.event tel "exec.compile"
+      [
+        ("ir_nodes", Tel.Int s.ir_nodes);
+        ("steps", Tel.Int s.steps);
+        ("ops_fused", Tel.Int s.ops_fused);
+        ("consts_folded", Tel.Int s.consts_folded);
+        ("buffers_reused", Tel.Int s.buffers_reused);
+        ("arena_slots", Tel.Int s.arena_slots);
+        ("arena_bytes", Tel.Int s.arena_bytes);
+      ]
+  end;
+  p
+
+let run = Vm.run
+
+let eval ?tel (kind : kind) ~(env : Types.env) lookup (prog : Ast.t) =
+  match kind with
+  | `Interp -> Dsl.Interp.eval lookup prog
+  | `Vm -> Vm.run (compile ?tel ~env prog) lookup
+
+(* Compiled-program cache, keyed structurally on (environment, program).
+   The map is safe to share across domains; each *compiled program* is
+   not (its arena is mutable) — callers sharing one across domains must
+   serialize runs on it. *)
+module Cache = struct
+  type key = Types.env * Ast.t
+  type nonrec t = {
+    tbl : (key, compiled) Hashtbl.t;
+    lock : Mutex.t;
+  }
+
+  let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+
+  let find_or_compile t ?tel ~env prog =
+    let key = (env, prog) in
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some c -> c
+        | None ->
+            let c = compile ?tel ~env prog in
+            Hashtbl.add t.tbl key c;
+            c)
+
+  let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+end

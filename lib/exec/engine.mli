@@ -1,0 +1,77 @@
+(** Compiled execution of DSL programs (exported as [Stenso.Exec]).
+
+    The lowering pipeline turns a {!Dsl.Ast.t} into an SSA tensor IR
+    ({!Ir}), plans it ({!Plan}) — fusing elementwise chains into single
+    loop nests, folding constant subtrees, aliasing [reshape]/slice
+    views, and preallocating an arena of flat unboxed [float array]
+    buffers with liveness-driven reuse — and executes it on a
+    register-based bytecode VM ({!Vm}) whose inner loops are specialized
+    for the hot operations (binary arithmetic, fused elementwise bodies
+    run as a vectorized strip machine, reductions, [dot]/[tensordot] as
+    row-major matrix multiplies, [transpose], [where]).
+
+    Two engines share one interface: [`Interp] is the tree-walking
+    reference interpreter; [`Vm] is the compiled path.  The VM is the
+    default engine of the measured cost model and of concrete
+    validation; the differential fuzz suite ties the two together. *)
+
+type kind = [ `Interp | `Vm ]
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+type compiled
+(** A planned program with its preallocated arena.  Mutable: concurrent
+    {!run}s of one compiled program race — serialize them. *)
+
+type stats = {
+  ir_nodes : int;  (** IR nodes after CSE, unrolling and folding *)
+  steps : int;  (** VM steps emitted *)
+  ops_fused : int;  (** operation nodes absorbed into fused loops *)
+  consts_folded : int;  (** operation nodes evaluated at compile time *)
+  buffers_reused : int;  (** arena slots serving more than one value *)
+  arena_slots : int;
+  arena_bytes : int;  (** total = peak: the arena is preallocated *)
+}
+
+val compile : ?tel:Obs.Telemetry.t -> env:Dsl.Types.env -> Dsl.Ast.t -> compiled
+(** Lower, plan and materialize the arena.  [tel] records the
+    [exec.compiles] / [exec.ops_fused] / [exec.buffers_reused] /
+    [exec.consts_folded] counters, the [exec.arena_bytes] gauge and one
+    [exec.compile] event per compilation.  Raises {!Dsl.Types.Type_error}
+    on ill-typed programs (including zero-trip comprehensions, which
+    cannot be unrolled). *)
+
+val run : compiled -> (string -> Tensor.Ftensor.t) -> Tensor.Ftensor.t
+(** Execute.  Steady-state allocation-free: input slots are rebound to
+    the caller's arrays (zero-copy), steps run in place over the arena,
+    only the final read-out allocates.  Raises [Invalid_argument] when
+    an input's element count disagrees with the compilation
+    environment. *)
+
+val stats : compiled -> stats
+val result_shape : compiled -> Tensor.Shape.t
+
+val eval :
+  ?tel:Obs.Telemetry.t ->
+  kind ->
+  env:Dsl.Types.env ->
+  (string -> Tensor.Ftensor.t) ->
+  Dsl.Ast.t ->
+  Tensor.Ftensor.t
+(** One-shot evaluation through the selected engine.  [`Interp] ignores
+    [env] and [tel]. *)
+
+(** Compiled-program cache keyed structurally on (environment, program).
+    The map is domain-safe; individual compiled programs are not. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+
+  val find_or_compile :
+    t -> ?tel:Obs.Telemetry.t -> env:Dsl.Types.env -> Dsl.Ast.t -> compiled
+
+  val size : t -> int
+end

@@ -1,0 +1,158 @@
+(* SSA-style tensor IR: the lowering target for [Dsl.Ast.t].
+
+   A program is an array of nodes in topological order (every operand id
+   is smaller than its user's id), each annotated with its inferred
+   value type.  Lowering performs three normalizations the planner and
+   VM rely on:
+
+   - {e value numbering}: structurally identical subcomputations (same
+     operation over the same node ids) collapse to one node, so a
+     program like [(A + B) * (A + B)] evaluates the sum once;
+   - {e comprehension unrolling}: [For_stack] bodies are instantiated
+     per iteration against an axis-0 slice of the source — trip counts
+     are static given the input environment, and an axis-0 slice of a
+     row-major tensor is a contiguous view ({!Slice0}), so unrolled
+     loops cost no data movement;
+   - {e constant folding}: any operation whose operands are all
+     constants is evaluated at compile time through the reference
+     interpreter, turning [Full]/[Const] subtrees into materialized
+     {!Const} tensors. *)
+
+module Ast = Dsl.Ast
+module Types = Dsl.Types
+module Shape = Tensor.Shape
+module F = Tensor.Ftensor
+
+type expr =
+  | Input of string
+  | Const of F.t  (* literal or folded constant *)
+  | Slice0 of int * int  (* axis-0 slice [node].(i): a contiguous view *)
+  | Op of Ast.op * int array
+
+type node = { expr : expr; vt : Types.vt }
+
+type t = {
+  nodes : node array;  (* topological; operands precede users *)
+  result : int;
+  env : Types.env;  (* the input environment lowered against *)
+  folded : int;  (* operation nodes eliminated by constant folding *)
+}
+
+let node t id = t.nodes.(id)
+let numel t id = Shape.numel t.nodes.(id).vt.shape
+
+let is_elementwise (op : Ast.op) =
+  match op with
+  | Add | Sub | Mul | Div | Pow_op | Maximum | Sqrt | Exp | Log | Less | Where
+    ->
+      true
+  | Dot | Tensordot _ | Transpose _ | Sum _ | Max _ | Stack _ | Triu | Tril
+  | Diag | Trace | Reshape _ | Full _ ->
+      false
+
+(* Uses per node (multiplicity counts: [A + A] uses [A] twice), with the
+   result charged one extra use so it is never considered dead. *)
+let use_counts t =
+  let uses = Array.make (Array.length t.nodes) 0 in
+  Array.iter
+    (fun n ->
+      match n.expr with
+      | Input _ | Const _ -> ()
+      | Slice0 (src, _) -> uses.(src) <- uses.(src) + 1
+      | Op (_, args) -> Array.iter (fun a -> uses.(a) <- uses.(a) + 1) args)
+    t.nodes;
+  uses.(t.result) <- uses.(t.result) + 1;
+  uses
+
+let of_ast ~(env : Types.env) (ast : Ast.t) : t =
+  let nodes : node list ref = ref [] (* reversed *) in
+  let count = ref 0 in
+  let interned : (expr, int) Hashtbl.t = Hashtbl.create 64 in
+  let by_id : (int, node) Hashtbl.t = Hashtbl.create 64 in
+  let folded = ref 0 in
+  let push expr vt =
+    match Hashtbl.find_opt interned expr with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        let n = { expr; vt } in
+        nodes := n :: !nodes;
+        Hashtbl.add interned expr id;
+        Hashtbl.add by_id id n;
+        id
+  in
+  let vt_of id = (Hashtbl.find by_id id).vt in
+  let const_of id =
+    match (Hashtbl.find by_id id).expr with Const c -> Some c | _ -> None
+  in
+  let push_op op args vt =
+    let consts = List.map const_of args in
+    if List.for_all Option.is_some consts then
+      match Dsl.Interp.apply_op op (List.map Option.get consts) with
+      | c ->
+          incr folded;
+          push (Const c) vt
+      | exception _ -> push (Op (op, Array.of_list args)) vt
+    else push (Op (op, Array.of_list args)) vt
+  in
+  (* [bindings] maps comprehension variables to already-lowered nodes;
+     inner entries shadow outer ones and the input environment. *)
+  let rec go bindings (ast : Ast.t) : int =
+    match ast with
+    | Ast.Input name -> (
+        match List.assoc_opt name bindings with
+        | Some id -> id
+        | None -> (
+            match List.assoc_opt name env with
+            | Some vt -> push (Input name) vt
+            | None -> raise (Types.Type_error ("unbound input " ^ name))))
+    | Ast.Const f -> push (Const (F.scalar f)) Types.scalar_f
+    | Ast.App (op, args) ->
+        let ids = List.map (go bindings) args in
+        let vt = Types.infer_op op (List.map vt_of ids) in
+        push_op op ids vt
+    | Ast.For_stack { var; iter; body } ->
+        let src = go bindings (Ast.Input iter) in
+        let src_vt = vt_of src in
+        if Shape.rank src_vt.shape = 0 then
+          raise (Types.Type_error ("cannot iterate over rank-0 input " ^ iter));
+        let trips = src_vt.shape.(0) in
+        if trips = 0 then
+          raise (Types.Type_error "cannot unroll a zero-trip comprehension");
+        let slice_vt =
+          { src_vt with Types.shape = Shape.remove_axis src_vt.shape 0 }
+        in
+        let elems =
+          List.init trips (fun i ->
+              let sid = push (Slice0 (src, i)) slice_vt in
+              go ((var, sid) :: bindings) body)
+        in
+        let vt = Types.infer_op (Ast.Stack 0) (List.map vt_of elems) in
+        push_op (Ast.Stack 0) elems vt
+  in
+  let result = go [] ast in
+  {
+    nodes = Array.of_list (List.rev !nodes);
+    result;
+    env;
+    folded = !folded;
+  }
+
+let pp_expr ppf = function
+  | Input name -> Format.fprintf ppf "input %s" name
+  | Const c ->
+      if F.numel c = 1 then Format.fprintf ppf "const %g" (F.to_scalar c)
+      else Format.fprintf ppf "const %a" Shape.pp (F.shape c)
+  | Slice0 (src, i) -> Format.fprintf ppf "slice0 %%%d [%d]" src i
+  | Op (op, args) ->
+      Format.fprintf ppf "%s(%s)" (Ast.op_name op)
+        (String.concat ", "
+           (Array.to_list (Array.map (Printf.sprintf "%%%d") args)))
+
+let pp ppf t =
+  Array.iteri
+    (fun i n ->
+      Format.fprintf ppf "%%%d : %a = %a@\n" i Types.pp_vt n.vt pp_expr n.expr)
+    t.nodes;
+  Format.fprintf ppf "return %%%d@\n" t.result

@@ -1,0 +1,271 @@
+(* The bytecode VM: executes a planned program over its preallocated
+   arena.  Steady state allocates nothing beyond the result tensor —
+   input slots are rebound to the caller's arrays (zero-copy; no step
+   writes an input slot), the step sequence runs over flat unboxed
+   float buffers, and the final read-out is one flat copy.
+
+   Accumulation orders match the reference interpreter (ascending
+   reduction index, i-k-j matrix multiply), so VM results coincide with
+   [Dsl.Interp.eval] up to the usual float tolerance rather than drift
+   from reassociation. *)
+
+module Shape = Tensor.Shape
+module F = Tensor.Ftensor
+
+let exec_step (slots : Plan.buf array) (step : Plan.step) =
+  match step with
+  | Plan.Bin { kind; out; a; b; n } -> (
+      let o = slots.(out) in
+      let ab = slots.(a.Plan.src) and bb = slots.(b.Plan.src) in
+      let ao = a.Plan.ofs and bo = b.Plan.ofs in
+      match kind with
+      | Plan.BAdd ->
+          for i = 0 to n - 1 do
+            Array.unsafe_set o i
+              (Array.unsafe_get ab (ao + i) +. Array.unsafe_get bb (bo + i))
+          done
+      | Plan.BSub ->
+          for i = 0 to n - 1 do
+            Array.unsafe_set o i
+              (Array.unsafe_get ab (ao + i) -. Array.unsafe_get bb (bo + i))
+          done
+      | Plan.BMul ->
+          for i = 0 to n - 1 do
+            Array.unsafe_set o i
+              (Array.unsafe_get ab (ao + i) *. Array.unsafe_get bb (bo + i))
+          done
+      | Plan.BDiv ->
+          for i = 0 to n - 1 do
+            Array.unsafe_set o i
+              (Array.unsafe_get ab (ao + i) /. Array.unsafe_get bb (bo + i))
+          done)
+  | Plan.Ew { out; n; code; leaves; strips } ->
+      (* Vectorized stack machine: every opcode runs a tight float loop
+         over one strip, so dispatch amortizes and the intermediate
+         strips stay in L1 instead of materializing whole tensors. *)
+      let o = slots.(out) in
+      let ncode = Array.length code in
+      let base = ref 0 in
+      while !base < n do
+        let b = !base in
+        let len = min (n - b) (Array.length (Array.unsafe_get strips 0)) in
+        let sp = ref 0 in
+        for pc = 0 to ncode - 1 do
+          (match Array.unsafe_get code pc with
+          | Plan.Load l ->
+              let lf = Array.unsafe_get leaves l in
+              let s = slots.(lf.Plan.src) and ofs = lf.Plan.ofs in
+              let d = Array.unsafe_get strips !sp in
+              (match lf.Plan.acc with
+              | Plan.Dense -> Array.blit s (ofs + b) d 0 len
+              | Plan.Cell -> Array.fill d 0 len (Array.unsafe_get s ofs)
+              | Plan.Gather map ->
+                  for i = 0 to len - 1 do
+                    Array.unsafe_set d i
+                      (Array.unsafe_get s
+                         (ofs + Array.unsafe_get map (b + i)))
+                  done);
+              incr sp
+          | Plan.Lit v ->
+              Array.fill (Array.unsafe_get strips !sp) 0 len v;
+              incr sp
+          | Plan.Sqrt1 ->
+              let d = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set d i (Float.sqrt (Array.unsafe_get d i))
+              done
+          | Plan.Exp1 ->
+              let d = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set d i (Float.exp (Array.unsafe_get d i))
+              done
+          | Plan.Log1 ->
+              let d = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set d i (Float.log (Array.unsafe_get d i))
+              done
+          | Plan.Add2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (Array.unsafe_get x i +. Array.unsafe_get y i)
+              done;
+              decr sp
+          | Plan.Sub2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (Array.unsafe_get x i -. Array.unsafe_get y i)
+              done;
+              decr sp
+          | Plan.Mul2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (Array.unsafe_get x i *. Array.unsafe_get y i)
+              done;
+              decr sp
+          | Plan.Div2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (Array.unsafe_get x i /. Array.unsafe_get y i)
+              done;
+              decr sp
+          | Plan.Pow2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (Float.pow (Array.unsafe_get x i) (Array.unsafe_get y i))
+              done;
+              decr sp
+          | Plan.Max2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (Float.max (Array.unsafe_get x i) (Array.unsafe_get y i))
+              done;
+              decr sp
+          | Plan.Less2 ->
+              let x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set x i
+                  (if Array.unsafe_get x i < Array.unsafe_get y i then 1.
+                   else 0.)
+              done;
+              decr sp
+          | Plan.Where3 ->
+              let c = Array.unsafe_get strips (!sp - 3)
+              and x = Array.unsafe_get strips (!sp - 2)
+              and y = Array.unsafe_get strips (!sp - 1) in
+              for i = 0 to len - 1 do
+                Array.unsafe_set c i
+                  (if Array.unsafe_get c i <> 0. then Array.unsafe_get x i
+                   else Array.unsafe_get y i)
+              done;
+              sp := !sp - 2);
+          ()
+        done;
+        Array.blit (Array.unsafe_get strips 0) 0 o b len;
+        base := b + len
+      done
+  | Plan.Reduce { kind; out; src; sofs; outer; mid; inner } -> (
+      let o = slots.(out) and s = slots.(src) in
+      match kind with
+      | `Sum ->
+          for ob = 0 to outer - 1 do
+            let obase = ob * inner and sbase = sofs + (ob * mid * inner) in
+            for i = 0 to inner - 1 do
+              Array.unsafe_set o (obase + i) 0.
+            done;
+            for m = 0 to mid - 1 do
+              let smb = sbase + (m * inner) in
+              for i = 0 to inner - 1 do
+                Array.unsafe_set o (obase + i)
+                  (Array.unsafe_get o (obase + i)
+                  +. Array.unsafe_get s (smb + i))
+              done
+            done
+          done
+      | `Max ->
+          for ob = 0 to outer - 1 do
+            let obase = ob * inner and sbase = sofs + (ob * mid * inner) in
+            for i = 0 to inner - 1 do
+              Array.unsafe_set o (obase + i) Float.neg_infinity
+            done;
+            for m = 0 to mid - 1 do
+              let smb = sbase + (m * inner) in
+              for i = 0 to inner - 1 do
+                Array.unsafe_set o (obase + i)
+                  (Float.max
+                     (Array.unsafe_get o (obase + i))
+                     (Array.unsafe_get s (smb + i)))
+              done
+            done
+          done)
+  | Plan.Matmul { out; a; aofs; b; bofs; m; k; n } ->
+      let c = slots.(out) and ab = slots.(a) and bb = slots.(b) in
+      for i = 0 to m - 1 do
+        let cb = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c (cb + j) 0.
+        done;
+        let arow = aofs + (i * k) in
+        for l = 0 to k - 1 do
+          let av = Array.unsafe_get ab (arow + l) in
+          let brow = bofs + (l * n) in
+          for j = 0 to n - 1 do
+            Array.unsafe_set c (cb + j)
+              (Array.unsafe_get c (cb + j)
+              +. (av *. Array.unsafe_get bb (brow + j)))
+          done
+        done
+      done
+  | Plan.Copy { out; src; n } -> (
+      let o = slots.(out) and s = slots.(src.Plan.src) in
+      let ofs = src.Plan.ofs in
+      match src.Plan.acc with
+      | Plan.Dense -> Array.blit s ofs o 0 n
+      | Plan.Cell ->
+          let v = Array.unsafe_get s ofs in
+          Array.fill o 0 n v
+      | Plan.Gather map ->
+          for i = 0 to n - 1 do
+            Array.unsafe_set o i
+              (Array.unsafe_get s (ofs + Array.unsafe_get map i))
+          done)
+  | Plan.Stack_part { out; oofs; src; sofs; outer; inner; stride } ->
+      let o = slots.(out) and s = slots.(src) in
+      for ob = 0 to outer - 1 do
+        Array.blit s (sofs + (ob * inner)) o (oofs + (ob * stride)) inner
+      done
+  | Plan.Mask { kind; out; src; sofs; rows; cols } ->
+      let o = slots.(out) and s = slots.(src) in
+      let keep =
+        match kind with
+        | `Upper -> fun i j -> j >= i
+        | `Lower -> fun i j -> j <= i
+      in
+      for i = 0 to rows - 1 do
+        let rb = i * cols in
+        for j = 0 to cols - 1 do
+          Array.unsafe_set o (rb + j)
+            (if keep i j then Array.unsafe_get s (sofs + rb + j) else 0.)
+        done
+      done
+  | Plan.Trace_of { out; src; sofs; rows; cols } ->
+      let s = slots.(src) in
+      let acc = ref 0. in
+      for i = 0 to min rows cols - 1 do
+        acc := !acc +. Array.unsafe_get s (sofs + (i * (cols + 1)))
+      done;
+      Array.unsafe_set slots.(out) 0 !acc
+  | Plan.Fill { out; src; sofs; n } ->
+      let o = slots.(out) in
+      Array.fill o 0 n (Array.unsafe_get slots.(src) sofs)
+
+let run (p : Plan.t) (lookup : string -> F.t) : F.t =
+  List.iter
+    (fun (name, slot, count) ->
+      let t = lookup name in
+      let data = F.unsafe_data t in
+      if Array.length data <> count then
+        invalid_arg
+          (Printf.sprintf "exec: input %s has %d elements, expected %d" name
+             (Array.length data) count);
+      p.Plan.slots.(slot) <- data)
+    p.Plan.inputs;
+  let steps = p.Plan.steps in
+  for i = 0 to Array.length steps - 1 do
+    exec_step p.Plan.slots (Array.unsafe_get steps i)
+  done;
+  let n = Shape.numel p.Plan.result_shape in
+  let rb = p.Plan.slots.(p.Plan.result_slot) in
+  F.unsafe_of_data p.Plan.result_shape (Array.sub rb p.Plan.result_ofs n)

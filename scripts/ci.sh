@@ -79,3 +79,36 @@ if [ -S "$socket" ]; then
   exit 1
 fi
 echo "serve smoke check passed"
+
+# Execution-engine smoke check: synthesis driven by the compiled VM
+# must reach the same programs as synthesis driven by the interpreter.
+# Only the program columns are compared (f1 name, f2 status, f4
+# program) — measured per-op costs legitimately differ between
+# engines, so the cost column is excluded.
+engine_smoke() {
+  dune exec --no-build bin/stenso_cli.exe -- suite \
+    --benchmarks diag_dot,common_factor --cost-estimator measured \
+    --engine "$1" --quiet | cut -f1,2,4
+}
+vm_out=$(engine_smoke vm)
+interp_out=$(engine_smoke interp)
+if [ "$vm_out" != "$interp_out" ]; then
+  echo "FAIL: vm-driven suite output differs from interp-driven" >&2
+  printf 'engine=vm:\n%s\nengine=interp:\n%s\n' "$vm_out" "$interp_out" >&2
+  exit 1
+fi
+echo "vm-vs-interp suite smoke check passed"
+
+# Exec-bench archive check: the interp-vs-VM microbenchmark report
+# must regenerate as a well-formed stenso.exec-bench/1 document with a
+# geomean (the committed trajectory point is BENCH_exec_vm.json).
+exec_report="$scratch/exec_vm.json"
+dune exec --no-build bench/main.exe -- vm --report "$exec_report" \
+  > /dev/null
+for needle in '"schema":"stenso.exec-bench/1"' '"geomean_speedup"'; do
+  if ! grep -qF "$needle" "$exec_report"; then
+    echo "FAIL: exec-bench report is missing $needle" >&2
+    exit 1
+  fi
+done
+echo "exec-bench report smoke check passed"

@@ -155,6 +155,165 @@ let test_all_benchmark_equivalences () =
         Alcotest.failf "%s: concrete mismatch at perf shapes" b.name)
     Suite.Benchmarks.all
 
+(* ------------------------------------------------------------------ *)
+(* The compiled engine (Stenso.Exec): differential fuzz against the
+   interpreter, fusion legality, arena reuse.                          *)
+
+module Exec = Stenso.Exec
+
+let vm_eval env inputs prog =
+  let compiled = Exec.compile ~env prog in
+  Exec.run compiled (fun n -> List.assoc n inputs)
+
+let all_finite t = Array.for_all Float.is_finite (F.unsafe_data t)
+
+(* Hand-written programs covering the constructs the random generator
+   does not emit: comprehensions (For_stack), scalar/row broadcasting,
+   boolean where/less, masking, max-reductions. *)
+let targeted_programs =
+  [
+    ("for_stack", "np.stack([r * 2 + x for r in A])");
+    ("for_stack nested expr", "np.stack([np.sqrt(r * r) + b for r in B])");
+    ("scalar broadcast", "A * b + 0.5");
+    ("row broadcast", "A + x");
+    ("where/less bool", "np.where(np.less(A, B), A - B, B - A)");
+    ("where scalar arms", "np.where(np.less(A, B), 1, 0)");
+    ("max rows", "np.max(A + B, axis=1)");
+    ("max all", "np.max(A * B)");
+    ("maximum", "np.maximum(A, B)");
+    ("triu", "np.triu(np.dot(A, A.T))");
+    ("tril", "np.tril(np.dot(A, A.T))");
+    ("diag", "np.diag(np.dot(A, A.T))");
+    ("trace", "np.trace(np.dot(A, A.T))");
+    ("transpose chain", "np.transpose(A * 2) + B.T");
+    ("reduce of fused", "np.sum(np.sqrt(A * A + B * B), axis=0)");
+    ("div chain", "(A + 1) / (B * B + 1)");
+  ]
+
+let fuzz_env =
+  [
+    ("A", Types.float_t [| 2; 3 |]);
+    ("B", Types.float_t [| 2; 3 |]);
+    ("x", Types.float_t [| 3 |]);
+    ("b", Types.float_t [||]);
+  ]
+
+let test_vm_targeted () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Parser.expression src in
+      (match Types.check fuzz_env prog with
+      | Error e -> Alcotest.failf "%s: ill-typed: %s" name e
+      | Ok _ -> ());
+      let st = Random.State.make [| 0xbeef |] in
+      let inputs = Interp.random_inputs st fuzz_env in
+      let direct = Interp.eval_alist inputs prog in
+      let via_vm = vm_eval fuzz_env inputs prog in
+      if not (F.allclose ~rtol:1e-9 ~atol:1e-9 direct via_vm) then
+        Alcotest.failf "%s: vm disagrees with interpreter" name)
+    targeted_programs
+
+(* Differential fuzz: >= 200 random well-typed programs from the suite
+   generator must evaluate identically (1e-9) on both engines.  Configs
+   vary size, rank, contraction and transcendental availability so the
+   sample exercises fused chains, gather-indexed broadcasts, reductions
+   and matrix products.  Programs whose reference value is non-finite
+   (random division) are skipped; the generator produces a surplus so
+   the comparison count stays above the bar. *)
+let test_vm_fuzz () =
+  let configs =
+    [
+      { Suite.Generator.default with size = 4; seed = 11 };
+      { Suite.Generator.default with size = 8; seed = 1200 };
+      {
+        Suite.Generator.default with
+        size = 6;
+        allow_contractions = false;
+        dims = [ 1; 2; 4 ];
+        seed = 2400;
+      };
+      {
+        Suite.Generator.default with
+        size = 10;
+        allow_transcendentals = false;
+        num_inputs = 4;
+        seed = 3600;
+      };
+    ]
+  in
+  let cases =
+    List.concat_map (fun cfg -> Suite.Generator.generate_many cfg 70) configs
+  in
+  let compared = ref 0 in
+  List.iteri
+    (fun i (env, prog) ->
+      let st = Random.State.make [| 0x5eed; i |] in
+      let inputs = Interp.random_inputs ~lo:0.25 ~hi:2.0 st env in
+      let direct = Interp.eval_alist inputs prog in
+      if all_finite direct then begin
+        let via_vm = vm_eval env inputs prog in
+        if not (F.allclose ~rtol:1e-9 ~atol:1e-9 direct via_vm) then
+          Alcotest.failf "fuzz #%d: vm disagrees with interpreter on %s" i
+            (Ast.to_string prog);
+        incr compared
+      end)
+    cases;
+  if !compared < 200 then
+    Alcotest.failf "only %d/%d programs compared (need >= 200)" !compared
+      (List.length cases)
+
+(* Fusion is legal only within elementwise chains: a reduction or
+   contraction input must materialize, so such programs plan at least
+   two steps, while a pure elementwise chain plans exactly one. *)
+let test_fusion_legality () =
+  let env = [ ("A", Types.float_t [| 4; 4 |]); ("B", Types.float_t [| 4; 4 |]) ] in
+  let stats src = Exec.stats (Exec.compile ~env (Parser.expression src)) in
+  let chain = stats "np.sqrt(A * A + B * B) / (A + B)" in
+  Alcotest.(check int) "elementwise chain is one step" 1 chain.Exec.steps;
+  Alcotest.(check bool) "chain absorbed ops" true (chain.Exec.ops_fused >= 3);
+  let red = stats "np.sum(A * B + A, axis=0)" in
+  Alcotest.(check bool) "reduction input materializes" true
+    (red.Exec.steps >= 2);
+  let dot = stats "np.dot(A + B, A - B)" in
+  Alcotest.(check bool) "contraction inputs materialize" true
+    (dot.Exec.steps >= 3);
+  (* The sum itself must not be inlined into its consumer either. *)
+  let post = stats "np.sum(A, axis=0) * np.sum(B, axis=0)" in
+  Alcotest.(check bool) "reduction outputs materialize" true
+    (post.Exec.steps >= 3)
+
+(* Liveness-driven arena reuse: once an intermediate dies, its buffer
+   serves a later same-size value instead of growing the arena. *)
+let test_arena_reuse () =
+  let env = [ ("A", Types.float_t [| 4; 4 |]) ] in
+  let prog =
+    Parser.expression "np.dot(np.dot(A, A) + A, np.dot(A, A) - A)"
+  in
+  let compiled = Exec.compile ~env prog in
+  let s = Exec.stats compiled in
+  Alcotest.(check bool) "some buffer is reused" true
+    (s.Exec.buffers_reused >= 1);
+  Alcotest.(check bool) "arena smaller than one-slot-per-value" true
+    (s.Exec.arena_slots < s.Exec.steps + 1 + s.Exec.buffers_reused);
+  (* and reuse does not corrupt results *)
+  let st = Random.State.make [| 42 |] in
+  let inputs = Interp.random_inputs st env in
+  let direct = Interp.eval_alist inputs prog in
+  let via_vm = Exec.run compiled (fun n -> List.assoc n inputs) in
+  Alcotest.check ft "reuse-heavy program matches interp" direct via_vm
+
+(* Constant folding: subtrees with no input dependence are evaluated at
+   compile time and stored as arena constants. *)
+let test_const_folding () =
+  let env = [ ("A", Types.float_t [| 2; 2 |]) ] in
+  let s =
+    Exec.stats
+      (Exec.compile ~env
+         (Parser.expression "A + np.full((2,2), 3) * np.full((2,2), 0.5)"))
+  in
+  Alcotest.(check bool) "constant subtree folded" true
+    (s.Exec.consts_folded >= 1)
+
 let suite =
   [
     Alcotest.test_case "interpreter basics" `Quick test_interp_basics;
@@ -166,4 +325,10 @@ let suite =
       test_all_benchmark_equivalences;
     QCheck_alcotest.to_alcotest prop_sexec_agrees_with_interp;
     QCheck_alcotest.to_alcotest prop_equivalence_sound;
+    Alcotest.test_case "vm: targeted constructs" `Quick test_vm_targeted;
+    Alcotest.test_case "vm: differential fuzz (200+ programs)" `Slow
+      test_vm_fuzz;
+    Alcotest.test_case "vm: fusion legality" `Quick test_fusion_legality;
+    Alcotest.test_case "vm: arena reuse" `Quick test_arena_reuse;
+    Alcotest.test_case "vm: constant folding" `Quick test_const_folding;
   ]

@@ -313,17 +313,17 @@ let test_measured_cost_cache_round_trip () =
   let m1 = Cost.Model.measured ~scale:2 ~min_time:1e-6 ~cache_file () in
   let c1 = Cost.Model.program_cost m1 env prog in
   Alcotest.(check bool) "cache file written" true (Sys.file_exists cache_file);
-  (* Every line is a well-formed fingerprint<TAB>seconds record — the
-     atomic whole-table rewrite never leaves partial lines. *)
+  (* Every line is a well-formed fingerprint<TAB>seconds<TAB>stddev
+     record — the atomic whole-table rewrite never leaves partial
+     lines. *)
   let ic = open_in cache_file in
   (try
      while true do
        let line = input_line ic in
-       match String.index_opt line '\t' with
-       | Some i when
-           Option.is_some
-             (float_of_string_opt
-                (String.sub line (i + 1) (String.length line - i - 1))) ->
+       match String.split_on_char '\t' line with
+       | [ _key; secs; sd ]
+         when Option.is_some (float_of_string_opt secs)
+              && Option.is_some (float_of_string_opt sd) ->
            ()
        | _ -> Alcotest.failf "malformed cache line %S" line
      done
