@@ -35,6 +35,11 @@ let report_file : string option ref = ref None
    the synthesis phase (vm | interp). *)
 let engine : Stenso.Exec.kind ref = ref `Vm
 
+(* `--exec-domains N` / `--exec-tile N` / `--exec-no-fusion` /
+   `--exec-no-reduction-fusion`: planner and VM knobs, applied both to
+   the measured cost model's timing runs and to the `vm` section. *)
+let exec_opts : Stenso.Exec.Options.t ref = ref Stenso.Exec.Options.default
+
 let emit_file rel contents =
   match !out_dir with
   | None -> ()
@@ -82,7 +87,8 @@ type synthesis = {
   opt_perf : Ast.t;  (** optimized program usable at perf shapes *)
 }
 
-let model = lazy (Cost.Model.measured ~engine:!engine ())
+let model =
+  lazy (Cost.Model.measured ~engine:!engine ~exec_options:!exec_opts ())
 
 let synthesize_all () =
   Printf.printf
@@ -558,53 +564,76 @@ let time_min ~budget f =
   done;
   !best
 
+(* Third field: the program is reduction-rooted with an elementwise
+   producer the planner is expected to inline ([ops_fused] > 0) — the CI
+   smoke gate checks exactly these entries.  [normalize] and [max_rows]
+   reduce a bare input, so there is nothing to fuse. *)
 let exec_micro =
   [
     ( "saxpy",
-      "input A : f32[512,512]\ninput B : f32[512,512]\n\
-       return A * 1.5 + B" );
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return A * 1.5 + B",
+      false );
     ( "lerp",
-      "input A : f32[512,512]\ninput B : f32[512,512]\n\
-       return A + (B - A) * 0.25" );
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return A + (B - A) * 0.25",
+      false );
     ( "dist",
-      "input A : f32[512,512]\ninput B : f32[512,512]\n\
-       return np.sqrt(A * A + B * B)" );
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return np.sqrt(A * A + B * B)",
+      false );
     ( "clamp_mask",
-      "input A : f32[512,512]\ninput B : f32[512,512]\n\
-       return np.where(np.less(A, B), A, B)" );
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return np.where(np.less(A, B), A, B)",
+      false );
     ( "poly3",
-      "input A : f32[512,512]\n\
-       return A * A * A + A * A * 2.0 + A * 0.5 + 1.0" );
+      "input A : f32[256,256]\n\
+       return A * A * A + A * A * 2.0 + A * 0.5 + 1.0",
+      false );
     ( "row_scale",
-      "input A : f32[512,512]\ninput S : f32[512]\nreturn A * S + A" );
+      "input A : f32[256,256]\ninput S : f32[256]\nreturn A * S + A", false );
     ( "sum_prod",
-      "input A : f32[512,512]\ninput B : f32[512,512]\n\
-       return np.sum(A * B, 0)" );
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return np.sum(A * B, 0)",
+      true );
     ( "sum_all",
-      "input A : f32[512,512]\ninput B : f32[512,512]\n\
-       return np.sum(A + B)" );
-    ( "normalize", "input A : f32[512,512]\nreturn A / np.sum(A)" );
-    ( "max_rows", "input A : f32[512,512]\nreturn np.max(A, 1)" );
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return np.sum(A + B)",
+      true );
+    ( "sum_sq", "input A : f32[256,256]\nreturn np.sum(A * A)", true );
+    ( "normalize", "input A : f32[256,256]\nreturn A / np.sum(A)", false );
+    ( "max_rows", "input A : f32[256,256]\nreturn np.max(A, 1)", false );
+    ( "max_fused",
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return np.max(A - B, 1)",
+      true );
+    ( "matmul",
+      "input A : f32[256,256]\ninput B : f32[256,256]\n\
+       return np.dot(A, B)",
+      false );
+    ( "transpose", "input A : f32[512,512]\nreturn A.T", false );
   ]
 
 let exec_bench ~full () =
   header
     "Execution engines: tree-walking interpreter vs compiled VM\n\
-     elementwise/reduction microbenchmarks; per-iteration wall-clock,\n\
-     minimum of doubling batches";
+     elementwise/reduction/contraction microbenchmarks; per-iteration\n\
+     wall-clock, minimum of doubling batches";
   let budget = if full then 0.5 else 0.1 in
+  let options = !exec_opts in
+  Printf.printf "exec options: %s\n\n" (Stenso.Exec.Options.fingerprint options);
   Printf.printf "%-12s %12s %12s %9s  %s\n" "Benchmark" "interp" "vm"
-    "speedup" "plan (steps, fused, reused, arena)";
+    "speedup" "plan (steps, fused, strips, reused, arena)";
   Printf.printf "%s\n" subline;
   let rows =
     List.map
-      (fun (name, source) ->
+      (fun (name, source, expects_fused) ->
         let env, prog = Dsl.Parser.program source in
         ignore (Dsl.Types.infer env prog);
         let st = Random.State.make [| 0xe4ec |] in
         let inputs = Dsl.Interp.random_inputs st env in
         let lookup n = List.assoc n inputs in
-        let compiled = Stenso.Exec.compile ~env prog in
+        let compiled = Stenso.Exec.compile ~options ~env prog in
         let ti =
           time_min ~budget (fun () ->
               ignore (Dsl.Interp.eval_alist inputs prog))
@@ -614,19 +643,23 @@ let exec_bench ~full () =
         in
         let s = Stenso.Exec.stats compiled in
         let speedup = ti /. tv in
-        Printf.printf "%-12s %10.1fus %10.1fus %8.2fx  (%d, %d, %d, %dB)\n"
-          name (ti *. 1e6) (tv *. 1e6) speedup s.steps s.ops_fused
-          s.buffers_reused s.arena_bytes;
-        (name, ti, tv, speedup, s))
+        Printf.printf
+          "%-12s %10.1fus %10.1fus %8.2fx  (%d, %d, %d, %d, %dB)\n" name
+          (ti *. 1e6) (tv *. 1e6) speedup s.steps s.ops_fused
+          s.parallel_strips s.buffers_reused s.arena_bytes;
+        if expects_fused && s.ops_fused = 0 then
+          Printf.printf
+            "  WARNING: %s is reduction-rooted but nothing was fused\n" name;
+        (name, ti, tv, speedup, s, expects_fused))
       exec_micro
   in
-  let g = geomean (List.map (fun (_, _, _, s, _) -> s) rows) in
+  let g = geomean (List.map (fun (_, _, _, s, _, _) -> s) rows) in
   Printf.printf "%s\n" subline;
   Printf.printf "%-12s %36.2fx geomean\n" "" g;
   emit_csv "exec_vm"
     [ "benchmark"; "interp_seconds"; "vm_seconds"; "speedup" ]
     (List.map
-       (fun (name, ti, tv, s, _) ->
+       (fun (name, ti, tv, s, _, _) ->
          [ name; Printf.sprintf "%.9g" ti; Printf.sprintf "%.9g" tv;
            Printf.sprintf "%.4f" s ])
        rows);
@@ -639,12 +672,18 @@ let exec_bench ~full () =
           [
             ("schema", J.Str "stenso.exec-bench/1");
             ("version", J.Str Stenso.Version.current);
+            ("options", J.Str (Stenso.Exec.Options.fingerprint options));
             ("n_benchmarks", J.Int (List.length rows));
             ("geomean_speedup", J.Float g);
             ( "results",
               J.List
                 (List.map
-                   (fun (name, ti, tv, s, (st : Stenso.Exec.stats)) ->
+                   (fun ( name,
+                          ti,
+                          tv,
+                          s,
+                          (st : Stenso.Exec.stats),
+                          expects_fused ) ->
                      J.Obj
                        [
                          ("name", J.Str name);
@@ -653,8 +692,10 @@ let exec_bench ~full () =
                          ("speedup", J.Float s);
                          ("steps", J.Int st.steps);
                          ("ops_fused", J.Int st.ops_fused);
+                         ("parallel_strips", J.Int st.parallel_strips);
                          ("buffers_reused", J.Int st.buffers_reused);
                          ("arena_bytes", J.Int st.arena_bytes);
+                         ("expects_fused_reduction", J.Bool expects_fused);
                        ])
                    rows) );
           ]
@@ -759,6 +800,20 @@ let () =
         (match Stenso.Exec.kind_of_string name with
         | Some k -> engine := k
         | None -> failwith ("unknown engine " ^ name));
+        strip_out acc rest
+    | "--exec-domains" :: n :: rest ->
+        exec_opts :=
+          Stenso.Exec.Options.with_domains (int_of_string n) !exec_opts;
+        strip_out acc rest
+    | "--exec-tile" :: n :: rest ->
+        exec_opts := Stenso.Exec.Options.with_tile (int_of_string n) !exec_opts;
+        strip_out acc rest
+    | "--exec-no-fusion" :: rest ->
+        exec_opts := Stenso.Exec.Options.with_fusion false !exec_opts;
+        strip_out acc rest
+    | "--exec-no-reduction-fusion" :: rest ->
+        exec_opts :=
+          Stenso.Exec.Options.with_reduction_fusion false !exec_opts;
         strip_out acc rest
     | a :: rest -> strip_out (a :: acc) rest
     | [] -> List.rev acc

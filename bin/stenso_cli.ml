@@ -44,8 +44,8 @@ let engine_of engine =
   | Ok e -> e
   | Error msg -> die "%s" msg
 
-let config_of ~estimator ~engine ~timeout ~jobs ~no_bnb ~no_simplification
-    ~extended_ops ~cost_cache =
+let config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
+    ~no_simplification ~extended_ops ~cost_cache =
   let estimator =
     match Stenso.Config.estimator_of_string estimator with
     | Ok e -> e
@@ -54,6 +54,7 @@ let config_of ~estimator ~engine ~timeout ~jobs ~no_bnb ~no_simplification
   Stenso.Config.default
   |> Stenso.Config.with_estimator estimator
   |> Stenso.Config.with_engine (engine_of engine)
+  |> Stenso.Config.with_exec_options exec
   |> Stenso.Config.with_timeout timeout
   |> Stenso.Config.with_jobs jobs
   |> Stenso.Config.with_bnb (not no_bnb)
@@ -67,9 +68,9 @@ let config_of ~estimator ~engine ~timeout ~jobs ~no_bnb ~no_simplification
 (* stenso optimize                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let optimize_run program_path synth_out estimator engine timeout jobs no_bnb
-    no_simplification extended_ops cost_cache no_store store_dir trace verbose
-    =
+let optimize_run program_path synth_out estimator engine exec timeout jobs
+    no_bnb no_simplification extended_ops cost_cache no_store store_dir trace
+    verbose =
   let source =
     match program_path with
     | Some p -> read_file p
@@ -78,8 +79,8 @@ let optimize_run program_path synth_out estimator engine timeout jobs no_bnb
   let env, prog = Dsl.Parser.program source in
   ignore (Dsl.Types.infer env prog);
   let config =
-    config_of ~estimator ~engine ~timeout ~jobs ~no_bnb ~no_simplification
-      ~extended_ops ~cost_cache
+    config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
+      ~no_simplification ~extended_ops ~cost_cache
   in
   let tel =
     match trace with
@@ -137,7 +138,7 @@ let select_benchmarks names =
           | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
         names
 
-let suite_run list_only names jobs timeout estimator engine cost_cache
+let suite_run list_only names jobs timeout estimator engine exec cost_cache
     use_store store_dir out report quiet =
   if list_only then
     List.iter
@@ -148,7 +149,7 @@ let suite_run list_only names jobs timeout estimator engine cost_cache
   else begin
     let benches = select_benchmarks names in
     let config =
-      config_of ~estimator ~engine ~timeout ~jobs ~no_bnb:false
+      config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb:false
         ~no_simplification:false ~extended_ops:false ~cost_cache
     in
     let on_result (r : Suite.Driver.bench_result) =
@@ -215,7 +216,7 @@ let suite_run list_only names jobs timeout estimator engine cost_cache
 (* stenso run                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_run program_path engine seed trace verbose =
+let run_run program_path engine exec seed trace verbose =
   (* Execute a program on random seeded inputs through the selected
      engine — a quick way to exercise the compiled path and inspect its
      fusion/arena statistics on a concrete program. *)
@@ -234,9 +235,10 @@ let run_run program_path engine seed trace verbose =
   let t0 = Unix.gettimeofday () in
   let result, stats =
     match engine with
-    | `Interp -> (Stenso.Exec.eval ~tel `Interp ~env lookup prog, None)
+    | `Interp -> (Stenso.Exec.eval `Interp ~env lookup prog, None)
     | `Vm ->
-        let compiled = Stenso.Exec.compile ~tel ~env prog in
+        let options = Stenso.Exec.Options.with_telemetry tel exec in
+        let compiled = Stenso.Exec.compile ~options ~env prog in
         (Stenso.Exec.run compiled lookup, Some (Stenso.Exec.stats compiled))
   in
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -249,9 +251,12 @@ let run_run program_path engine seed trace verbose =
     | Some s ->
         Format.printf
           "# plan: %d IR nodes, %d steps, %d ops fused, %d consts folded,@\n\
-           # %d buffers reused, arena %d slots / %d bytes@\n"
+           # %d buffers reused, %d parallel strips, arena %d slots / %d \
+           bytes@\n\
+           # exec options: %s@\n"
           s.ir_nodes s.steps s.ops_fused s.consts_folded s.buffers_reused
-          s.arena_slots s.arena_bytes
+          s.parallel_strips s.arena_slots s.arena_bytes
+          (Stenso.Exec.Options.fingerprint exec)
   end;
   Format.printf "%a@." Tensor.Ftensor.pp result;
   match trace with
@@ -312,30 +317,53 @@ let profile_run names cost_cache extended_ops =
 (* stenso report                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let report_run file =
-  (* Validate an archived suite report: parse, check the schema, print a
-     one-line summary.  CI runs this on freshly generated reports so the
-     BENCH_*.json trajectory keeps a stable shape. *)
+let report_run file min_speedup =
+  (* Validate an archived report: parse, dispatch on the schema field,
+     check structure (and, for exec-bench documents, the optional
+     performance floor), print a one-line summary.  CI runs this on
+     freshly generated reports so the BENCH_*.json trajectory keeps a
+     stable shape. *)
   let contents = read_file file in
   match Stenso.Telemetry.Json.of_string contents with
   | Error msg -> die "%s: invalid JSON: %s" file msg
-  | Ok doc -> (
-      match Suite.Driver.validate_report doc with
-      | Error msg -> die "%s: invalid suite report: %s" file msg
-      | Ok () ->
-          let module J = Stenso.Telemetry.Json in
-          let int name =
-            Option.value ~default:0
-              (Option.bind (J.member name doc) J.to_int_opt)
-          in
-          let str name =
-            Option.value ~default:"?"
-              (Option.bind (J.member name doc) J.to_string_opt)
-          in
-          Printf.printf
-            "%s: valid %s (%s estimator, %d benchmarks, %d improved)\n" file
-            (str "schema") (str "estimator") (int "n_benchmarks")
-            (int "n_improved"))
+  | Ok doc ->
+      let module J = Stenso.Telemetry.Json in
+      let int name =
+        Option.value ~default:0 (Option.bind (J.member name doc) J.to_int_opt)
+      in
+      let str name =
+        Option.value ~default:"?"
+          (Option.bind (J.member name doc) J.to_string_opt)
+      in
+      let float name =
+        Option.value ~default:Float.nan
+          (Option.bind (J.member name doc) J.to_float_opt)
+      in
+      let schema = str "schema" in
+      if String.equal schema Suite.Driver.exec_bench_schema_version then (
+        match Suite.Driver.validate_exec_bench ?min_speedup doc with
+        | Error msg -> die "%s: invalid exec-bench report: %s" file msg
+        | Ok () ->
+            Printf.printf
+              "%s: valid %s (%d benchmarks, %.2fx geomean, options %s%s)\n"
+              file schema (int "n_benchmarks")
+              (float "geomean_speedup")
+              (str "options")
+              (match min_speedup with
+              | None -> ""
+              | Some m -> Printf.sprintf ", all above %.2fx" m))
+      else (
+        (match min_speedup with
+        | Some _ ->
+            die "%s: --min-speedup only applies to %s reports" file
+              Suite.Driver.exec_bench_schema_version
+        | None -> ());
+        match Suite.Driver.validate_report doc with
+        | Error msg -> die "%s: invalid suite report: %s" file msg
+        | Ok () ->
+            Printf.printf
+              "%s: valid %s (%s estimator, %d benchmarks, %d improved)\n" file
+              schema (str "estimator") (int "n_benchmarks") (int "n_improved"))
 
 (* ------------------------------------------------------------------ *)
 (* stenso serve / stenso request                                       *)
@@ -344,10 +372,10 @@ let report_run file =
 let default_socket =
   Filename.concat (Filename.get_temp_dir_name ()) "stenso.sock"
 
-let serve_run socket workers queue_capacity estimator timeout no_bnb
+let serve_run socket workers queue_capacity estimator exec timeout no_bnb
     no_simplification extended_ops cost_cache no_store store_dir trace =
   let config =
-    config_of ~estimator ~engine:"vm" ~timeout ~jobs:1 ~no_bnb
+    config_of ~estimator ~engine:"vm" ~exec ~timeout ~jobs:1 ~no_bnb
       ~no_simplification ~extended_ops ~cost_cache
   in
   let tel =
@@ -448,6 +476,58 @@ let engine_arg =
            and candidate validation): $(b,vm) (compiled, default) or \
            $(b,interp) (tree-walking reference).")
 
+let exec_domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "exec-domains" ] ~docv:"N"
+        ~doc:
+          "Parallel lanes the compiled VM may fan a single step out over \
+           (long fused strips, reductions, tiled kernels).  Default: \
+           min 8 (recommended domain count).  Results are bitwise \
+           independent of N.")
+
+let exec_tile_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "exec-tile" ] ~docv:"N"
+        ~doc:
+          "Cache-block edge of the VM's matmul and transpose kernels \
+           (default 64, minimum 4).")
+
+let exec_no_fusion_arg =
+  Arg.(
+    value & flag
+    & info [ "exec-no-fusion" ]
+        ~doc:
+          "Disable elementwise fusion in the VM planner (every operation \
+           materializes; also disables reduction fusion).")
+
+let exec_no_reduction_fusion_arg =
+  Arg.(
+    value & flag
+    & info [ "exec-no-reduction-fusion" ]
+        ~doc:
+          "Keep elementwise fusion but do not inline producers into \
+           $(b,sum)/$(b,max) reduction loops.")
+
+(* One term shared by every command that can reach the compiled VM; it
+   folds the --exec-* flags over [Exec.Options.default], so the options
+   record stays the single configuration path. *)
+let exec_options_term =
+  let build domains tile no_fusion no_reduction_fusion =
+    let open Stenso.Exec in
+    Options.default
+    |> (if domains > 0 then Options.with_domains domains else Fun.id)
+    |> (if tile > 0 then Options.with_tile tile else Fun.id)
+    |> (if no_fusion then Options.with_fusion false else Fun.id)
+    |>
+    if no_reduction_fusion then Options.with_reduction_fusion false
+    else Fun.id
+  in
+  Term.(
+    const build $ exec_domains_arg $ exec_tile_arg $ exec_no_fusion_arg
+    $ exec_no_reduction_fusion_arg)
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -526,9 +606,9 @@ let trace_arg =
 let optimize_term =
   Term.(
     const optimize_run $ program_arg $ synth_out_arg $ estimator_arg
-    $ engine_arg $ timeout_arg $ jobs_arg $ no_bnb_arg $ no_simp_arg
-    $ extended_ops_arg $ cost_cache_arg $ no_store_arg $ store_dir_arg
-    $ trace_arg $ verbose_arg)
+    $ engine_arg $ exec_options_term $ timeout_arg $ jobs_arg $ no_bnb_arg
+    $ no_simp_arg $ extended_ops_arg $ cost_cache_arg $ no_store_arg
+    $ store_dir_arg $ trace_arg $ verbose_arg)
 
 let optimize_cmd =
   Cmd.v
@@ -591,8 +671,8 @@ let suite_cmd =
           pool.")
     Term.(
       const suite_run $ list_arg $ benchmarks_arg $ jobs_arg $ timeout_arg
-      $ estimator_arg $ engine_arg $ cost_cache_arg $ use_store_arg
-      $ store_dir_arg $ out_arg $ report_arg $ quiet_arg)
+      $ estimator_arg $ engine_arg $ exec_options_term $ cost_cache_arg
+      $ use_store_arg $ store_dir_arg $ out_arg $ report_arg $ quiet_arg)
 
 let run_cmd =
   let prog_pos_arg =
@@ -615,8 +695,8 @@ let run_cmd =
           compiled engine also reports its plan: steps, fused \
           operations, folded constants, and arena reuse.")
     Term.(
-      const run_run $ prog_pos_arg $ engine_arg $ seed_arg $ trace_arg
-      $ verbose_arg)
+      const run_run $ prog_pos_arg $ engine_arg $ exec_options_term
+      $ seed_arg $ trace_arg $ verbose_arg)
 
 let profile_cmd =
   let cache_arg =
@@ -645,14 +725,25 @@ let report_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Suite report to validate.")
+      & info [] ~docv:"FILE" ~doc:"Report to validate.")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "For $(b,stenso.exec-bench/1) reports: fail unless every \
+             benchmark's VM speedup is at least $(docv) and every \
+             reduction-rooted benchmark fused at least one op.")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Validate a JSON suite report against the \
-          $(b,stenso.suite-report/1) schema and print its summary.")
-    Term.(const report_run $ file_arg)
+         "Validate a JSON report — $(b,stenso.suite-report/1) or \
+          $(b,stenso.exec-bench/1), dispatched on its schema field — \
+          and print its summary.")
+    Term.(const report_run $ file_arg $ min_speedup_arg)
 
 let serve_cmd =
   let workers_arg =
@@ -678,8 +769,9 @@ let serve_cmd =
           gracefully.")
     Term.(
       const serve_run $ socket_arg $ workers_arg $ queue_arg $ estimator_arg
-      $ timeout_arg $ no_bnb_arg $ no_simp_arg $ extended_ops_arg
-      $ cost_cache_arg $ no_store_arg $ store_dir_arg $ trace_arg)
+      $ exec_options_term $ timeout_arg $ no_bnb_arg $ no_simp_arg
+      $ extended_ops_arg $ cost_cache_arg $ no_store_arg $ store_dir_arg
+      $ trace_arg)
 
 let request_cmd =
   let id_arg =

@@ -5,6 +5,7 @@ type t = {
   estimator : estimator;
   cost_cache : string option;
   engine : Texec.Engine.kind;
+  exec : Texec.Engine.Options.t;
 }
 
 let default =
@@ -13,6 +14,7 @@ let default =
     estimator = `Measured;
     cost_cache = None;
     engine = `Vm;
+    exec = Texec.Engine.Options.default;
   }
 
 let with_search search t = { t with search }
@@ -32,6 +34,7 @@ let with_jobs jobs t =
 let with_estimator estimator t = { t with estimator }
 let with_cost_cache file t = { t with cost_cache = Some file }
 let with_engine engine t = { t with engine }
+let with_exec_options exec t = { t with exec }
 let with_bnb use_bnb t = { t with search = { t.search with use_bnb } }
 
 let with_simplification use_simplification t =
@@ -77,6 +80,7 @@ let jobs t = t.search.Search.jobs
 let timeout t = t.search.Search.timeout
 let estimator t = t.estimator
 let engine t = t.engine
+let exec_options t = t.exec
 let engine_name = Texec.Engine.kind_name
 
 let engine_of_string s =
@@ -89,7 +93,8 @@ let model ?tel t =
   | `Flops -> Cost.Model.flops
   | `Roofline -> Cost.Model.roofline ()
   | `Measured ->
-      Cost.Model.measured ?tel ~engine:t.engine ?cache_file:t.cost_cache ()
+      Cost.Model.measured ?tel ~engine:t.engine ~exec_options:t.exec
+        ?cache_file:t.cost_cache ()
 
 let of_search search = { default with search }
 
@@ -110,15 +115,21 @@ let estimator_name = function
    but the measured estimator is already declared non-reproducible by
    its [est=measured] tag).  [timeout] and [node_budget] stay in: an
    expired budget changes the anytime answer, so outcomes are cached per
-   budget. *)
+   budget.  Of the exec options, fusion/reduction-fusion/tile stay in
+   (they change the kernels the measured estimator times, hence costs,
+   hence outcomes) while [domains] is excluded like [jobs]: VM results
+   are bitwise-independent of it by construction, and its default is
+   machine-derived. *)
 let fingerprint t =
   let s = t.search in
   let stub = s.Search.stub_config in
   let inv = s.Search.invert_config in
+  let module O = Texec.Engine.Options in
   Printf.sprintf
-    "cfg:est=%s;eng=%s;bnb=%b;simp=%b;budget=%d;timeout=%.17g;depth=%d;memo=%b;stub[d=%d,max=%d,ext=%b,full=%b];inv[conc=%d,split=%d]"
+    "cfg:est=%s;eng=%s;exec[fus=%b,red=%b,tile=%d];bnb=%b;simp=%b;budget=%d;timeout=%.17g;depth=%d;memo=%b;stub[d=%d,max=%d,ext=%b,full=%b];inv[conc=%d,split=%d]"
     (estimator_name t.estimator)
     (engine_name t.engine)
+    (O.fusion t.exec) (O.reduction_fusion t.exec) (O.tile t.exec)
     s.Search.use_bnb s.Search.use_simplification s.Search.node_budget
     s.Search.timeout s.Search.max_depth s.Search.memoize stub.Stub.depth
     stub.Stub.max_stubs stub.Stub.extended_ops stub.Stub.full_binary

@@ -27,6 +27,10 @@ type t = {
       (** what executes programs concretely: the measured estimator's
           timing runs and {!Superopt.validate_concrete}'s candidate
           evaluations (default [`Vm]) *)
+  exec : Texec.Engine.Options.t;
+      (** planner/VM knobs for every compiled execution reached through
+          this configuration — the measured estimator's timing runs and
+          concrete validation (default [Exec.Options.default]) *)
 }
 
 val default : t
@@ -42,6 +46,7 @@ val with_jobs : int -> t -> t
 val with_estimator : estimator -> t -> t
 val with_cost_cache : string -> t -> t
 val with_engine : Texec.Engine.kind -> t -> t
+val with_exec_options : Texec.Engine.Options.t -> t -> t
 val with_bnb : bool -> t -> t
 val with_simplification : bool -> t -> t
 val with_extended_ops : bool -> t -> t
@@ -60,6 +65,7 @@ val jobs : t -> int
 val timeout : t -> float
 val estimator : t -> estimator
 val engine : t -> Texec.Engine.kind
+val exec_options : t -> Texec.Engine.Options.t
 
 val model : ?tel:Obs.Telemetry.t -> t -> Cost.Model.t
 (** Instantiate the configured cost estimator.  A fresh model each call:
@@ -74,9 +80,11 @@ val of_search : Search.config -> t
 
 val fingerprint : t -> string
 (** Canonical rendering of every field that determines a synthesis
-    result: estimator id, pruning switches, budgets, depths, and the
-    nested stub/invert parameters.  [jobs] is excluded (results are
-    independent of it by construction), as is the [cost_cache] path.
+    result: estimator id, pruning switches, budgets, depths, the
+    nested stub/invert parameters, and the cost-relevant exec options
+    (fusion, reduction fusion, tile).  [jobs] and the exec [domains]
+    count are excluded (results are independent of them by
+    construction), as is the [cost_cache] path.
     Together with the spec key, a {!Stub.fingerprint} and the cost-model
     id, this keys the persistent outcome store. *)
 

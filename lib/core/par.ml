@@ -1,4 +1,17 @@
-let default_jobs () = Domain.recommended_domain_count ()
+(* Ordered parallel maps for the synthesis engine, built on the
+   process-wide persistent domain pool ({!Pool}).
+
+   The semantics are unchanged from the original per-call-spawn
+   implementation: results come back in input order, work is handed out
+   as [chunk]-sized blocks from a shared cursor, and if applications
+   raise, every element is still attempted and the exception of the
+   smallest-indexed failing element is re-raised at the end.  What
+   changed is the execution substrate — lanes are claimed from the pool
+   instead of spawned, so a [map] inside a [map] (for example the
+   search fan-out calling into the parallel VM) degrades gracefully
+   instead of over-spawning domains, and no call pays domain startup. *)
+
+let default_jobs () = Pool.default_domains ()
 
 type 'b slot = Pending | Done of 'b | Failed of exn
 
@@ -8,26 +21,12 @@ let map_array ~jobs ?(chunk = 1) f xs =
   if jobs <= 1 then Array.map f xs
   else begin
     let out = Array.make n Pending in
-    let next = Atomic.make 0 in
-    let chunk = max 1 chunk in
-    let work () =
-      let rec loop () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < n then begin
-          let stop = min n (start + chunk) in
-          for i = start to stop - 1 do
-            out.(i) <- (match f xs.(i) with
-              | y -> Done y
-              | exception e -> Failed e)
-          done;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn work) in
-    work ();
-    List.iter Domain.join domains;
+    Pool.parallel_for ~lanes:jobs ~chunk:(max 1 chunk) n
+      (fun ~lane:_ ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <-
+            (match f xs.(i) with y -> Done y | exception e -> Failed e)
+        done);
     Array.map
       (function Done y -> y | Failed e -> raise e | Pending -> assert false)
       out

@@ -1,11 +1,14 @@
-(** Fixed-size domain pools for the parallel synthesis engine.
+(** Ordered parallel maps for the parallel synthesis engine.
 
-    OCaml 5 domains are expensive enough that each helper spawns at most
-    [jobs - 1] domains per call (the calling domain participates as a
-    worker) and joins them all before returning, so parallelism never
-    leaks past the call.  Work is distributed dynamically through a
-    shared atomic cursor; results are always returned in input order, so
-    callers observe deterministic output regardless of scheduling. *)
+    Built on the process-wide persistent domain pool ({!Pool}): each
+    call claims up to [jobs - 1] idle pool workers (the calling domain
+    participates as a lane) and completes all work before returning, so
+    parallelism never leaks past the call and no call pays domain
+    startup.  Nested calls degrade to sequential execution instead of
+    deadlocking or over-spawning.  Work is distributed dynamically
+    through a shared atomic cursor; results are always returned in
+    input order, so callers observe deterministic output regardless of
+    scheduling. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

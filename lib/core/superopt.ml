@@ -238,7 +238,8 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
           outcome)
 
 let validate_concrete ?(trials = 16) ?(max_draws = 512)
-    ?(engine : Texec.Engine.kind = `Vm) ~env a b =
+    ?(engine : Texec.Engine.kind = `Vm)
+    ?(exec_options = Texec.Engine.Options.default) ~env a b =
   let st = Random.State.make [| 0xbeef |] in
   (* The reference side [a] always goes through the tree-walking
      interpreter; the candidate side [b] goes through the selected
@@ -248,7 +249,7 @@ let validate_concrete ?(trials = 16) ?(max_draws = 512)
     match engine with
     | `Interp -> fun inputs -> Dsl.Interp.eval_alist inputs b
     | `Vm ->
-        let compiled = Texec.Engine.compile ~env b in
+        let compiled = Texec.Engine.compile ~options:exec_options ~env b in
         fun inputs ->
           Texec.Engine.run compiled (fun n -> List.assoc n inputs)
   in

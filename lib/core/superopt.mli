@@ -78,6 +78,7 @@ val validate_concrete :
   ?trials:int ->
   ?max_draws:int ->
   ?engine:Texec.Engine.kind ->
+  ?exec_options:Texec.Engine.Options.t ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
   Dsl.Ast.t ->
@@ -86,7 +87,8 @@ val validate_concrete :
     used by the test-suite alongside symbolic verification.  The
     reference program (first argument) always runs on the tree-walking
     interpreter; the candidate runs on [engine] (default [`Vm], compiled
-    once and reused across trials), so VM-backed validation doubles as a
+    once under [exec_options] — default [Exec.Options.default] — and
+    reused across trials), so VM-backed validation doubles as a
     differential test of the compiled path.  Draws whose original output
     is non-finite fall outside the engine's positive-value domain and
     are redrawn rather than counted, until [trials] in-domain

@@ -174,7 +174,7 @@ let time_windows ~min_time runner =
   in
   (w.(1), sqrt var)
 
-let time_op ~min_time ~(engine : Texec.Engine.kind) op
+let time_op ~min_time ~(engine : Texec.Engine.kind) ~exec_options op
     (args : Dsl.Types.vt list) =
   let st = Random.State.make [| 0x5e50; Hashtbl.hash (op_fingerprint op args) |] in
   let tensors =
@@ -193,13 +193,17 @@ let time_op ~min_time ~(engine : Texec.Engine.kind) op
     | `Vm ->
         (* Compile the single-op program once per fingerprint; only the
            run loop is timed, so the table measures steady-state kernel
-           time rather than planning overhead. *)
+           time rather than planning overhead.  Pool worker domains are
+           likewise spawned lazily by the warm-up run [time_windows]
+           performs before its first window, so parallel kernels are
+           timed in steady state — Domain spawn is never inside a
+           window. *)
         let name i = "x" ^ string_of_int i in
         let env = List.mapi (fun i vt -> (name i, vt)) args in
         let prog =
           Dsl.Ast.App (op, List.mapi (fun i _ -> Dsl.Ast.Input (name i)) args)
         in
-        let compiled = Texec.Engine.compile ~env prog in
+        let compiled = Texec.Engine.compile ~options:exec_options ~env prog in
         let bound = List.map2 (fun (n, _) t -> (n, t)) env tensors in
         let lookup n = List.assoc n bound in
         fun () -> ignore (Texec.Engine.run compiled lookup)
@@ -212,7 +216,7 @@ let time_op ~min_time ~(engine : Texec.Engine.kind) op
    their ranking while keeping the offline profiling phase fast. *)
 let profile_budget = 3_000_000.
 
-let profile_extrapolated ~min_time ~scale ~engine op args =
+let profile_extrapolated ~min_time ~scale ~engine ~exec_options op args =
   let rec usable s =
     if s <= 1 then 1
     else
@@ -223,7 +227,7 @@ let profile_extrapolated ~min_time ~scale ~engine op args =
   let s = usable scale in
   let args_s = List.map (scale_vt s) args in
   let op_s = scale_op s op in
-  let t, sd = time_op ~min_time ~engine op_s args_s in
+  let t, sd = time_op ~min_time ~engine ~exec_options op_s args_s in
   if s = scale then (t, sd)
   else
     let full =
@@ -282,7 +286,8 @@ let save_cache file table =
   | exception (Sys_error _ | Unix.Unix_error _) -> ()
 
 let measured ?(tel = Obs.Telemetry.null) ?(engine : Texec.Engine.kind = `Vm)
-    ?(scale = 12) ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file () =
+    ?(exec_options = Texec.Engine.Options.default) ?(scale = 12)
+    ?(min_time = 1e-3) ?(overhead = 5e-7) ?cache_file () =
   let table : (string, float * float) Hashtbl.t = Hashtbl.create 256 in
   (* The profiling table is shared by every domain of the parallel
      synthesis engine; the lock also serializes the timing runs
@@ -302,7 +307,16 @@ let measured ?(tel = Obs.Telemetry.null) ?(engine : Texec.Engine.kind = `Vm)
     ignore (Dsl.Types.infer_op op args);
     let args' = List.map (scale_vt scale) args in
     let op' = scale_op scale op in
-    let key = Texec.Engine.kind_name engine ^ ":" ^ op_fingerprint op' args' in
+    (* VM timings depend on the planner/VM knobs, so their table keys
+       carry the options fingerprint; the interpreter's do not. *)
+    let key =
+      (match engine with
+      | `Interp -> "interp"
+      | `Vm ->
+          "vm[" ^ Texec.Engine.Options.fingerprint exec_options ^ "]")
+      ^ ":"
+      ^ op_fingerprint op' args'
+    in
     let measured_time, _stddev =
       Mutex.protect lock (fun () ->
           match Hashtbl.find_opt table key with
@@ -313,7 +327,10 @@ let measured ?(tel = Obs.Telemetry.null) ?(engine : Texec.Engine.kind = `Vm)
               Obs.Telemetry.Counter.incr cache_misses;
               let t0 = Unix.gettimeofday () in
               let c, sd =
-                match profile_extrapolated ~min_time ~scale ~engine op args with
+                match
+                  profile_extrapolated ~min_time ~scale ~engine ~exec_options
+                    op args
+                with
                 | r -> r
                 | exception (Dsl.Types.Type_error _ | Invalid_argument _) ->
                     (* Scaling broke an attribute constraint; fall back

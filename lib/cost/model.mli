@@ -47,6 +47,7 @@ val roofline :
 val measured :
   ?tel:Obs.Telemetry.t ->
   ?engine:Texec.Engine.kind ->
+  ?exec_options:Texec.Engine.Options.t ->
   ?scale:int ->
   ?min_time:float ->
   ?overhead:float ->
@@ -55,8 +56,12 @@ val measured :
   t
 (** Profiling-based model.  [engine] selects what executes the timed
     operations: the compiled VM (default [`Vm], model name ["measured"])
-    compiles each single-op program once per fingerprint and times only
-    its run loop, so the table reflects steady-state kernel time;
+    compiles each single-op program once per fingerprint — under
+    [exec_options] (default [Options.default]), whose fingerprint is
+    part of the VM table keys since the knobs change kernel timings —
+    and times only its run loop, so the table reflects steady-state
+    kernel time (pool worker domains are spawned by a warm-up run
+    before the first timing window, never inside one);
     [`Interp] (model name ["measured-interp"]) times the tree-walking
     interpreter.  Each measurement is the median of three timing windows
     (each window takes the minimum of doubling batches until [min_time]
@@ -69,7 +74,8 @@ val measured :
     modelling the eager framework's per-op dispatch cost — this is what
     makes replacing a Python-level loop by one broadcast operation
     profitable, as in the paper's Vectorization class.  Measurements are
-    memoized per (engine, operation, shapes) in an internal table,
+    memoized per (engine, exec options, operation, shapes) in an
+    internal table,
     mirroring the paper's one-time offline profiling phase; with
     [cache_file] the table persists across processes
     ("key<TAB>seconds<TAB>stddev" lines; older two-column files still

@@ -1,9 +1,11 @@
-(* Engine facade: the switchable execution backends, compiled-program
-   caching, and the telemetry wiring for fusion/arena statistics. *)
+(* Engine facade: the switchable execution backends, the options
+   record every knob travels through, compiled-program caching, and the
+   telemetry wiring for fusion/arena/parallelism statistics. *)
 
 module Ast = Dsl.Ast
 module Types = Dsl.Types
 module Tel = Obs.Telemetry
+module Options = Opts
 
 type kind = [ `Interp | `Vm ]
 
@@ -25,19 +27,24 @@ type stats = Plan.stats = {
   buffers_reused : int;
   arena_slots : int;
   arena_bytes : int;
+  parallel_strips : int;
 }
 
 let stats (p : compiled) = p.Plan.stats
 let result_shape (p : compiled) = p.Plan.result_shape
+let options (p : compiled) = p.Plan.opts
 
-let compile ?(tel = Tel.null) ~(env : Types.env) (prog : Ast.t) : compiled =
-  let p = Plan.compile (Ir.of_ast ~env prog) in
+let compile ?(options = Options.default) ~(env : Types.env) (prog : Ast.t) :
+    compiled =
+  let p = Plan.compile ~opts:options (Ir.of_ast ~env prog) in
+  let tel = Options.telemetry options in
   if Tel.enabled tel then begin
     let s = p.Plan.stats in
     Tel.incr tel "exec.compiles";
     Tel.add tel "exec.ops_fused" s.ops_fused;
     Tel.add tel "exec.buffers_reused" s.buffers_reused;
     Tel.add tel "exec.consts_folded" s.consts_folded;
+    Tel.add tel "exec.parallel_strips" s.parallel_strips;
     Tel.gauge tel "exec.arena_bytes" (float_of_int s.arena_bytes);
     Tel.event tel "exec.compile"
       [
@@ -48,23 +55,27 @@ let compile ?(tel = Tel.null) ~(env : Types.env) (prog : Ast.t) : compiled =
         ("buffers_reused", Tel.Int s.buffers_reused);
         ("arena_slots", Tel.Int s.arena_slots);
         ("arena_bytes", Tel.Int s.arena_bytes);
+        ("parallel_strips", Tel.Int s.parallel_strips);
+        ("options", Tel.Str (Options.fingerprint options));
       ]
   end;
   p
 
 let run = Vm.run
 
-let eval ?tel (kind : kind) ~(env : Types.env) lookup (prog : Ast.t) =
+let eval ?options (kind : kind) ~(env : Types.env) lookup (prog : Ast.t) =
   match kind with
   | `Interp -> Dsl.Interp.eval lookup prog
-  | `Vm -> Vm.run (compile ?tel ~env prog) lookup
+  | `Vm -> Vm.run (compile ?options ~env prog) lookup
 
-(* Compiled-program cache, keyed structurally on (environment, program).
-   The map is safe to share across domains; each *compiled program* is
-   not (its arena is mutable) — callers sharing one across domains must
-   serialize runs on it. *)
+(* Compiled-program cache, keyed structurally on (environment, program,
+   options fingerprint) — the same program planned under different
+   options is a different compiled artifact.  The map is safe to share
+   across domains; each *compiled program* is not (its arena is mutable,
+   even though one run may fan out over many domains internally) —
+   callers sharing one across domains must serialize runs on it. *)
 module Cache = struct
-  type key = Types.env * Ast.t
+  type key = Types.env * Ast.t * string
   type nonrec t = {
     tbl : (key, compiled) Hashtbl.t;
     lock : Mutex.t;
@@ -72,13 +83,13 @@ module Cache = struct
 
   let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
-  let find_or_compile t ?tel ~env prog =
-    let key = (env, prog) in
+  let find_or_compile t ?(options = Options.default) ~env prog =
+    let key = (env, prog, Options.fingerprint options) in
     Mutex.protect t.lock (fun () ->
         match Hashtbl.find_opt t.tbl key with
         | Some c -> c
         | None ->
-            let c = compile ?tel ~env prog in
+            let c = compile ~options ~env prog in
             Hashtbl.add t.tbl key c;
             c)
 

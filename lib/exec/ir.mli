@@ -1,0 +1,43 @@
+(** SSA-style tensor IR: the lowering target for {!Dsl.Ast.t}.
+
+    A program is an array of nodes in topological order (every operand
+    id is smaller than its user's id), each annotated with its inferred
+    value type.  {!of_ast} performs value numbering (structurally
+    identical subcomputations collapse to one node), comprehension
+    unrolling ([For_stack] bodies instantiate per iteration against
+    contiguous axis-0 slices) and constant folding (operations over
+    all-constant operands evaluate at compile time).
+
+    Private to [texec]: the library exports only {!Engine}. *)
+
+type expr =
+  | Input of string
+  | Const of Tensor.Ftensor.t  (** literal or folded constant *)
+  | Slice0 of int * int  (** axis-0 slice [node].(i): a contiguous view *)
+  | Op of Dsl.Ast.op * int array
+
+type node = { expr : expr; vt : Dsl.Types.vt }
+
+type t = {
+  nodes : node array;  (** topological; operands precede users *)
+  result : int;
+  env : Dsl.Types.env;  (** the input environment lowered against *)
+  folded : int;  (** operation nodes eliminated by constant folding *)
+}
+
+val node : t -> int -> node
+val numel : t -> int -> int
+
+val is_elementwise : Dsl.Ast.op -> bool
+(** True for the scalar-per-element operations a fused loop body can
+    host (arithmetic, [sqrt]/[exp]/[log], [less], [where]). *)
+
+val use_counts : t -> int array
+(** Uses per node, counting multiplicity ([A + A] uses [A] twice); the
+    result is charged one extra use so it is never considered dead. *)
+
+val of_ast : env:Dsl.Types.env -> Dsl.Ast.t -> t
+(** Raises {!Dsl.Types.Type_error} on ill-typed programs, unbound
+    inputs, and zero-trip comprehensions. *)
+
+val pp : Format.formatter -> t -> unit

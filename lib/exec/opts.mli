@@ -1,0 +1,51 @@
+(** Execution options for the compiled engine (exported as
+    [Stenso.Exec.Options]).
+
+    One immutable record carries every planner and VM knob, built in
+    the same [default |> with_*] style as [Stenso.Config].  It is the
+    single way these knobs are configured — {!Engine.compile} and
+    {!Engine.eval} take an options value, never loose optional
+    arguments. *)
+
+type t = {
+  fusion : bool;  (** fuse elementwise chains into strip loops *)
+  reduction_fusion : bool;
+      (** inline elementwise producers into their [sum]/[max] consumer
+          so [sum (f x)] runs single-pass; implies [fusion] *)
+  tile : int;  (** cache-block edge for matmul/transpose kernels *)
+  domains : int;
+      (** parallel lanes for long strips and tiled kernels; [1] runs
+          everything in the calling domain.  Results are bitwise
+          independent of this value. *)
+  tel : Obs.Telemetry.t;  (** sink for [exec.*] compile telemetry *)
+}
+
+val default : t
+(** Fusion and reduction fusion on, [tile = 64], [domains] =
+    [min 8 (Domain.recommended_domain_count ())], null telemetry. *)
+
+val with_fusion : bool -> t -> t
+(** Disabling fusion also disables reduction fusion. *)
+
+val with_reduction_fusion : bool -> t -> t
+(** Raises [Invalid_argument] when enabling while [fusion] is off. *)
+
+val with_tile : int -> t -> t
+(** Raises [Invalid_argument] below 4. *)
+
+val with_domains : int -> t -> t
+(** Clamped to the pool's capacity; raises [Invalid_argument] below
+    1. *)
+
+val with_telemetry : Obs.Telemetry.t -> t -> t
+
+val fusion : t -> bool
+val reduction_fusion : t -> bool
+val tile : t -> int
+val domains : t -> int
+val telemetry : t -> Obs.Telemetry.t
+
+val fingerprint : t -> string
+(** Stable rendering of every knob that affects planning or execution
+    (the telemetry sink is excluded).  Used to key compiled-program and
+    measured-cost caches. *)

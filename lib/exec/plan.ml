@@ -8,9 +8,17 @@
      output element, so intermediates of a chain like
      [sqrt(A*A + B*B) / C] never materialize.  A producer is inlined
      exactly when it is elementwise, has a single consumer, and that
-     consumer is an elementwise operation of the same output shape —
-     never across [Sum]/[Max]/[Dot]/[Tensordot] or any layout operation,
-     whose inputs must exist as whole buffers;
+     consumer is either an elementwise operation of the same output
+     shape or — with {!Opts.reduction_fusion} — a [Sum]/[Max]
+     reduction, whose loop then evaluates the producer body on the fly
+     ({!Reduce_fused}) so [sum (f x)] runs as a single pass with no
+     materialized intermediate.  Never across [Dot]/[Tensordot] or any
+     layout operation, whose inputs must exist as whole buffers;
+   - {e superinstructions}: a peephole pass rewrites the postfix body so
+     a binary opcode whose second operand is a literal ({!BinC}) or a
+     leaf load ({!BinL}) reads it directly instead of first
+     materializing a scratch strip, roughly halving strip traffic on
+     typical chains;
    - {e aliasing}: [reshape], identity [transpose] and the axis-0 slices
      of unrolled comprehensions are zero-cost views (slot + offset) of
      their operand's buffer;
@@ -22,12 +30,23 @@
    - {e index maps}: broadcasting, transposition and the permutations
      that reduce [dot]/[tensordot] to a row-major matrix multiply are
      precomputed as gather maps (output linear index to source linear
-     index).
+     index); rank-2 transposes skip the map entirely and run as a tiled
+     kernel ({!Transpose2});
+   - {e parallelism}: each step is assigned a static lane count
+     ({!step_lanes}) from {!Opts.domains} and its work size; per-lane
+     scratch (strip stacks, reduction partials) is preallocated here so
+     parallel execution stays allocation-free.  Lane partitioning is
+     chosen so results are bitwise identical for every domain count:
+     elementwise and tiled steps write disjoint ranges, axis reductions
+     split only across independent outputs, and full reductions
+     accumulate into fixed-size blocks whose count is independent of
+     the lane count, combined in ascending order.
 
-   A compiled program's arena is mutable state: concurrent [run]s of the
-   same program race.  Callers that share compiled programs across
-   domains must serialize runs (the measured cost model's profiling lock
-   already does). *)
+   A compiled program's arena and scratch are mutable state: concurrent
+   [run]s of the same program race even though one run may use many
+   domains internally.  Callers that share compiled programs across
+   domains must serialize runs (the measured cost model's profiling
+   lock already does). *)
 
 module Ast = Dsl.Ast
 module Types = Dsl.Types
@@ -44,18 +63,16 @@ type buf = float array
    (up to {!strip_len} elements) in a tight monomorphic float loop, so
    dispatch is amortized over the strip and intermediates stay in a few
    L1-resident scratch strips instead of materializing whole tensors.
-   Boolean tensors are 0./1. floats, so [Less2] and [Where3] need no
+   Boolean tensors are 0./1. floats, so [SLess] and [Where3] need no
    separate representation. *)
+type sbin = SAdd | SSub | SMul | SDiv | SPow | SMax | SLess
+
 type sop =
   | Load of int  (* push the current element of leaf operand i *)
   | Lit of float
-  | Add2
-  | Sub2
-  | Mul2
-  | Div2
-  | Pow2
-  | Max2
-  | Less2
+  | Bin2 of sbin  (* pop y, pop x, push (x OP y) *)
+  | BinC of sbin * float  (* top := top OP literal, in place *)
+  | BinL of sbin * int  (* top := top OP leaf i, read directly *)
   | Sqrt1
   | Exp1
   | Log1
@@ -73,13 +90,15 @@ type bin_kind = BAdd | BSub | BMul | BDiv
 
 type step =
   | Bin of { kind : bin_kind; out : int; a : operand; b : operand; n : int }
-    (* specialized same-shape binary arithmetic, the hottest case *)
+    (* specialized binary arithmetic over dense/scalar operands, the
+       hottest case: one pass, no scratch strips *)
   | Ew of {
       out : int;
       n : int;
       code : sop array;
       leaves : operand array;
-      strips : float array array;  (* scratch, one strip per stack level *)
+      strips : float array array array;
+        (* scratch: lane -> stack level -> strip *)
     }
   | Reduce of {
       kind : [ `Sum | `Max ];
@@ -89,7 +108,23 @@ type step =
       outer : int;
       mid : int;
       inner : int;
+      partials : float array;
+        (* full (scalar) reductions only: fixed-size-block partial
+           accumulators — the block count depends on the problem size,
+           never on the lane count, so parallel and sequential runs
+           combine identically *)
     }  (* source viewed as outer x mid x inner; [mid] is reduced *)
+  | Reduce_fused of {
+      kind : [ `Sum | `Max ];
+      out : int;
+      outer : int;
+      mid : int;
+      inner : int;
+      code : sop array;  (* producer body, evaluated per source strip *)
+      leaves : operand array;  (* indexed in the *source* space *)
+      strips : float array array array;  (* lane -> level -> strip *)
+      partials : float array;  (* as in {!Reduce} *)
+    }
   | Matmul of {
       out : int;
       a : int;
@@ -100,6 +135,13 @@ type step =
       k : int;
       n : int;
     }  (* out[m,n] = a[m,k] . b[k,n], all row-major *)
+  | Transpose2 of {
+      out : int;
+      src : int;
+      sofs : int;
+      rows : int;
+      cols : int;
+    }  (* out[c,r] = src[r,c]: rank-2 transpose as a tiled kernel *)
   | Copy of { out : int; src : operand; n : int }
   | Stack_part of {
       out : int;
@@ -129,6 +171,7 @@ type stats = {
   buffers_reused : int;  (* arena slots serving more than one value *)
   arena_slots : int;
   arena_bytes : int;  (* the arena is fully preallocated: peak = total *)
+  parallel_strips : int;  (* steps planned for more than one lane *)
 }
 
 type t = {
@@ -139,8 +182,115 @@ type t = {
   result_ofs : int;
   result_shape : Shape.t;
   env : Types.env;
+  opts : Opts.t;
   stats : stats;
 }
+
+(* Strip length of the vectorized stack machine: 4 KB per scratch strip
+   keeps a typical fused body (2-4 stack levels) L1-resident while
+   amortizing opcode dispatch over 512 elements. *)
+let strip_len = 512
+
+(* Work below this many elements stays sequential: lane handoff costs a
+   CAS + signal + wake, which only pays off above L2-ish sizes. *)
+let par_threshold = 32768
+
+(* Full (scalar) reductions accumulate this many source elements per
+   partial block.  The block count is a function of the problem size
+   only, so any lane count — including 1 — produces bitwise-identical
+   results. *)
+let red_block = 16384
+
+let blocks_of total = if total <= red_block then 1 else (total + red_block - 1) / red_block
+
+let lanes_for ~domains work =
+  if domains <= 1 then 1 else max 1 (min domains (work / par_threshold))
+
+(* Lanes a step runs on (1 = sequential).  Shared by the planner (to
+   size per-lane scratch and count [parallel_strips]) and the VM (to
+   partition ranges): both must agree, and the per-lane scratch of
+   [Ew]/[Reduce_fused] is authoritative for them. *)
+let step_lanes (opts : Opts.t) (s : step) =
+  let domains = opts.Opts.domains in
+  match s with
+  | Bin b -> lanes_for ~domains b.n
+  | Ew e -> Array.length e.strips
+  | Reduce r ->
+      if r.outer = 1 && r.inner = 1 then
+        min (lanes_for ~domains r.mid) (Array.length r.partials)
+      else if r.inner = 1 then
+        min (lanes_for ~domains (r.outer * r.mid)) r.outer
+      else if r.outer = 1 then
+        min (lanes_for ~domains (r.mid * r.inner)) r.inner
+      else min (lanes_for ~domains (r.outer * r.mid * r.inner)) r.outer
+  | Reduce_fused rf -> Array.length rf.strips
+  | Matmul mm -> min (lanes_for ~domains (mm.m * mm.k * mm.n)) mm.m
+  | Transpose2 tp -> min (lanes_for ~domains (tp.rows * tp.cols)) tp.rows
+  | Copy c -> lanes_for ~domains c.n
+  | Stack_part _ | Mask _ | Trace_of _ | Fill _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Postfix bodies                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sop_of_op (op : Ast.op) =
+  match op with
+  | Ast.Add -> Bin2 SAdd
+  | Ast.Sub -> Bin2 SSub
+  | Ast.Mul -> Bin2 SMul
+  | Ast.Div -> Bin2 SDiv
+  | Ast.Pow_op -> Bin2 SPow
+  | Ast.Maximum -> Bin2 SMax
+  | Ast.Less -> Bin2 SLess
+  | Ast.Sqrt -> Sqrt1
+  | Ast.Exp -> Exp1
+  | Ast.Log -> Log1
+  | Ast.Where -> Where3
+  | _ -> invalid_arg "sop_of_op: not elementwise"
+
+let sop_delta = function
+  | Load _ | Lit _ -> 1
+  | Bin2 _ -> -1
+  | BinC _ | BinL _ | Sqrt1 | Exp1 | Log1 -> 0
+  | Where3 -> -2
+
+(* Fold […; Lit c; Bin2 k] into […; BinC (k, c)] and
+   […; Load l; Bin2 k] into […; BinL (k, l)] — valid whenever the
+   popped second operand is the literal/load just pushed and an x
+   remains beneath it (depth >= 2). *)
+let peephole code =
+  let out = ref [] and depth = ref 0 in
+  let emit c =
+    out := c :: !out;
+    depth := !depth + sop_delta c
+  in
+  Array.iter
+    (fun c ->
+      match (c, !out) with
+      | Bin2 k, Lit v :: rest when !depth >= 2 ->
+          out := rest;
+          depth := !depth - 1;
+          emit (BinC (k, v))
+      | Bin2 k, Load l :: rest when !depth >= 2 ->
+          out := rest;
+          depth := !depth - 1;
+          emit (BinL (k, l))
+      | _ -> emit c)
+    code;
+  Array.of_list (List.rev !out)
+
+let body_depth code =
+  let d = ref 0 and m = ref 1 in
+  Array.iter
+    (fun c ->
+      d := !d + sop_delta c;
+      if !d > !m then m := !d)
+    code;
+  !m
+
+let lane_strips ~lanes ~depth ~len =
+  Array.init lanes (fun _ ->
+      Array.init depth (fun _ -> Array.make (min len strip_len) 0.))
 
 (* ------------------------------------------------------------------ *)
 (* Index-map construction                                              *)
@@ -222,9 +372,7 @@ let contraction_of op (sa : Shape.t) (sb : Shape.t) : contraction =
           (List.init (Shape.rank shape) Fun.id)
       in
       let keep_a = keep sa axes_a and keep_b = keep sb axes_b in
-      let k =
-        List.fold_left (fun acc ax -> acc * sa.(ax)) 1 axes_a
-      in
+      let k = List.fold_left (fun acc ax -> acc * sa.(ax)) 1 axes_a in
       let m = List.fold_left (fun acc ax -> acc * sa.(ax)) 1 keep_a in
       let n = List.fold_left (fun acc ax -> acc * sb.(ax)) 1 keep_b in
       {
@@ -242,27 +390,7 @@ let contraction_of op (sa : Shape.t) (sb : Shape.t) : contraction =
 
 type kind = Dead | KInput | KConst of F.t | KAlias | KInlined | KStep
 
-let sop_of_op (op : Ast.op) =
-  match op with
-  | Ast.Add -> Add2
-  | Ast.Sub -> Sub2
-  | Ast.Mul -> Mul2
-  | Ast.Div -> Div2
-  | Ast.Pow_op -> Pow2
-  | Ast.Maximum -> Max2
-  | Ast.Less -> Less2
-  | Ast.Sqrt -> Sqrt1
-  | Ast.Exp -> Exp1
-  | Ast.Log -> Log1
-  | Ast.Where -> Where3
-  | _ -> invalid_arg "sop_of_op: not elementwise"
-
-(* Strip length of the vectorized stack machine: 4 KB per scratch strip
-   keeps a typical fused body (2-4 stack levels) L1-resident while
-   amortizing opcode dispatch over 512 elements. *)
-let strip_len = 512
-
-let compile (ir : Ir.t) : t =
+let compile ~(opts : Opts.t) (ir : Ir.t) : t =
   let nodes = ir.Ir.nodes in
   let n_nodes = Array.length nodes in
   let uses = Ir.use_counts ir in
@@ -285,12 +413,14 @@ let compile (ir : Ir.t) : t =
   let alias_base = Array.make n_nodes (-1) in
   let alias_delta = Array.make n_nodes 0 in
   let inlineable id (op : Ast.op) =
-    Ir.is_elementwise op && uses.(id) = 1 && consumer.(id) >= 0
+    opts.Opts.fusion && Ir.is_elementwise op && uses.(id) = 1
+    && consumer.(id) >= 0
     &&
     let c = consumer.(id) in
     match nodes.(c).Ir.expr with
-    | Ir.Op (cop, _) ->
-        Ir.is_elementwise cop && Shape.equal (shape id) (shape c)
+    | Ir.Op (cop, _) when Ir.is_elementwise cop ->
+        Shape.equal (shape id) (shape c)
+    | Ir.Op ((Ast.Sum _ | Ast.Max _), _) -> opts.Opts.reduction_fusion
     | _ -> false
   in
   for id = 0 to n_nodes - 1 do
@@ -316,7 +446,7 @@ let compile (ir : Ir.t) : t =
   done;
 
   (* The loop an inlined node's reads actually happen in: its chain's
-     fusion root. *)
+     fusion root (possibly a reduction step). *)
   let group_root = Array.make n_nodes (-1) in
   for id = n_nodes - 1 downto 0 do
     group_root.(id) <-
@@ -330,8 +460,7 @@ let compile (ir : Ir.t) : t =
   let sdelta = Array.make n_nodes 0 in
   for id = 0 to n_nodes - 1 do
     match kind.(id) with
-    | KInput | KConst _ | KStep ->
-        sroot.(id) <- id
+    | KInput | KConst _ | KStep -> sroot.(id) <- id
     | KAlias ->
         let b = alias_base.(id) in
         sroot.(id) <- sroot.(b);
@@ -392,7 +521,7 @@ let compile (ir : Ir.t) : t =
   let ofs_of = Array.make n_nodes 0 in
   let temp_slots = Array.make n_nodes [||] in
   for id = 0 to n_nodes - 1 do
-    (match kind.(id) with
+    match kind.(id) with
     | Dead | KInlined -> ()
     | KInput | KConst _ -> slot_of.(id) <- alloc ~reusable:false (numel id)
     | KAlias ->
@@ -428,7 +557,7 @@ let compile (ir : Ir.t) : t =
             last_use.(r) = id && slot_of.(r) >= 0
             && (match kind.(r) with KConst _ | KInput -> false | _ -> true)
           then release (numel r) slot_of.(r)
-        done)
+        done
   done;
   let sizes = Array.of_list (List.rev !slot_sizes) in
 
@@ -443,29 +572,23 @@ let compile (ir : Ir.t) : t =
     else if numel a = 1 then { src = s; ofs = o; acc = Cell }
     else { src = s; ofs = o; acc = Gather (broadcast_map (shape a) out_shape) }
   in
-  let emit_elementwise id =
-    let out_shape = shape id in
+  (* Build the postfix body whose per-element value is node [root]'s,
+     expanding KInlined producers.  With [as_value] the root itself is
+     walked (reduction sources — the root must then be inlineable);
+     otherwise the root's own operation is applied over its walked
+     arguments (elementwise step roots).  Returns the peepholed code,
+     the leaf operands (indexed in [out_shape]'s linear space) and the
+     number of operation nodes the body evaluates. *)
+  let build_body ~out_shape ~root ~as_value =
     let code = ref [] in
     let leaves = ref [] in
     let n_leaves = ref 0 in
     let leaf_ix : (int, int) Hashtbl.t = Hashtbl.create 8 in
-    let depth = ref 0 and max_depth = ref 0 in
-    let push c =
-      code := c :: !code;
-      (match c with
-      | Load _ | Lit _ -> incr depth
-      | Sqrt1 | Exp1 | Log1 -> ()
-      | Add2 | Sub2 | Mul2 | Div2 | Pow2 | Max2 | Less2 -> decr depth
-      | Where3 -> depth := !depth - 2);
-      if !depth > !max_depth then max_depth := !depth
-    in
     let n_ops = ref 0 in
+    let push c = code := c :: !code in
     let rec walk nid =
       match (kind.(nid), nodes.(nid).Ir.expr) with
-      | KInlined, Ir.Op (op, args) ->
-          Array.iter walk args;
-          incr n_ops;
-          push (sop_of_op op)
+      | KInlined, Ir.Op (op, args) -> apply op args
       | KConst c, _ when F.numel c = 1 -> push (Lit (F.to_scalar c))
       | _ -> (
           match Hashtbl.find_opt leaf_ix nid with
@@ -476,46 +599,55 @@ let compile (ir : Ir.t) : t =
               Hashtbl.add leaf_ix nid i;
               leaves := operand_for ~out_shape nid :: !leaves;
               push (Load i))
+    and apply op args =
+      Array.iter walk args;
+      incr n_ops;
+      push (sop_of_op op)
     in
-    (match nodes.(id).Ir.expr with
-    | Ir.Op (op, args) ->
-        Array.iter walk args;
-        incr n_ops;
-        push (sop_of_op op)
-    | _ -> assert false);
-    ops_fused := !ops_fused + !n_ops - 1;
-    let code = Array.of_list (List.rev !code) in
-    let leaves = Array.of_list (List.rev !leaves) in
+    (if as_value then walk root
+     else
+       match nodes.(root).Ir.expr with
+       | Ir.Op (op, args) -> apply op args
+       | _ -> assert false);
+    let code = peephole (Array.of_list (List.rev !code)) in
+    (code, Array.of_list (List.rev !leaves), !n_ops)
+  in
+  let emit_elementwise id =
+    let out_shape = shape id in
+    let code, leaves, n_ops = build_body ~out_shape ~root:id ~as_value:false in
+    ops_fused := !ops_fused + n_ops - 1;
     let n = Shape.numel out_shape in
     let out = slot_of.(id) in
-    let dense (o : operand) = o.acc = Dense in
+    let dense_or_cell (o : operand) =
+      match o.acc with Dense | Cell -> true | Gather _ -> false
+    in
     match code with
-    | [| Load 0; Load 1; (Add2 | Sub2 | Mul2 | Div2) as o |]
-      when Array.for_all dense leaves ->
-        let k =
-          match o with
-          | Add2 -> BAdd
-          | Sub2 -> BSub
-          | Mul2 -> BMul
-          | _ -> BDiv
+    | [| Load a; BinL (((SAdd | SSub | SMul | SDiv) as k), b) |]
+      when dense_or_cell leaves.(a)
+           && dense_or_cell leaves.(b)
+           && (leaves.(a).acc = Dense || leaves.(b).acc = Dense) ->
+        let kind =
+          match k with SAdd -> BAdd | SSub -> BSub | SMul -> BMul | _ -> BDiv
         in
-        emit (Bin { kind = k; out; a = leaves.(0); b = leaves.(1); n })
-    | [| Load 0; Load 0; (Add2 | Sub2 | Mul2 | Div2) as o |]
-      when Array.for_all dense leaves ->
-        let k =
-          match o with
-          | Add2 -> BAdd
-          | Sub2 -> BSub
-          | Mul2 -> BMul
-          | _ -> BDiv
-        in
-        emit (Bin { kind = k; out; a = leaves.(0); b = leaves.(0); n })
+        emit (Bin { kind; out; a = leaves.(a); b = leaves.(b); n })
     | _ ->
-        let strips =
-          Array.init (max 1 !max_depth) (fun _ ->
-              Array.make (min n strip_len) 0.)
-        in
+        let lanes = lanes_for ~domains:opts.Opts.domains n in
+        let strips = lane_strips ~lanes ~depth:(body_depth code) ~len:n in
         emit (Ew { out; n; code; leaves; strips })
+  in
+  let emit_permute ~out src perm =
+    let ss = shape src in
+    let s, o = storage src in
+    if Array.length perm = 2 && perm.(0) = 1 && perm.(1) = 0 then
+      emit (Transpose2 { out; src = s; sofs = o; rows = ss.(0); cols = ss.(1) })
+    else
+      emit
+        (Copy
+           {
+             out;
+             src = { src = s; ofs = o; acc = Gather (transpose_map ss perm) };
+             n = numel src;
+           })
   in
   let emit_contraction id op args =
     let a = args.(0) and b = args.(1) in
@@ -532,15 +664,7 @@ let compile (ir : Ir.t) : t =
       | None -> storage src
       | Some perm ->
           let t = take () in
-          let s, o = storage src in
-          emit
-            (Copy
-               {
-                 out = t;
-                 src =
-                   { src = s; ofs = o; acc = Gather (transpose_map (shape src) perm) };
-                 n = numel src;
-               });
+          emit_permute ~out:t src perm;
           (t, 0)
     in
     let sa, aofs = materialize a c.a_perm in
@@ -580,22 +704,62 @@ let compile (ir : Ir.t) : t =
                   s;
                 (!outer, s.(ax), !inner)
           in
-          let sa, sofs = storage a in
-          let k = match op with Ast.Max _ -> `Max | _ -> `Sum in
-          emit
-            (Reduce
-               { kind = k; out = slot_of.(id); src = sa; sofs; outer; mid; inner })
+          let rkind = match op with Ast.Max _ -> `Max | _ -> `Sum in
+          let total = outer * mid * inner in
+          let scalar = outer = 1 && inner = 1 in
+          let partials =
+            if scalar then Array.make (blocks_of total) 0. else [||]
+          in
+          if kind.(a) = KInlined then begin
+            (* The producer body is evaluated strip by strip over the
+               *source* index space and drained straight into the
+               accumulators: sum (f x) in one pass. *)
+            let code, leaves, n_ops =
+              build_body ~out_shape:(shape a) ~root:a ~as_value:true
+            in
+            ops_fused := !ops_fused + n_ops;
+            let lanes =
+              let domains = opts.Opts.domains in
+              if scalar then
+                min (lanes_for ~domains total) (Array.length partials)
+              else if outer = 1 then 1 (* axis-0: strided drain, keep serial *)
+              else min (lanes_for ~domains total) outer
+            in
+            let strips =
+              lane_strips ~lanes ~depth:(body_depth code) ~len:total
+            in
+            emit
+              (Reduce_fused
+                 {
+                   kind = rkind;
+                   out = slot_of.(id);
+                   outer;
+                   mid;
+                   inner;
+                   code;
+                   leaves;
+                   strips;
+                   partials;
+                 })
+          end
+          else
+            let sa, sofs = storage a in
+            emit
+              (Reduce
+                 {
+                   kind = rkind;
+                   out = slot_of.(id);
+                   src = sa;
+                   sofs;
+                   outer;
+                   mid;
+                   inner;
+                   partials;
+                 })
       | Ir.Op (Ast.Transpose p, args) ->
           let a = args.(0) in
           let perm = effective_perm (Shape.rank (shape a)) p in
-          let s, o = storage a in
-          emit
-            (Copy
-               {
-                 out = slot_of.(id);
-                 src = { src = s; ofs = o; acc = Gather (transpose_map (shape a) perm) };
-                 n = numel id;
-               })
+          emit_permute ~out:slot_of.(id) a perm
       | Ir.Op (Ast.Stack axis, args) ->
           let parts = Array.length args in
           let es = shape args.(0) in
@@ -603,7 +767,8 @@ let compile (ir : Ir.t) : t =
           let axis = if axis < 0 then axis + r + 1 else axis in
           let outer = ref 1 and inner = ref 1 in
           Array.iteri
-            (fun i d -> if i < axis then outer := !outer * d else inner := !inner * d)
+            (fun i d ->
+              if i < axis then outer := !outer * d else inner := !inner * d)
             es;
           Array.iteri
             (fun j a ->
@@ -687,13 +852,17 @@ let compile (ir : Ir.t) : t =
            | _ -> None))
   in
   let steps = Array.of_list (List.rev !steps) in
-  let arena_bytes =
-    ref 0
-  in
+  let arena_bytes = ref 0 in
   Array.iteri
-    (fun s size -> if not input_slot.(s) then arena_bytes := !arena_bytes + (8 * size))
+    (fun s size ->
+      if not input_slot.(s) then arena_bytes := !arena_bytes + (8 * size))
     sizes;
   let arena_bytes = !arena_bytes in
+  let parallel_strips =
+    Array.fold_left
+      (fun acc s -> if step_lanes opts s > 1 then acc + 1 else acc)
+      0 steps
+  in
   {
     steps;
     slots;
@@ -702,6 +871,7 @@ let compile (ir : Ir.t) : t =
     result_ofs = ofs_of.(ir.Ir.result);
     result_shape = shape ir.Ir.result;
     env = ir.Ir.env;
+    opts;
     stats =
       {
         ir_nodes = n_nodes;
@@ -711,5 +881,6 @@ let compile (ir : Ir.t) : t =
         buffers_reused = !reused;
         arena_slots = Array.length sizes;
         arena_bytes;
+        parallel_strips;
       };
   }

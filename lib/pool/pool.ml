@@ -1,0 +1,161 @@
+(* A process-wide pool of persistent worker domains for fork-join data
+   parallelism.
+
+   OCaml 5 domains are heavyweight (stack, minor heap, runtime
+   registration), so spawning per parallel region — as the original
+   [Par] did — puts domain startup on the critical path of every
+   parallel map and makes timing parallel code meaningless: the first
+   iteration pays the spawn, the rest do not.  The pool spawns each
+   worker domain at most once per process and parks it on a condition
+   variable between regions, so steady-state fork-join costs one CAS
+   and one signal per claimed worker.
+
+   Design points:
+
+   - {e claiming, not queueing}: a region leader claims idle workers
+     with a compare-and-set and hands each a closure directly.  If no
+     worker is idle the leader simply runs the work inline, which makes
+     nested parallel regions deadlock-free by construction: a worker
+     that opens an inner region while all its peers are busy degrades
+     to sequential execution instead of waiting on itself.
+   - {e blocking completion}: the leader waits for its region on a
+     condition variable, not a spin loop — essential when domains are
+     oversubscribed (more workers than cores), where spinning would
+     starve the very workers being waited on.
+   - {e dynamic chunking}: work is handed out as [chunk]-sized index
+     ranges from a shared atomic cursor, so uneven per-item cost load
+     balances across lanes.
+   - {e clean shutdown}: an [at_exit] hook stops and joins every
+     spawned worker so processes using the pool terminate promptly. *)
+
+type worker = {
+  mutable dom : unit Domain.t option;  (* spawned on first claim *)
+  state : int Atomic.t;  (* 0 = idle (claimable), 1 = claimed *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Upper bound on pool size: enough to oversubscribe a small machine
+   (so determinism tests can request more lanes than cores) without
+   approaching the runtime's domain limit. *)
+let max_workers =
+  let cores = Domain.recommended_domain_count () in
+  min 16 (max 8 (cores - 1))
+
+let workers =
+  lazy
+    (Array.init max_workers (fun _ ->
+         {
+           dom = None;
+           state = Atomic.make 0;
+           m = Mutex.create ();
+           cv = Condition.create ();
+           job = None;
+           stop = false;
+         }))
+
+let rec worker_loop w =
+  Mutex.lock w.m;
+  while w.job = None && not w.stop do
+    Condition.wait w.cv w.m
+  done;
+  let job = w.job in
+  w.job <- None;
+  let stop = w.stop in
+  Mutex.unlock w.m;
+  (match job with
+  | Some f -> (
+      (try f () with _ -> ());
+      (* Release only after the job ran: [state] guards [job]. *)
+      Atomic.set w.state 0)
+  | None -> ());
+  if not stop then worker_loop w
+
+let shutdown () =
+  if Lazy.is_val workers then
+    Array.iter
+      (fun w ->
+        match w.dom with
+        | None -> ()
+        | Some d ->
+            Mutex.lock w.m;
+            w.stop <- true;
+            Condition.signal w.cv;
+            Mutex.unlock w.m;
+            Domain.join d;
+            w.dom <- None)
+      (Lazy.force workers)
+
+let () = at_exit shutdown
+
+(* Claim up to [k] idle workers.  Never blocks: busy workers are simply
+   skipped and the caller absorbs their share of the work. *)
+let claim_up_to k =
+  if k <= 0 then []
+  else begin
+    let ws = Lazy.force workers in
+    let acc = ref [] and got = ref 0 in
+    let i = ref 0 in
+    while !got < k && !i < Array.length ws do
+      let w = ws.(!i) in
+      if Atomic.compare_and_set w.state 0 1 then begin
+        acc := w :: !acc;
+        incr got
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end
+
+let assign w f =
+  (match w.dom with
+  | Some _ -> ()
+  | None -> w.dom <- Some (Domain.spawn (fun () -> worker_loop w)));
+  Mutex.lock w.m;
+  w.job <- Some f;
+  Condition.signal w.cv;
+  Mutex.unlock w.m
+
+let parallel_for ~lanes ?(chunk = 0) n body =
+  if n <= 0 then ()
+  else
+    let lanes = max 1 (min lanes n) in
+    if lanes = 1 then body ~lane:0 ~lo:0 ~hi:n
+    else begin
+      let chunk = if chunk > 0 then chunk else max 1 (n / (lanes * 4)) in
+      let next = Atomic.make 0 in
+      let m = Mutex.create () and cv = Condition.create () in
+      let pending = ref 0 in
+      let failed = ref None in
+      let work lane () =
+        (try
+           let continue = ref true in
+           while !continue do
+             let lo = Atomic.fetch_and_add next chunk in
+             if lo >= n then continue := false
+             else body ~lane ~lo ~hi:(min n (lo + chunk))
+           done
+         with e ->
+           Mutex.lock m;
+           if !failed = None then failed := Some e;
+           Mutex.unlock m);
+        Mutex.lock m;
+        decr pending;
+        if !pending = 0 then Condition.signal cv;
+        Mutex.unlock m
+      in
+      let claimed = claim_up_to (lanes - 1) in
+      pending := List.length claimed + 1 (* + the leader lane *);
+      List.iteri (fun i w -> assign w (work (i + 1))) claimed;
+      work 0 ();
+      Mutex.lock m;
+      while !pending > 0 do
+        Condition.wait cv m
+      done;
+      Mutex.unlock m;
+      match !failed with Some e -> raise e | None -> ()
+    end

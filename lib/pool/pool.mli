@@ -1,0 +1,46 @@
+(** Process-wide pool of persistent worker domains for fork-join data
+    parallelism.
+
+    Worker domains are spawned lazily, at most once per process, and
+    parked on condition variables between parallel regions, so
+    steady-state fork-join costs one compare-and-set and one signal per
+    claimed worker instead of a [Domain.spawn].  This keeps domain
+    startup off the critical path of parallel execution — in particular,
+    timing a parallel region through the measured cost model observes
+    the region, not domain creation.
+
+    Regions never block waiting for workers: a leader claims however
+    many idle workers it can (possibly none) and runs the remaining work
+    inline.  Nested regions therefore degrade to sequential execution
+    instead of deadlocking.  An [at_exit] hook stops and joins all
+    spawned workers. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val max_workers : int
+(** Upper bound on pool size (and thus on usable lanes beyond the
+    caller's own). *)
+
+val parallel_for :
+  lanes:int ->
+  ?chunk:int ->
+  int ->
+  (lane:int -> lo:int -> hi:int -> unit) ->
+  unit
+(** [parallel_for ~lanes n body] partitions the index range [0, n) into
+    [chunk]-sized blocks (default [n / (lanes * 4)], minimum 1) handed
+    out from a shared atomic cursor, and runs [body ~lane ~lo ~hi] on up
+    to [lanes] lanes: the calling domain is lane 0 and up to [lanes - 1]
+    claimed pool workers take lanes 1, 2, ….  Lane numbers are always
+    [< lanes], so per-lane scratch indexed by [lane] needs exactly
+    [lanes] entries, but fewer lanes may actually run if the pool is
+    busy.  Returns after every block has executed.  If any application
+    of [body] raises, one such exception (first recorded, not
+    necessarily smallest index) is re-raised after the region
+    completes.  With [lanes <= 1] (or [n <= 1]) the body runs inline as
+    one block. *)
+
+val shutdown : unit -> unit
+(** Stop and join all spawned workers.  Idempotent; also installed via
+    [at_exit].  Subsequent regions run inline. *)

@@ -202,3 +202,61 @@ let validate_report (j : Json.t) : (unit, string) result =
       (List.mapi (fun i b -> (i, b)) benches)
   in
   Ok ()
+
+let exec_bench_schema_version = "stenso.exec-bench/1"
+
+(* Validation for the interp-vs-VM microbenchmark archive
+   ([BENCH_exec_vm.json], written by [bench vm --report]).  Beyond the
+   structural check, [min_speedup] turns this into a performance gate:
+   every benchmark must beat the interpreter by at least that factor,
+   and benchmarks flagged [expects_fused_reduction] must actually have
+   fused ops — a fusion regression in the planner would otherwise hide
+   behind still-passing numbers. *)
+let validate_exec_bench ?min_speedup (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need name extract j =
+    match Option.bind (Json.member name j) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* schema = need "schema" Json.to_string_opt j in
+  let* () =
+    if String.equal schema exec_bench_schema_version then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _ = need "version" Json.to_string_opt j in
+  let* _ = need "options" Json.to_string_opt j in
+  let* _ = need "geomean_speedup" Json.to_float_opt j in
+  let* n = need "n_benchmarks" Json.to_int_opt j in
+  let* results = need "results" Json.to_list_opt j in
+  let* () =
+    if List.length results = n then Ok ()
+    else Error "n_benchmarks disagrees with the results array"
+  in
+  let check_result b =
+    let* name = need "name" Json.to_string_opt b in
+    let err fmt = Printf.ksprintf (fun e -> Error e) fmt in
+    let* _ = need "interp_seconds" Json.to_float_opt b in
+    let* _ = need "vm_seconds" Json.to_float_opt b in
+    let* speedup = need "speedup" Json.to_float_opt b in
+    let* _ = need "steps" Json.to_int_opt b in
+    let* ops_fused = need "ops_fused" Json.to_int_opt b in
+    let* _ = need "parallel_strips" Json.to_int_opt b in
+    let* _ = need "buffers_reused" Json.to_int_opt b in
+    let* _ = need "arena_bytes" Json.to_int_opt b in
+    let* expects_fused = need "expects_fused_reduction" Json.to_bool_opt b in
+    let* () =
+      match min_speedup with
+      | Some m when speedup < m ->
+          err "%s: speedup %.2fx below the %.2fx floor" name speedup m
+      | _ -> Ok ()
+    in
+    if expects_fused && ops_fused = 0 then
+      err "%s: reduction-rooted benchmark has ops_fused = 0" name
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc b ->
+      let* () = acc in
+      check_result b)
+    (Ok ()) results

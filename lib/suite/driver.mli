@@ -67,3 +67,16 @@ val validate_report : Stenso.Telemetry.Json.t -> (unit, string) result
     [stenso.suite-report/1]: every schema field present with the right
     kind.  Used by [stenso report] and the CI harness to keep archived
     [BENCH_*.json] files comparable over time. *)
+
+val exec_bench_schema_version : string
+(** ["stenso.exec-bench/1"], the interp-vs-VM microbenchmark archive
+    written by [bench vm --report]. *)
+
+val validate_exec_bench :
+  ?min_speedup:float -> Stenso.Telemetry.Json.t -> (unit, string) result
+(** Check that a JSON document conforms to [stenso.exec-bench/1].  With
+    [min_speedup] this is also a performance gate: any benchmark whose
+    VM speedup over the interpreter falls below the floor fails, as does
+    any [expects_fused_reduction] benchmark with [ops_fused] = 0 (a
+    planner fusion regression).  Used by [stenso report --min-speedup]
+    and the CI exec-bench smoke check on [BENCH_exec_vm.json]. *)

@@ -80,20 +80,31 @@ if [ -S "$socket" ]; then
 fi
 echo "serve smoke check passed"
 
-# Execution-engine smoke check: synthesis driven by the compiled VM
-# must reach the same programs as synthesis driven by the interpreter.
-# Only the program columns are compared (f1 name, f2 status, f4
-# program) — measured per-op costs legitimately differ between
-# engines, so the cost column is excluded.
+# Execution-engine smoke check, two halves.  Under the deterministic
+# flops estimator the engine only drives concrete validation, so
+# vm-validated synthesis must reach byte-identical programs to
+# interp-validated synthesis (f1 name, f2 status, f4 program; the cost
+# column is timing-free here but excluded for symmetry).  Under the
+# measured estimator the engines time different code, so per-op cost
+# ratios — and with them the syntactic shape of cost-equivalent
+# winners (e.g. commuted multiply operands) — legitimately differ;
+# there we only require both engines to improve the same benchmarks.
 engine_smoke() {
   dune exec --no-build bin/stenso_cli.exe -- suite \
-    --benchmarks diag_dot,common_factor --cost-estimator measured \
-    --engine "$1" --quiet | cut -f1,2,4
+    --benchmarks diag_dot,common_factor --cost-estimator "$2" \
+    --engine "$1" --quiet | cut -f"$3"
 }
-vm_out=$(engine_smoke vm)
-interp_out=$(engine_smoke interp)
+vm_out=$(engine_smoke vm flops 1,2,4)
+interp_out=$(engine_smoke interp flops 1,2,4)
 if [ "$vm_out" != "$interp_out" ]; then
-  echo "FAIL: vm-driven suite output differs from interp-driven" >&2
+  echo "FAIL: vm-validated suite output differs from interp-validated" >&2
+  printf 'engine=vm:\n%s\nengine=interp:\n%s\n' "$vm_out" "$interp_out" >&2
+  exit 1
+fi
+vm_out=$(engine_smoke vm measured 1,2)
+interp_out=$(engine_smoke interp measured 1,2)
+if [ "$vm_out" != "$interp_out" ]; then
+  echo "FAIL: vm-timed suite improvements differ from interp-timed" >&2
   printf 'engine=vm:\n%s\nengine=interp:\n%s\n' "$vm_out" "$interp_out" >&2
   exit 1
 fi
@@ -101,7 +112,12 @@ echo "vm-vs-interp suite smoke check passed"
 
 # Exec-bench archive check: the interp-vs-VM microbenchmark report
 # must regenerate as a well-formed stenso.exec-bench/1 document with a
-# geomean (the committed trajectory point is BENCH_exec_vm.json).
+# geomean (the committed trajectory point is BENCH_exec_vm.json), and
+# the VM must never lose to the interpreter: `report --min-speedup 1.0`
+# fails if any benchmark's speedup dips below 1.0x or any
+# reduction-rooted benchmark stopped fusing ops (ops_fused = 0 with
+# expects_fused_reduction), so a planner fusion regression cannot hide
+# behind a still-passing geomean.
 exec_report="$scratch/exec_vm.json"
 dune exec --no-build bench/main.exe -- vm --report "$exec_report" \
   > /dev/null
@@ -111,4 +127,6 @@ for needle in '"schema":"stenso.exec-bench/1"' '"geomean_speedup"'; do
     exit 1
   fi
 done
+dune exec --no-build bin/stenso_cli.exe -- report "$exec_report" \
+  --min-speedup 1.0
 echo "exec-bench report smoke check passed"

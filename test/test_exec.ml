@@ -161,8 +161,8 @@ let test_all_benchmark_equivalences () =
 
 module Exec = Stenso.Exec
 
-let vm_eval env inputs prog =
-  let compiled = Exec.compile ~env prog in
+let vm_eval ?options env inputs prog =
+  let compiled = Exec.compile ?options ~env prog in
   Exec.run compiled (fun n -> List.assoc n inputs)
 
 let all_finite t = Array.for_all Float.is_finite (F.unsafe_data t)
@@ -188,6 +188,13 @@ let targeted_programs =
     ("transpose chain", "np.transpose(A * 2) + B.T");
     ("reduce of fused", "np.sum(np.sqrt(A * A + B * B), axis=0)");
     ("div chain", "(A + 1) / (B * B + 1)");
+    ("fused scalar sum", "np.sum(A * B + A)");
+    ("fused scalar max", "np.max(np.sqrt(A * A + 1))");
+    ("fused row sums", "np.sum(A - B, axis=1)");
+    ("fused max rows", "np.max(A - B, axis=1)");
+    ("fused sum axis0", "np.sum(np.exp(A) * B, axis=0)");
+    ("normalize", "A / np.sum(A)");
+    ("sum then scale", "np.sum(A * A) * b");
   ]
 
 let fuzz_env =
@@ -262,25 +269,214 @@ let test_vm_fuzz () =
     Alcotest.failf "only %d/%d programs compared (need >= 200)" !compared
       (List.length cases)
 
-(* Fusion is legal only within elementwise chains: a reduction or
-   contraction input must materialize, so such programs plan at least
-   two steps, while a pure elementwise chain plans exactly one. *)
+(* Fusion legality: elementwise chains collapse to one step; a
+   single-use elementwise producer of a [sum]/[max] additionally inlines
+   into the reduction loop itself (one fused pass), but only under
+   reduction fusion — contraction inputs, multi-use producers and
+   reduction *outputs* always materialize. *)
 let test_fusion_legality () =
   let env = [ ("A", Types.float_t [| 4; 4 |]); ("B", Types.float_t [| 4; 4 |]) ] in
-  let stats src = Exec.stats (Exec.compile ~env (Parser.expression src)) in
+  let stats ?options src =
+    Exec.stats (Exec.compile ?options ~env (Parser.expression src))
+  in
   let chain = stats "np.sqrt(A * A + B * B) / (A + B)" in
   Alcotest.(check int) "elementwise chain is one step" 1 chain.Exec.steps;
   Alcotest.(check bool) "chain absorbed ops" true (chain.Exec.ops_fused >= 3);
   let red = stats "np.sum(A * B + A, axis=0)" in
-  Alcotest.(check bool) "reduction input materializes" true
-    (red.Exec.steps >= 2);
+  Alcotest.(check int) "reduction-rooted program runs single-pass" 1
+    red.Exec.steps;
+  Alcotest.(check bool) "reduction absorbed its producer" true
+    (red.Exec.ops_fused >= 2);
+  let no_red =
+    Exec.Options.(default |> with_reduction_fusion false)
+  in
+  let red_off = stats ~options:no_red "np.sum(A * B + A, axis=0)" in
+  Alcotest.(check bool) "without reduction fusion the input materializes"
+    true
+    (red_off.Exec.steps >= 2);
   let dot = stats "np.dot(A + B, A - B)" in
   Alcotest.(check bool) "contraction inputs materialize" true
     (dot.Exec.steps >= 3);
   (* The sum itself must not be inlined into its consumer either. *)
   let post = stats "np.sum(A, axis=0) * np.sum(B, axis=0)" in
   Alcotest.(check bool) "reduction outputs materialize" true
-    (post.Exec.steps >= 3)
+    (post.Exec.steps >= 3);
+  (* A producer with two consumers is shared, not re-evaluated. *)
+  let shared = stats "np.sum(A * B) + np.max(A * B)" in
+  Alcotest.(check bool) "multi-use producer materializes" true
+    (shared.Exec.steps >= 3)
+
+(* The Options record is the single configuration path: builder
+   invariants, validation, and a telemetry-independent fingerprint. *)
+let test_options_api () =
+  let open Exec.Options in
+  let o = default |> with_fusion false in
+  Alcotest.(check bool) "fusion off implies reduction fusion off" false
+    (reduction_fusion o);
+  (match with_reduction_fusion true o with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reduction fusion without fusion should raise");
+  (match with_tile 2 default with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tile < 4 should raise");
+  (match with_domains 0 default with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains < 1 should raise");
+  Alcotest.(check bool) "huge domain requests clamp instead of raising"
+    true
+    (domains (default |> with_domains 10_000) <= 10_000);
+  let tel = Stenso.Telemetry.create () in
+  Alcotest.(check string) "fingerprint excludes the telemetry sink"
+    (fingerprint default)
+    (fingerprint (default |> with_telemetry tel));
+  Alcotest.(check bool) "fingerprint reflects planner knobs" true
+    (fingerprint default <> fingerprint (default |> with_tile 8))
+
+(* The compiled-program cache keys on the options fingerprint: the same
+   program under different knobs is a different artifact. *)
+let test_cache_keyed_by_options () =
+  let env = [ ("A", Types.float_t [| 4; 4 |]) ] in
+  let prog = Parser.expression "np.sum(A * A)" in
+  let cache = Exec.Cache.create () in
+  let fused = Exec.Cache.find_or_compile cache ~env prog in
+  let unfused =
+    Exec.Cache.find_or_compile cache
+      ~options:Exec.Options.(default |> with_fusion false)
+      ~env prog
+  in
+  Alcotest.(check int) "two options, two entries" 2 (Exec.Cache.size cache);
+  Alcotest.(check bool) "plans actually differ" true
+    ((Exec.stats fused).Exec.steps < (Exec.stats unfused).Exec.steps);
+  ignore (Exec.Cache.find_or_compile cache ~env prog);
+  Alcotest.(check int) "same options hit the existing entry" 2
+    (Exec.Cache.size cache)
+
+(* Every targeted program must agree with the interpreter under every
+   knob setting, not just the default plan. *)
+let test_vm_options_matrix () =
+  let variants =
+    Exec.Options.
+      [
+        ("no-fusion", default |> with_fusion false);
+        ("no-reduction-fusion", default |> with_reduction_fusion false);
+        ("tile-4", default |> with_tile 4);
+        ("domains-1", default |> with_domains 1);
+        ("domains-4", default |> with_domains 4);
+      ]
+  in
+  List.iter
+    (fun (vname, options) ->
+      List.iter
+        (fun (name, src) ->
+          let prog = Parser.expression src in
+          let st = Random.State.make [| 0xbeef |] in
+          let inputs = Interp.random_inputs st fuzz_env in
+          let direct = Interp.eval_alist inputs prog in
+          let via_vm = vm_eval ~options fuzz_env inputs prog in
+          if not (F.allclose ~rtol:1e-9 ~atol:1e-9 direct via_vm) then
+            Alcotest.failf "%s under %s: vm disagrees with interpreter" name
+              vname)
+        targeted_programs)
+    variants
+
+(* Tiled matmul/transpose must be exact on shapes that do not divide
+   the tile, including degenerate 1 x N and N x 1 operands. *)
+let test_tiled_edge_shapes () =
+  let cases =
+    [
+      ( [ ("A", Types.float_t [| 5; 7 |]); ("B", Types.float_t [| 7; 3 |]) ],
+        "np.dot(A, B)", 4 );
+      ( [ ("A", Types.float_t [| 1; 9 |]); ("B", Types.float_t [| 9; 1 |]) ],
+        "np.dot(A, B)", 4 );
+      ( [ ("A", Types.float_t [| 9 |]); ("B", Types.float_t [| 9; 5 |]) ],
+        "np.dot(A, B)", 4 );
+      ( [ ("A", Types.float_t [| 13; 13 |]); ("B", Types.float_t [| 13; 13 |]) ],
+        "np.dot(A, B.T)", 8 );
+      (* dims strictly smaller than the tile *)
+      ( [ ("A", Types.float_t [| 4; 8 |]); ("B", Types.float_t [| 8; 4 |]) ],
+        "np.dot(A, B)", 64 );
+      ([ ("A", Types.float_t [| 1; 6 |]) ], "A.T", 4);
+      ([ ("A", Types.float_t [| 9; 5 |]) ], "A.T", 4);
+      ([ ("A", Types.float_t [| 7; 7 |]) ], "np.transpose(A) * 2", 4);
+    ]
+  in
+  List.iter
+    (fun (env, src, tile) ->
+      let prog = Parser.expression src in
+      let st = Random.State.make [| 0xabcd |] in
+      let inputs = Interp.random_inputs st env in
+      let direct = Interp.eval_alist inputs prog in
+      let options = Exec.Options.with_tile tile Exec.Options.default in
+      let via_vm = vm_eval ~options env inputs prog in
+      if not (F.allclose ~rtol:1e-9 ~atol:1e-12 direct via_vm) then
+        Alcotest.failf "%s (tile %d): vm disagrees with interpreter" src tile)
+    cases
+
+(* Parallel strips must be invisible in the bits: running the same
+   compiled program with 1 and 4 domains must produce bitwise-identical
+   results, on shapes big enough that lanes actually engage. *)
+let bits t = Array.map Int64.bits_of_float (F.unsafe_data t)
+
+let test_parallel_determinism () =
+  let env =
+    [ ("A", Types.float_t [| 256; 256 |]); ("B", Types.float_t [| 256; 256 |]) ]
+  in
+  let progs =
+    [
+      "np.sqrt(A * A + B * B) / (A + B + 1)";
+      "np.sum(A * B + A)";
+      "np.max(np.sqrt(A * A))";
+      "np.sum(A - B, axis=1)";
+      "np.max(A + B, axis=1)";
+      "np.max(A, axis=0)";
+      "np.dot(A, B)";
+      "A.T";
+      "A / np.sum(A)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let prog = Parser.expression src in
+      let st = Random.State.make [| 7 |] in
+      let inputs = Interp.random_inputs st env in
+      let seq =
+        vm_eval ~options:Exec.Options.(default |> with_domains 1) env inputs
+          prog
+      in
+      let par =
+        vm_eval ~options:Exec.Options.(default |> with_domains 4) env inputs
+          prog
+      in
+      if bits seq <> bits par then
+        Alcotest.failf "%s: results differ across domain counts" src)
+    progs
+
+(* Regression for the one benchmark the VM used to lose (0.94x):
+   normalize must not run slower than the interpreter. *)
+let test_normalize_not_slower () =
+  let env = [ ("A", Types.float_t [| 512; 512 |]) ] in
+  let prog = Parser.expression "A / np.sum(A)" in
+  let st = Random.State.make [| 3 |] in
+  let inputs = Interp.random_inputs st env in
+  let lookup n = List.assoc n inputs in
+  let compiled = Exec.compile ~env prog in
+  let time f =
+    ignore (f ());
+    (* warm *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let ti = time (fun () -> Interp.eval_alist inputs prog) in
+  let tv = time (fun () -> Exec.run compiled lookup) in
+  if tv > ti then
+    Alcotest.failf "normalize regressed: vm %.3gms vs interp %.3gms"
+      (tv *. 1e3) (ti *. 1e3)
 
 (* Liveness-driven arena reuse: once an intermediate dies, its buffer
    serves a later same-size value instead of growing the arena. *)
@@ -314,6 +510,65 @@ let test_const_folding () =
   Alcotest.(check bool) "constant subtree folded" true
     (s.Exec.consts_folded >= 1)
 
+(* The exec-bench archive validator doubles as CI's performance gate:
+   structural schema check, per-benchmark speedup floor, and the
+   expects_fused_reduction / ops_fused cross-check. *)
+let test_validate_exec_bench () =
+  let module J = Stenso.Telemetry.Json in
+  let result ?(speedup = 2.0) ?(ops_fused = 1) ?(expects = false) name =
+    J.Obj
+      [
+        ("name", J.Str name);
+        ("interp_seconds", J.Float 2e-4);
+        ("vm_seconds", J.Float 1e-4);
+        ("speedup", J.Float speedup);
+        ("steps", J.Int 1);
+        ("ops_fused", J.Int ops_fused);
+        ("parallel_strips", J.Int 0);
+        ("buffers_reused", J.Int 0);
+        ("arena_bytes", J.Int 8);
+        ("expects_fused_reduction", J.Bool expects);
+      ]
+  in
+  let doc results =
+    J.Obj
+      [
+        ("schema", J.Str Suite.Driver.exec_bench_schema_version);
+        ("version", J.Str "test");
+        ("options", J.Str "fus=true;red=true;tile=64;dom=1");
+        ("n_benchmarks", J.Int (List.length results));
+        ("geomean_speedup", J.Float 2.0);
+        ("results", J.List results);
+      ]
+  in
+  let ok = doc [ result "a"; result ~expects:true "b" ] in
+  (match Suite.Driver.validate_exec_bench ~min_speedup:1.0 ok with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "well-formed report rejected: %s" e);
+  (match
+     Suite.Driver.validate_exec_bench ~min_speedup:1.0
+       (doc [ result ~speedup:0.9 "slow" ])
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "sub-floor speedup accepted");
+  (* without the floor, a slow benchmark is structurally fine *)
+  (match
+     Suite.Driver.validate_exec_bench (doc [ result ~speedup:0.9 "slow" ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "structural check rejected slow bench: %s" e);
+  (match
+     Suite.Driver.validate_exec_bench
+       (doc [ result ~expects:true ~ops_fused:0 "unfused" ])
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unfused reduction-rooted benchmark accepted");
+  match
+    Suite.Driver.validate_exec_bench (J.Obj [ ("schema", J.Str "bogus/9") ])
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown schema accepted"
+
 let suite =
   [
     Alcotest.test_case "interpreter basics" `Quick test_interp_basics;
@@ -329,6 +584,18 @@ let suite =
     Alcotest.test_case "vm: differential fuzz (200+ programs)" `Slow
       test_vm_fuzz;
     Alcotest.test_case "vm: fusion legality" `Quick test_fusion_legality;
+    Alcotest.test_case "vm: options api" `Quick test_options_api;
+    Alcotest.test_case "vm: cache keyed by options" `Quick
+      test_cache_keyed_by_options;
+    Alcotest.test_case "vm: options matrix differential" `Quick
+      test_vm_options_matrix;
+    Alcotest.test_case "vm: tiled edge shapes" `Quick test_tiled_edge_shapes;
+    Alcotest.test_case "vm: parallel determinism (bitwise)" `Quick
+      test_parallel_determinism;
+    Alcotest.test_case "vm: normalize not slower than interp" `Slow
+      test_normalize_not_slower;
     Alcotest.test_case "vm: arena reuse" `Quick test_arena_reuse;
+    Alcotest.test_case "exec-bench report validation" `Quick
+      test_validate_exec_bench;
     Alcotest.test_case "vm: constant folding" `Quick test_const_folding;
   ]

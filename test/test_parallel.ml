@@ -23,6 +23,37 @@ let test_par_map () =
   | _ -> Alcotest.fail "expected an exception"
   | exception Failure i -> Alcotest.(check string) "first failure" "50" i
 
+(* Nested parallelism: a [Par.map] inside a pool worker (and a compiled
+   VM run, which uses the same pool for its strips) must fall back to
+   inline execution instead of deadlocking on the shared worker set —
+   and still produce the same values. *)
+let test_par_nested () =
+  let xs = List.init 20 (fun i -> i) in
+  let inner i = List.init 10 (fun j -> (i * 10) + j) in
+  let nested =
+    Par.map ~jobs (fun i -> Par.map ~jobs succ (inner i)) xs
+  in
+  Alcotest.(check (list (list int)))
+    "nested map matches sequential"
+    (List.map (fun i -> List.map succ (inner i)) xs)
+    nested;
+  let env = [ ("A", Types.float_t [| 128; 128 |]) ] in
+  let prog = Parser.expression "np.sum(A * A + A)" in
+  let compiled = Exec.compile ~env prog in
+  let st = Random.State.make [| 9 |] in
+  let inputs = Interp.random_inputs st env in
+  let direct = Exec.run compiled (fun n -> List.assoc n inputs) in
+  let inside =
+    Par.map ~jobs
+      (fun _ -> Exec.run compiled (fun n -> List.assoc n inputs))
+      xs
+  in
+  List.iter
+    (fun r ->
+      if not (Tensor.Ftensor.allclose ~rtol:0. ~atol:0. direct r) then
+        Alcotest.fail "VM result changed when run inside a pool worker")
+    inside
+
 let stub_signature lib =
   List.map
     (fun (s : Stub.t) -> (Ast.to_string s.prog, s.cost, s.depth))
@@ -121,6 +152,8 @@ let test_parallel_improves_suite_sample () =
 let suite =
   [
     Alcotest.test_case "Par.map ordering and exceptions" `Quick test_par_map;
+    Alcotest.test_case "nested parallelism falls back inline" `Quick
+      test_par_nested;
     Alcotest.test_case "stub enumeration deterministic" `Quick
       test_stub_enumeration_deterministic;
     Alcotest.test_case "search deterministic vs sequential" `Slow
