@@ -44,8 +44,8 @@ let engine_of engine =
   | Ok e -> e
   | Error msg -> die "%s" msg
 
-let config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
-    ~no_simplification ~extended_ops ~cost_cache =
+let config_of ?(rules_depth = 0) ~estimator ~engine ~exec ~timeout ~jobs
+    ~no_bnb ~no_simplification ~extended_ops ~cost_cache () =
   let estimator =
     match Stenso.Config.estimator_of_string estimator with
     | Ok e -> e
@@ -60,6 +60,7 @@ let config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
   |> Stenso.Config.with_bnb (not no_bnb)
   |> Stenso.Config.with_simplification (not no_simplification)
   |> Stenso.Config.with_extended_ops extended_ops
+  |> Stenso.Config.with_rules_depth rules_depth
   |> match cost_cache with
      | Some f -> Stenso.Config.with_cost_cache f
      | None -> Fun.id
@@ -69,8 +70,8 @@ let config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
 (* ------------------------------------------------------------------ *)
 
 let optimize_run program_path synth_out estimator engine exec timeout jobs
-    no_bnb no_simplification extended_ops cost_cache no_store store_dir trace
-    verbose =
+    no_bnb no_simplification extended_ops cost_cache rules_depth no_store
+    store_dir trace verbose =
   let source =
     match program_path with
     | Some p -> read_file p
@@ -79,8 +80,8 @@ let optimize_run program_path synth_out estimator engine exec timeout jobs
   let env, prog = Dsl.Parser.program source in
   ignore (Dsl.Types.infer env prog);
   let config =
-    config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
-      ~no_simplification ~extended_ops ~cost_cache
+    config_of ~rules_depth ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb
+      ~no_simplification ~extended_ops ~cost_cache ()
   in
   let tel =
     match trace with
@@ -98,7 +99,10 @@ let optimize_run program_path synth_out estimator engine exec timeout jobs
   | None -> ());
   if verbose then begin
     if outcome.from_cache then
-      Format.printf "# served from the persistent store (cache hit)@\n"
+      Format.printf "# served from the persistent store (tier 1 cache hit)@\n"
+    else if outcome.tier = 2 then
+      Format.printf
+        "# served from the mined rule database (tier 2, no search)@\n"
     else begin
       let s = outcome.search.stats in
       Format.printf
@@ -138,8 +142,48 @@ let select_benchmarks names =
           | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
         names
 
+(* The three-pass tiered-serving comparison behind [--tiers-report]:
+   baseline (full search, no store), cold tiered (mined rules, empty
+   outcome store), warm tiered (repeat — now also hitting the outcome
+   store).  All passes cover the same benchmarks with the same jobs. *)
+let tiers_run ~config ~benches ~jobs ~store_dir ~quiet path =
+  (match Stenso.Config.rules_depth config with
+  | Some _ -> ()
+  | None -> die "--tiers-report requires --rules-depth");
+  let baseline_config = Stenso.Config.with_rules_depth 0 config in
+  let pass name cfg store =
+    if not quiet then Printf.printf "%s pass...\n%!" name;
+    Suite.Driver.run ~config:cfg ?store ~jobs benches
+  in
+  let baseline = pass "baseline (full search)" baseline_config None in
+  let store = Some (open_store ~tel:Stenso.Telemetry.null store_dir) in
+  let cold = pass "tiered, cold" config store in
+  let warm = pass "tiered, warm" config store in
+  let doc = Suite.Driver.tiers_report ~config ~baseline ~cold ~warm () in
+  (match Suite.Driver.validate_tiers_report doc with
+  | Ok () -> ()
+  | Error msg -> die "generated tiers report is invalid: %s" msg);
+  write_file path (Stenso.Telemetry.Json.to_string doc ^ "\n");
+  if not quiet then begin
+    let count (t : Suite.Driver.t) tier =
+      List.length
+        (List.filter
+           (fun (r : Suite.Driver.bench_result) ->
+             r.outcome.Stenso.Superopt.tier = tier)
+           t.results)
+    in
+    Printf.printf
+      "cold: %d tier-1, %d tier-2, %d tier-3 (%.1fs); warm: %d/%d \
+       without search (%.1fs); baseline %.1fs\n"
+      (count cold 1) (count cold 2) (count cold 3) cold.elapsed
+      (count warm 1 + count warm 2)
+      (List.length warm.results)
+      warm.elapsed baseline.elapsed;
+    Printf.printf "wrote tiers report to %s\n" path
+  end
+
 let suite_run list_only names jobs timeout estimator engine exec cost_cache
-    use_store store_dir out report quiet =
+    rules_depth use_store store_dir out report tiers_report quiet =
   if list_only then
     List.iter
       (fun (b : Suite.Benchmarks.t) ->
@@ -149,9 +193,13 @@ let suite_run list_only names jobs timeout estimator engine exec cost_cache
   else begin
     let benches = select_benchmarks names in
     let config =
-      config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb:false
-        ~no_simplification:false ~extended_ops:false ~cost_cache
+      config_of ~rules_depth ~estimator ~engine ~exec ~timeout ~jobs
+        ~no_bnb:false ~no_simplification:false ~extended_ops:false
+        ~cost_cache ()
     in
+    match tiers_report with
+    | Some path -> tiers_run ~config ~benches ~jobs ~store_dir ~quiet path
+    | None ->
     let on_result (r : Suite.Driver.bench_result) =
       if not quiet then
         Printf.printf "  %-16s %6.1fs  %s\n%!" r.bench.name r.elapsed
@@ -211,6 +259,49 @@ let suite_run list_only names jobs timeout estimator engine exec cost_cache
       Printf.printf "# %d/%d improved, %.1fs wall clock\n" improved
         (List.length results) elapsed
   end
+
+(* ------------------------------------------------------------------ *)
+(* stenso mine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mine_run names depth jobs estimator cost_cache store_dir quiet =
+  (* Offline rule mining: batch-superoptimize the bounded stub space of
+     each benchmark environment and persist the discovered rewrite
+     rules and per-spec optima into the store, where tiered serving
+     ([--rules-depth]) picks them up. *)
+  if depth < 1 then die "--depth must be at least 1";
+  let benches = select_benchmarks names in
+  let config =
+    config_of ~estimator ~engine:"vm" ~exec:Stenso.Exec.Options.default
+      ~timeout:600. ~jobs:1 ~no_bnb:false ~no_simplification:false
+      ~extended_ops:false ~cost_cache ()
+  in
+  let model = Stenso.Config.model config in
+  let store = open_store ~tel:Stenso.Telemetry.null store_dir in
+  if not quiet then
+    Printf.printf
+      "Mining depth-%d rules over %d benchmark environments (%s \
+       estimator) into %s...\n\
+       %!"
+      depth (List.length benches) model.Cost.Model.name
+      (Stenso.Store.dir store);
+  let on_env (s : Stenso.Mine.env_stats) =
+    if not quiet then
+      Printf.printf
+        "  %-16s %6d stubs, %6d dups -> %4d rules, %6d optima  %6.1fs\n%!"
+        s.label s.stubs s.dups s.rules s.optima s.elapsed
+  in
+  let envs =
+    List.map (fun (b : Suite.Benchmarks.t) -> (b.name, b.env)) benches
+  in
+  let stats = Stenso.Mine.mine ~jobs ~on_env ~depth ~model ~store envs in
+  let total f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  Printf.printf
+    "# mined %d environments (%d shared): %d rules, %d optima\n"
+    (List.length stats)
+    (List.length benches - List.length stats)
+    (total (fun (s : Stenso.Mine.env_stats) -> s.rules))
+    (total (fun (s : Stenso.Mine.env_stats) -> s.optima))
 
 (* ------------------------------------------------------------------ *)
 (* stenso run                                                          *)
@@ -352,6 +443,38 @@ let report_run file min_speedup =
               (match min_speedup with
               | None -> ""
               | Some m -> Printf.sprintf ", all above %.2fx" m))
+      else if String.equal schema Suite.Driver.tiers_schema_version then (
+        (match min_speedup with
+        | Some _ ->
+            die "%s: --min-speedup only applies to %s reports" file
+              Suite.Driver.exec_bench_schema_version
+        | None -> ());
+        match Suite.Driver.validate_tiers_report doc with
+        | Error msg -> die "%s: invalid tiers report: %s" file msg
+        | Ok () ->
+            let pass name =
+              match J.member name doc with
+              | Some p ->
+                  let i f =
+                    Option.value ~default:0
+                      (Option.bind (J.member f p) J.to_int_opt)
+                  in
+                  let frac =
+                    Option.value ~default:Float.nan
+                      (Option.bind (J.member "tier12_fraction" p)
+                         J.to_float_opt)
+                  in
+                  Printf.sprintf "%s %d/%d/%d (%.0f%% without search)" name
+                    (i "tier1") (i "tier2") (i "tier3") (100. *. frac)
+              | None -> name ^ " ?"
+            in
+            Printf.printf
+              "%s: valid %s (%s estimator, depth %d, %d benchmarks; %s; \
+               %s; %.1fx warm speedup, %d cost mismatches)\n"
+              file schema (str "estimator") (int "rules_depth")
+              (int "n_benchmarks") (pass "cold") (pass "warm")
+              (float "warm_speedup")
+              (int "n_cost_mismatches"))
       else (
         (match min_speedup with
         | Some _ ->
@@ -373,10 +496,11 @@ let default_socket =
   Filename.concat (Filename.get_temp_dir_name ()) "stenso.sock"
 
 let serve_run socket workers queue_capacity estimator exec timeout no_bnb
-    no_simplification extended_ops cost_cache no_store store_dir trace =
+    no_simplification extended_ops cost_cache rules_depth no_store store_dir
+    trace =
   let config =
-    config_of ~estimator ~engine:"vm" ~exec ~timeout ~jobs:1 ~no_bnb
-      ~no_simplification ~extended_ops ~cost_cache
+    config_of ~rules_depth ~estimator ~engine:"vm" ~exec ~timeout ~jobs:1
+      ~no_bnb ~no_simplification ~extended_ops ~cost_cache ()
   in
   let tel =
     match trace with
@@ -567,6 +691,17 @@ let cost_cache_arg =
           "Persist the measured cost model's profiling table, amortizing \
            the offline phase across runs (see $(b,stenso profile)).")
 
+let rules_depth_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "rules-depth" ] ~docv:"N"
+        ~doc:
+          "Enable tiered serving against a rule database mined at depth \
+           $(docv) (see $(b,stenso mine)): store lookup, then mined-rule \
+           rewriting + e-graph saturation, then the full search only \
+           when the database cannot certify an answer.  0 (default) \
+           disables tier 2.")
+
 let no_store_arg =
   Arg.(
     value & flag
@@ -607,8 +742,8 @@ let optimize_term =
   Term.(
     const optimize_run $ program_arg $ synth_out_arg $ estimator_arg
     $ engine_arg $ exec_options_term $ timeout_arg $ jobs_arg $ no_bnb_arg
-    $ no_simp_arg $ extended_ops_arg $ cost_cache_arg $ no_store_arg
-    $ store_dir_arg $ trace_arg $ verbose_arg)
+    $ no_simp_arg $ extended_ops_arg $ cost_cache_arg $ rules_depth_arg
+    $ no_store_arg $ store_dir_arg $ trace_arg $ verbose_arg)
 
 let optimize_cmd =
   Cmd.v
@@ -664,6 +799,19 @@ let suite_cmd =
              synthesis time, search statistics and the branch-and-bound \
              bound trajectory.  Validate with $(b,stenso report FILE).")
   in
+  let tiers_report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tiers-report" ] ~docv:"FILE"
+          ~doc:
+            "Run the tiered-serving comparison instead of a plain suite \
+             run — baseline full search, then a cold and a warm tiered \
+             pass against the store's mined rule database (requires \
+             $(b,--rules-depth)) — and write it as \
+             $(b,stenso.tiers/1).  Validate with $(b,stenso report \
+             FILE).")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
@@ -672,7 +820,46 @@ let suite_cmd =
     Term.(
       const suite_run $ list_arg $ benchmarks_arg $ jobs_arg $ timeout_arg
       $ estimator_arg $ engine_arg $ exec_options_term $ cost_cache_arg
-      $ use_store_arg $ store_dir_arg $ out_arg $ report_arg $ quiet_arg)
+      $ rules_depth_arg $ use_store_arg $ store_dir_arg $ out_arg
+      $ report_arg $ tiers_report_arg $ quiet_arg)
+
+let mine_cmd =
+  let depth_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Mining depth: the stub space enumerated and \
+             batch-superoptimized per environment (2 is fast; 3 is much \
+             larger but captures deeper optima).  Must match the \
+             $(b,--rules-depth) serving uses.")
+  in
+  let benchmarks_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "benchmarks" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated benchmark names whose input environments to \
+             mine (default: all 33; shared environments mine once).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Print only the final summary line.")
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Batch-superoptimize the bounded stub space of each benchmark \
+          environment offline — every semantic duplicate the enumeration \
+          collapses is an equivalence proven by construction — and \
+          persist the generalized rewrite rules plus the per-spec optima \
+          table into the store ($(b,stenso.rules/1)), where \
+          $(b,optimize --rules-depth) serves from them.")
+    Term.(
+      const mine_run $ benchmarks_arg $ depth_arg $ jobs_arg $ estimator_arg
+      $ cost_cache_arg $ store_dir_arg $ quiet_arg)
 
 let run_cmd =
   let prog_pos_arg =
@@ -770,8 +957,8 @@ let serve_cmd =
     Term.(
       const serve_run $ socket_arg $ workers_arg $ queue_arg $ estimator_arg
       $ exec_options_term $ timeout_arg $ no_bnb_arg $ no_simp_arg
-      $ extended_ops_arg $ cost_cache_arg $ no_store_arg $ store_dir_arg
-      $ trace_arg)
+      $ extended_ops_arg $ cost_cache_arg $ rules_depth_arg $ no_store_arg
+      $ store_dir_arg $ trace_arg)
 
 let request_cmd =
   let id_arg =
@@ -822,6 +1009,7 @@ let cmd =
     [
       optimize_cmd;
       suite_cmd;
+      mine_cmd;
       run_cmd;
       profile_cmd;
       report_cmd;

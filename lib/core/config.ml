@@ -6,6 +6,7 @@ type t = {
   cost_cache : string option;
   engine : Texec.Engine.kind;
   exec : Texec.Engine.Options.t;
+  rules_depth : int option;
 }
 
 let default =
@@ -15,6 +16,7 @@ let default =
     cost_cache = None;
     engine = `Vm;
     exec = Texec.Engine.Options.default;
+    rules_depth = None;
   }
 
 let with_search search t = { t with search }
@@ -32,6 +34,9 @@ let with_jobs jobs t =
   }
 
 let with_estimator estimator t = { t with estimator }
+
+let with_rules_depth d t =
+  { t with rules_depth = (if d > 0 then Some d else None) }
 let with_cost_cache file t = { t with cost_cache = Some file }
 let with_engine engine t = { t with engine }
 let with_exec_options exec t = { t with exec }
@@ -76,6 +81,7 @@ let with_max_stubs max_stubs t =
   }
 
 let search_config t = t.search
+let rules_depth t = t.rules_depth
 let jobs t = t.search.Search.jobs
 let timeout t = t.search.Search.timeout
 let estimator t = t.estimator
@@ -134,3 +140,9 @@ let fingerprint t =
     s.Search.timeout s.Search.max_depth s.Search.memoize stub.Stub.depth
     stub.Stub.max_stubs stub.Stub.extended_ops stub.Stub.full_binary
     inv.Invert.max_conc_depth inv.Invert.max_split_terms
+  (* Appended only when tiering is on, so every fingerprint (and hence
+     every outcome-store key) produced before the tiered optimizer
+     existed is byte-identical to an untiered run's today. *)
+  ^ match t.rules_depth with
+    | None -> ""
+    | Some d -> Printf.sprintf ";rules=%d" d

@@ -31,6 +31,12 @@ type t = {
       (** planner/VM knobs for every compiled execution reached through
           this configuration — the measured estimator's timing runs and
           concrete validation (default [Exec.Options.default]) *)
+  rules_depth : int option;
+      (** enables the tiered fast path of {!Superopt.optimize}: consult
+          the mined rule database for this depth (rule fixpoint +
+          e-graph saturation) before entering the full search.  [None]
+          (the default) preserves the classic two-step store-then-search
+          behaviour. *)
 }
 
 val default : t
@@ -44,6 +50,11 @@ val with_jobs : int -> t -> t
     pool. *)
 
 val with_estimator : estimator -> t -> t
+
+val with_rules_depth : int -> t -> t
+(** Enable the tiered fast path against the depth-[d] mined rule
+    database ({!Rules_db}); [d <= 0] disables it again. *)
+
 val with_cost_cache : string -> t -> t
 val with_engine : Texec.Engine.kind -> t -> t
 val with_exec_options : Texec.Engine.Options.t -> t -> t
@@ -61,6 +72,7 @@ val with_search : Search.config -> t -> t
 (** {2 Accessors} *)
 
 val search_config : t -> Search.config
+val rules_depth : t -> int option
 val jobs : t -> int
 val timeout : t -> float
 val estimator : t -> estimator

@@ -7,8 +7,12 @@ exception Unsupported of string
 
 (* E-nodes reference children by e-class id; operators reuse the DSL's
    op type (attributes included), with dedicated leaves for inputs and
-   constants. *)
-type nop = N_input of string | N_const of float | N_op of Ast.op
+   constants.  Constants are keyed by their IEEE-754 bit pattern, not
+   the float itself: hashconsing and e-matching compare nodes
+   structurally, and [nan <> nan] under structural equality would mint
+   a fresh e-class for every NaN added and make patterns containing a
+   NaN literal unmatchable. *)
+type nop = N_input of string | N_const of int64 | N_op of Ast.op
 type enode = { nop : nop; children : eclass array }
 
 type class_data = {
@@ -105,7 +109,8 @@ let add_node g node =
 let rec add g (t : Ast.t) =
   match t with
   | Input name -> add_node g { nop = N_input name; children = [||] }
-  | Const f -> add_node g { nop = N_const f; children = [||] }
+  | Const f ->
+      add_node g { nop = N_const (Int64.bits_of_float f); children = [||] }
   | App (op, args) ->
       let children = Array.of_list (List.map (add g) args) in
       add_node g { nop = N_op op; children }
@@ -189,8 +194,9 @@ let ematch g (rule : Rules.t) cls =
         then [ subst ]
         else []
     | Const f ->
+        let bits = Int64.bits_of_float f in
         if
-          List.exists (fun n -> n.nop = N_const f) (class_of g cls).nodes
+          List.exists (fun n -> n.nop = N_const bits) (class_of g cls).nodes
         then [ subst ]
         else []
     | App (op, args) ->
@@ -339,7 +345,7 @@ let extract g ~model cls =
     | Some (_, node) -> (
         match node.nop with
         | N_input name -> Ast.Input name
-        | N_const f -> Ast.Const f
+        | N_const bits -> Ast.Const (Int64.float_of_bits bits)
         | N_op op ->
             Ast.App (op, Array.to_list (Array.map build node.children)))
   in

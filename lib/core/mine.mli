@@ -1,0 +1,48 @@
+(** Offline rule mining ([stenso mine]).
+
+    Batch-superoptimizes the bounded stub space of an input environment:
+    {!Stub.enumerate} already proves, by construction, that every
+    semantic duplicate it deduplicates away is equivalent to the
+    library's cheapest representative of the same symbolic value.  Each
+    strictly-worse duplicate therefore yields a rewrite (duplicate ⇒
+    representative), generalized via {!Rules.generalize}, and the
+    library itself yields the {e optima table}: the cheapest known
+    program per enumerated spec.  Both are persisted per
+    (environment, cost model, depth) in the {!Rules_db}, where
+    {!Superopt.optimize}'s tier 2 replays them instead of searching. *)
+
+type env_stats = {
+  label : string;
+  stubs : int;  (** library size after deduplication *)
+  attempts : int;  (** candidate programs enumerated *)
+  dups : int;  (** strictly-worse semantic duplicates observed *)
+  rules : int;  (** rules persisted after filtering and deduplication *)
+  optima : int;  (** optima-table entries persisted *)
+  elapsed : float;
+}
+
+val mine_env :
+  ?tel:Obs.Telemetry.t ->
+  ?jobs:int ->
+  depth:int ->
+  model:Cost.Model.t ->
+  Dsl.Types.env ->
+  Rules_db.t * env_stats
+(** Mine one environment (with {!Rules_db.standard_consts} as the
+    constant terminals) without touching any store.  Rules are kept only
+    when they strictly decrease cost, bind at least one metavariable,
+    and have a right-hand side whose inputs all occur on the left. *)
+
+val mine :
+  ?tel:Obs.Telemetry.t ->
+  ?jobs:int ->
+  ?on_env:(env_stats -> unit) ->
+  depth:int ->
+  model:Cost.Model.t ->
+  store:Store.t ->
+  (string * Dsl.Types.env) list ->
+  env_stats list
+(** Mine every distinct environment of the given (label, env) list —
+    distinct by {!Rules_db.key}, so shared environments mine once — and
+    persist each entry into the store.  [on_env] observes each
+    environment as it completes. *)

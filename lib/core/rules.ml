@@ -10,30 +10,44 @@ let metavar_names = [ "X"; "Y"; "Z"; "W"; "V"; "U"; "T"; "S" ]
 
 let generalize original optimized =
   let inputs = Ast.inputs original in
-  let metavars =
-    List.mapi
-      (fun i name ->
-        let mv =
-          if i < List.length metavar_names then List.nth metavar_names i
-          else Printf.sprintf "X%d" i
-        in
-        (name, mv))
-      inputs
+  (* Metavariable names must be fresh with respect to *every* input name
+     on either side: an input literally named [X] must not collide with
+     metavar [X], or the abstraction conflates distinct inputs. *)
+  let taken = ref (Ast.inputs optimized @ inputs) in
+  let fresh () =
+    let rec first = function
+      | name :: rest ->
+          if List.mem name !taken then first rest else name
+      | [] ->
+          let rec numbered i =
+            let name = Printf.sprintf "X%d" i in
+            if List.mem name !taken then numbered (i + 1) else name
+          in
+          numbered 0
+    in
+    let name = first metavar_names in
+    taken := name :: !taken;
+    name
   in
+  let metavars = List.map (fun name -> (name, fresh ())) inputs in
+  (* Simultaneous substitution: a replacement is never itself
+     re-substituted, so even adversarial input names cannot capture. *)
   let abstract prog =
-    List.fold_left
-      (fun p (name, mv) -> Ast.subst_input name (Ast.Input mv) p)
-      prog metavars
+    Ast.subst_inputs
+      (List.map (fun (name, mv) -> (name, Ast.Input mv)) metavars)
+      prog
   in
   { lhs = abstract original; rhs = abstract optimized; metavars }
 
 let specialize rule bindings =
-  let instantiate prog =
-    List.fold_left
-      (fun p (mv, replacement) -> Ast.subst_input mv replacement p)
-      prog bindings
-  in
+  (* Simultaneous: a binding [X ↦ Input "Y"] must not be rewritten again
+     by the binding for metavar [Y]. *)
+  let instantiate prog = Ast.subst_inputs bindings prog in
   (instantiate rule.lhs, instantiate rule.rhs)
+
+let closed rule =
+  let lhs_inputs = Ast.inputs rule.lhs in
+  List.for_all (fun n -> List.mem n lhs_inputs) (Ast.inputs rule.rhs)
 
 let matches rule prog =
   let exception Mismatch in
@@ -80,7 +94,12 @@ let rec apply_once rule prog =
       in
       if !rewritten then Some prog' else None
 
-let apply_fixpoint ?(max_steps = 32) rules prog =
+let apply_fixpoint ?(max_steps = 32) ?cost ?applied rules prog =
+  let cost =
+    match cost with
+    | Some f -> f
+    | None -> fun p -> float_of_int (Ast.size p)
+  in
   let step prog =
     List.fold_left
       (fun acc rule ->
@@ -89,11 +108,31 @@ let apply_fixpoint ?(max_steps = 32) rules prog =
         | None -> apply_once rule prog)
       None rules
   in
+  (* Inverse rule pairs (a+b ⇒ b+a and back) cycle forever: track every
+     program visited and stop on the first revisit, returning the
+     cheapest program seen rather than whatever intermediate the step
+     budget happened to land on. *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let best = ref prog in
+  let best_cost = ref (cost prog) in
   let rec go n prog =
-    if n = 0 then prog
-    else match step prog with Some p -> go (n - 1) p | None -> prog
+    let key = Ast.to_string prog in
+    if n > 0 && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      match step prog with
+      | None -> ()
+      | Some p ->
+          (match applied with Some r -> incr r | None -> ());
+          let c = cost p in
+          if c < !best_cost then begin
+            best := p;
+            best_cost := c
+          end;
+          go (n - 1) p
+    end
   in
-  go max_steps prog
+  go max_steps prog;
+  !best
 
 let pp ppf rule = Format.fprintf ppf "%a  ==>  %a" Ast.pp rule.lhs Ast.pp rule.rhs
 let to_string rule = Format.asprintf "%a" pp rule

@@ -1,0 +1,247 @@
+module Json = Obs.Telemetry.Json
+module Ast = Dsl.Ast
+
+let schema = "stenso.rules/1"
+
+(* Fixed and key-relevant: the serving tier recomputes a request's
+   database key from its environment alone, so the miner and the server
+   must agree on the constant terminals by construction, not by
+   configuration. *)
+let standard_consts = [ 0.; 1.; 2.; 3.; 4.; 5. ]
+
+let mine_config ?(jobs = 1) ~depth () =
+  { Stub.default_config with Stub.depth; jobs }
+
+let key ~env ~model_id ~depth =
+  Printf.sprintf "stenso.rules|model=%s|%s" model_id
+    (Stub.fingerprint (mine_config ~depth ()) ~consts:standard_consts env)
+
+type rule = { rule : Rules.t; gain : float }
+
+type t = {
+  version : string;
+  model_id : string;
+  depth : int;
+  rules : rule list;
+  optima : (string, float * string) Hashtbl.t;
+}
+
+let max_rules = 1024
+
+let spec_digest spec = Store.digest (Spec.key spec)
+
+let rule_id (r : Rules.t) = Ast.to_string r.lhs ^ " ==> " ^ Ast.to_string r.rhs
+
+(* Dedupe by rendered lhs/rhs keeping the best gain, rank by gain. *)
+let dedupe_rules rules =
+  let best : (string, rule) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let id = rule_id r.rule in
+      match Hashtbl.find_opt best id with
+      | Some prev when prev.gain >= r.gain -> ()
+      | Some _ -> Hashtbl.replace best id r
+      | None ->
+          Hashtbl.add best id r;
+          order := id :: !order)
+    rules;
+  let all = List.rev_map (fun id -> Hashtbl.find best id) !order in
+  let sorted =
+    List.stable_sort (fun a b -> compare b.gain a.gain) all
+  in
+  List.filteri (fun i _ -> i < max_rules) sorted
+
+let entry ~model_id ~depth ~rules ~optima =
+  let table = Hashtbl.create (List.length optima) in
+  List.iter
+    (fun (digest, ((cost, _) as binding)) ->
+      match Hashtbl.find_opt table digest with
+      | Some (prev, _) when prev <= cost -> ()
+      | _ -> Hashtbl.replace table digest binding)
+    optima;
+  {
+    version = Version.current;
+    model_id;
+    depth;
+    rules = dedupe_rules rules;
+    optima = table;
+  }
+
+let lookup_optimum t digest =
+  match Hashtbl.find_opt t.optima digest with
+  | None -> None
+  | Some (cost, text) -> (
+      match Dsl.Parser.expression text with
+      | prog -> Some (cost, prog)
+      | exception _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rule_json r =
+  Json.Obj
+    [
+      ("lhs", Json.Str (Ast.to_string r.rule.Rules.lhs));
+      ("rhs", Json.Str (Ast.to_string r.rule.Rules.rhs));
+      ( "metavars",
+        Json.List
+          (List.map
+             (fun (orig, mv) -> Json.List [ Json.Str orig; Json.Str mv ])
+             r.rule.Rules.metavars) );
+      ("gain", Json.Float r.gain);
+    ]
+
+let to_json t =
+  let optima =
+    Hashtbl.fold
+      (fun digest (cost, text) acc ->
+        Json.List [ Json.Str digest; Json.Float cost; Json.Str text ] :: acc)
+      t.optima []
+  in
+  (* Deterministic rendering: hash order is arbitrary. *)
+  let optima =
+    List.sort
+      (fun a b ->
+        match (a, b) with
+        | Json.List (Json.Str x :: _), Json.List (Json.Str y :: _) ->
+            compare x y
+        | _ -> 0)
+      optima
+  in
+  Json.Obj
+    [
+      ("version", Json.Str t.version);
+      ("model", Json.Str t.model_id);
+      ("depth", Json.Int t.depth);
+      ("rules", Json.List (List.map rule_json t.rules));
+      ("optima", Json.List optima);
+    ]
+
+let rule_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_string_opt in
+  match (str "lhs", str "rhs") with
+  | Some lhs_text, Some rhs_text -> (
+      match
+        (Dsl.Parser.expression lhs_text, Dsl.Parser.expression rhs_text)
+      with
+      | lhs, rhs ->
+          let metavars =
+            match Option.bind (Json.member "metavars" j) Json.to_list_opt with
+            | None -> []
+            | Some pairs ->
+                List.filter_map
+                  (function
+                    | Json.List [ Json.Str orig; Json.Str mv ] ->
+                        Some (orig, mv)
+                    | _ -> None)
+                  pairs
+          in
+          let gain =
+            Option.value ~default:0.
+              (Option.bind (Json.member "gain" j) Json.to_float_opt)
+          in
+          Some { rule = { Rules.lhs; rhs; metavars }; gain }
+      | exception _ -> None)
+  | _ -> None
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let* version = Option.bind (Json.member "version" j) Json.to_string_opt in
+  let* model_id = Option.bind (Json.member "model" j) Json.to_string_opt in
+  let* depth = Option.bind (Json.member "depth" j) Json.to_int_opt in
+  let* rule_docs = Option.bind (Json.member "rules" j) Json.to_list_opt in
+  let* optima_docs = Option.bind (Json.member "optima" j) Json.to_list_opt in
+  (* Individually malformed lines degrade the entry, not the load. *)
+  let rules = List.filter_map rule_of_json rule_docs in
+  let optima = Hashtbl.create (List.length optima_docs) in
+  List.iter
+    (function
+      | Json.List [ Json.Str digest; cost; Json.Str text ] -> (
+          match Json.to_float_opt cost with
+          | Some c -> Hashtbl.replace optima digest (c, text)
+          | None -> ())
+      | _ -> ())
+    optima_docs;
+  Some { version; model_id; depth; rules; optima }
+
+(* ------------------------------------------------------------------ *)
+(* Store plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Decoded-entry cache.  Parsing a few hundred rules plus a few
+   thousand optima lines per request would dominate tier-2 latency, so
+   decode once per resident payload: the cached decode is valid exactly
+   while [Store.find] keeps returning the *same* payload object (the
+   store's LRU front preserves physical identity); a reload from disk —
+   new object — re-decodes, which also makes external modification and
+   corruption visible to long-lived handles. *)
+let cache : (string, Json.t * t) Hashtbl.t = Hashtbl.create 8
+let cache_lock = Mutex.create ()
+
+let cache_key store key = Store.dir store ^ "\x00" ^ key
+
+let find store ~key =
+  match Store.find store ~schema key with
+  | None -> None
+  | Some payload -> (
+      let ck = cache_key store key in
+      match
+        Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache ck)
+      with
+      | Some (resident, t) when resident == payload -> Some t
+      | _ -> (
+          match of_json payload with
+          | Some t ->
+              Mutex.protect cache_lock (fun () ->
+                  Hashtbl.replace cache ck (payload, t));
+              Some t
+          | None ->
+              Store.invalidate store key;
+              None))
+
+let record store ~key t =
+  let payload = to_json t in
+  Store.add store ~schema key payload;
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.replace cache (cache_key store key) (payload, t))
+
+(* Serializes feedback read-modify-writes within this process; across
+   processes the last writer wins, which is acceptable for a cache whose
+   entries are independently correct. *)
+let feedback_lock = Mutex.create ()
+
+let record_feedback store ~key ~model_id ~depth ?rule ~spec_digest ~cost ~prog
+    () =
+  Mutex.protect feedback_lock (fun () ->
+      let current =
+        match find store ~key with
+        | Some t when t.model_id = model_id && t.depth = depth -> Some t
+        | Some _ | None -> None
+      in
+      let rules, optima_tbl =
+        match current with
+        | Some t -> (t.rules, Hashtbl.copy t.optima)
+        | None -> ([], Hashtbl.create 4)
+      in
+      let rules =
+        match rule with
+        | None -> rules
+        | Some (r, gain) ->
+            let fresh = { rule = r; gain } in
+            if List.exists (fun e -> rule_id e.rule = rule_id r) rules then
+              rules
+            else dedupe_rules (fresh :: rules)
+      in
+      (match Hashtbl.find_opt optima_tbl spec_digest with
+      | Some (prev, _) when prev <= cost -> ()
+      | _ -> Hashtbl.replace optima_tbl spec_digest (cost, prog));
+      record store ~key
+        {
+          version = Version.current;
+          model_id;
+          depth;
+          rules;
+          optima = optima_tbl;
+        })

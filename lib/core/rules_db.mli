@@ -1,0 +1,109 @@
+(** The mined rewrite-rule database ([stenso.rules/1]).
+
+    [stenso mine] batch-superoptimizes the bounded stub space offline:
+    every semantic duplicate the enumeration deduplicates away is a
+    rewrite proven equivalent by construction (duplicate ⇒ cheapest
+    representative), generalized into a {!Rules.t} and recorded here,
+    together with an {e optima table} mapping each enumerated symbolic
+    value (by spec-key digest) to the cheapest known program computing
+    it.  {!Superopt.optimize}'s tier 2 replays these rules (fixpoint +
+    e-graph saturation) and consults the optima table instead of
+    entering the branch-and-bound search; improvements that tier 3 does
+    discover are fed back through {!record_feedback}, so the database
+    grows with traffic — the paper's §VII-D integration path, in the
+    TENSAT/Prism mostly-lookup direction.
+
+    Entries live in the same {!Store} directory as synthesis outcomes,
+    under their own schema tag, keyed by the mining stub fingerprint
+    (environment, depth, the standard constant set) plus the cost-model
+    id — see {!key}. *)
+
+module Json = Obs.Telemetry.Json
+
+val schema : string
+(** ["stenso.rules/1"]. *)
+
+val standard_consts : float list
+(** The constant terminals every mining run enumerates with.  Fixed —
+    and part of the database key via the stub fingerprint — so a serving
+    process can recompute the key of a request's environment without
+    knowing what constants the miner saw. *)
+
+val mine_config : ?jobs:int -> depth:int -> unit -> Stub.config
+(** The enumeration configuration mining uses for a given rule depth.
+    Everything except [depth] (and [jobs], which never changes the
+    library) is pinned to the defaults, so the database key derived from
+    its fingerprint is stable across processes. *)
+
+val key : env:Dsl.Types.env -> model_id:string -> depth:int -> string
+(** Database key for one (environment, cost model, mining depth). *)
+
+type rule = {
+  rule : Rules.t;
+  gain : float;
+      (** cost improvement of rhs over lhs at the mined shapes, under
+          the database's cost model — the ranking criterion *)
+}
+
+type t = {
+  version : string;  (** build that mined the entry *)
+  model_id : string;
+  depth : int;
+  rules : rule list;  (** sorted by decreasing gain *)
+  optima : (string, float * string) Hashtbl.t;
+      (** spec-key digest ↦ (cost, program text) of the cheapest known
+          implementation of that symbolic value *)
+}
+
+val max_rules : int
+(** Per-entry rule cap (lowest-gain rules are dropped beyond it). *)
+
+val spec_digest : Spec.t -> string
+(** Digest of the canonical spec rendering — the optima-table key. *)
+
+val entry :
+  model_id:string ->
+  depth:int ->
+  rules:rule list ->
+  optima:(string * (float * string)) list ->
+  t
+(** Assemble a fresh entry: rules are deduplicated (by rendered
+    lhs/rhs), sorted by decreasing gain and capped at {!max_rules};
+    optima keep the cheapest binding per digest. *)
+
+val lookup_optimum : t -> string -> (float * Dsl.Ast.t) option
+(** The recorded cheapest implementation of a spec digest, parsed.
+    [None] when the digest is unknown or the stored text no longer
+    parses. *)
+
+val find : Store.t -> key:string -> t option
+(** Decode the database entry under this key.  Decoded entries are
+    cached per (store directory, key) and revalidated against the
+    store's resident payload, so repeated lookups do not re-parse; an
+    entry whose envelope is readable but whose payload no longer
+    decodes is invalidated (deleted, counted corrupt) and reported as
+    a miss.  Individually malformed rules or optima lines are dropped
+    rather than failing the entry. *)
+
+val record : Store.t -> key:string -> t -> unit
+(** Persist an entry (write-through), replacing any previous one. *)
+
+val record_feedback :
+  Store.t ->
+  key:string ->
+  model_id:string ->
+  depth:int ->
+  ?rule:Rules.t * float ->
+  spec_digest:string ->
+  cost:float ->
+  prog:string ->
+  unit ->
+  unit
+(** Fold one tier-3 discovery into the database: add the generalized
+    rule (if any, skipped when an equal lhs/rhs pair is already
+    present) and the (digest, cost, program) optimum (kept only if
+    cheaper than the recorded one).  Creates the entry when the
+    environment was never mined — the organic-growth path. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t option

@@ -26,6 +26,7 @@ let outcome_json ~id ~env (o : Superopt.outcome) =
     (base_fields ~id ~ok:true
     @ [
         ("cache_hit", Json.Bool o.from_cache);
+        ("tier", Json.Int o.tier);
         ("improved", Json.Bool o.improved);
         ("verified", Json.Bool o.verified);
         ("cost_before", Json.Float o.original_cost);
@@ -64,6 +65,7 @@ let config_of_json ~base j =
   |> field "extended_ops" Json.to_bool_opt Config.with_extended_ops
   |> field "use_bnb" Json.to_bool_opt Config.with_bnb
   |> field "use_simplification" Json.to_bool_opt Config.with_simplification
+  |> field "rules_depth" Json.to_int_opt Config.with_rules_depth
 
 type request = { id : Json.t; source : string; config : Config.t }
 

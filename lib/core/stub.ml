@@ -75,8 +75,8 @@ let binary_ops ~extended =
   ]
   @ if extended then [ Ast.Less ] else []
 
-let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ~model
-    ~consts (env : Types.env) =
+let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ?on_dup
+    ~model ~consts (env : Types.env) =
   let enum_t0 = Unix.gettimeofday () in
   let sym_inputs = Sexec.sym_env env in
   let sym_lookup name =
@@ -89,14 +89,26 @@ let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ~model
   let attempts = ref 0 in
   let hit_cap = ref false in
   let levels : t list array = Array.make (config.depth + 1) [] in
+  let dup stub =
+    match on_dup with Some f -> f stub | None -> ()
+  in
   let register stub =
     let key = Spec.key stub.sem in
     match Hashtbl.find_opt by_sem key with
-    | Some existing when existing.cost <= stub.cost -> false
-    | Some _ ->
+    | Some existing when existing.cost <= stub.cost ->
+        (* A strictly worse implementation of a known value is exactly
+           what rule mining wants to see (worse ⇒ representative is a
+           rewrite proven by construction); equal-cost duplicates carry
+           no improvement and are not reported. *)
+        if existing.cost < stub.cost then dup stub;
+        false
+    | Some existing ->
         (* Cheaper implementation of a known value: replace the
-           representative but do not re-expand it. *)
+           representative but do not re-expand it.  The displaced
+           program is the [dup]: it is now strictly worse than the
+           library's representative of its semantics. *)
         Hashtbl.replace by_sem key stub;
+        dup existing;
         false
     | None ->
         if !count >= config.max_stubs then begin

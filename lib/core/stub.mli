@@ -46,6 +46,7 @@ type library
 val enumerate :
   ?config:config ->
   ?tel:Obs.Telemetry.t ->
+  ?on_dup:(t -> unit) ->
   model:Cost.Model.t ->
   consts:float list ->
   Dsl.Types.env ->
@@ -54,7 +55,15 @@ val enumerate :
     occur in the original program (the grammar's [FCons] terminals).
     [tel] receives one [stub.depth] event per bottom-up iteration
     (candidates examined, stubs kept, elapsed seconds) and a final
-    [stub.library] summary. *)
+    [stub.library] summary.
+
+    [on_dup] observes semantic duplicates that deduplication would
+    silently discard: it is called with every enumerated stub that is
+    strictly more expensive than the library's (final) representative
+    of the same symbolic value — the raw material of rule mining, where
+    each (duplicate, representative) pair is a rewrite proven
+    equivalent by construction.  Equal-cost duplicates are not
+    reported. *)
 
 val fingerprint : config -> consts:float list -> Dsl.Types.env -> string
 (** Canonical identity of an enumeration: the config fields that shape

@@ -10,6 +10,7 @@ type outcome = {
   search : Search.result;
   verified : bool;
   from_cache : bool;
+  tier : int;
 }
 
 let consts_of prog =
@@ -58,8 +59,11 @@ let robust_equivalent ~env a b =
   || Dsl.Sexec.equivalent env' a b
 
 let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
-    ?stub_cache ?spec ~model ~env prog =
+    ?stub_cache ?spec ?bound ~model ~env prog =
   let original_cost = Cost.Model.program_cost model env prog in
+  let initial_bound =
+    match bound with Some b -> Float.min b original_cost | None -> original_cost
+  in
   let spec =
     match spec with
     | Some s -> s
@@ -82,8 +86,8 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
         Some lib
   in
   let search =
-    Search.run ~tel ~config ?library ~model ~env ~spec
-      ~initial_bound:original_cost ~consts ()
+    Search.run ~tel ~config ?library ~model ~env ~spec ~initial_bound
+      ~consts ()
   in
   (* Re-estimate the synthesized program as a whole: search-time cost
      accumulation prices holes at collapsed shapes, which is the right
@@ -109,6 +113,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
           search;
           verified;
           from_cache = false;
+          tier = 3;
         }
       else begin
         (* The candidate failed re-verification (for example a rewrite
@@ -127,6 +132,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
           search;
           verified = true;
           from_cache = false;
+          tier = 3;
         }
       end
   | _ ->
@@ -139,6 +145,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
         search;
         verified = true;
         from_cache = false;
+        tier = 3;
       }
 
 (* The full store key for one request: what will be synthesized (the
@@ -179,63 +186,8 @@ let outcome_of_entry ~env prog (e : Store.outcome_entry) : outcome option =
               };
             verified = true;
             from_cache = true;
+            tier = 1;
           }
-
-let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
-    ?stub_cache ?model ~env prog =
-  let model =
-    match model with Some m -> m | None -> Config.model ~tel config
-  in
-  let search_config = Config.search_config config in
-  match store with
-  | None -> superoptimize ~tel ~config:search_config ?stub_cache ~model ~env prog
-  | Some store -> (
-      let spec =
-        Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
-            Dsl.Sexec.exec_env env prog)
-      in
-      let key = store_key ~config ~model ~env ~spec prog in
-      let cached =
-        match Store.find_outcome store ~key with
-        | None -> None
-        | Some entry -> (
-            match outcome_of_entry ~env prog entry with
-            | Some o -> Some o
-            | None ->
-                Store.invalidate store key;
-                None)
-      in
-      match cached with
-      | Some outcome ->
-          (* Check-before-search: served without entering [Search]. *)
-          Obs.Telemetry.incr tel "store.hits";
-          Obs.Telemetry.event tel "store.serve"
-            [
-              ("key", Obs.Telemetry.Str (Store.digest key));
-              ("improved", Obs.Telemetry.Bool outcome.improved);
-            ];
-          outcome
-      | None ->
-          Obs.Telemetry.incr tel "store.misses";
-          let outcome =
-            superoptimize ~tel ~config:search_config ?stub_cache ~spec ~model
-              ~env prog
-          in
-          (* Record-after-search.  Unverified candidates never reach the
-             outcome (superoptimize falls back to the original), so
-             every recorded entry is correct by construction. *)
-          if outcome.verified then
-            Store.record_outcome store ~key
-              {
-                Store.version = Version.current;
-                original = Dsl.Parser.unparse env outcome.original;
-                optimized = Dsl.Parser.unparse env outcome.optimized;
-                improved = outcome.improved;
-                original_cost = outcome.original_cost;
-                optimized_cost = outcome.optimized_cost;
-                stats = outcome.search.stats;
-              };
-          outcome)
 
 let validate_concrete ?(trials = 16) ?(max_draws = 512)
     ?(engine : Texec.Engine.kind = `Vm)
@@ -279,3 +231,311 @@ let validate_concrete ?(trials = 16) ?(max_draws = 512)
     end
   done;
   !ok
+
+(* ------------------------------------------------------------------ *)
+(* Tier 2: mined rules, e-graph saturation, optima lookup              *)
+(* ------------------------------------------------------------------ *)
+
+type tier2 = {
+  t2_prog : Ast.t;
+  t2_cost : float;
+  t2_certified : bool;
+      (* the candidate provably reaches the database's recorded optimum
+         for this spec (or costs nothing at all), so the search cannot
+         improve on what the database already knows *)
+  t2_applied : int;  (* rewrite steps taken (fixpoint + saturation) *)
+  t2_elapsed : float;
+}
+
+let empty_stats elapsed =
+  {
+    Search.nodes = 0;
+    decomps = 0;
+    pruned_simp = 0;
+    pruned_bnb = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    elapsed;
+    timed_out = false;
+    library_size = 0;
+  }
+
+(* Serve a request from the mined rule database, if it can be done
+   soundly.  Three candidate sources, cheapest verified one wins:
+
+   - {!Rules.apply_fixpoint} over the mined rules (greedy rewriting);
+   - e-graph equality saturation with the same rules plus cheapest
+     extraction ({!Egraph});
+   - the optima table: the cheapest known implementation of this
+     request's symbolic value, mined offline or fed back from earlier
+     tier-3 searches.
+
+   Every candidate is re-verified from scratch (symbolic equivalence at
+   two shape settings + concrete differential validation) before it can
+   be served — tier 2 trusts the database for *guidance*, never for
+   correctness.  The answer is [certified] only when it reaches the
+   recorded optimum for this very spec: mined optima are exact for the
+   bounded stub space, so a certified answer is the best the database
+   can prove; anything short of that falls through to the full search
+   (with the candidate's cost as a tightened initial bound). *)
+let tier2_attempt ~tel ~config ~model ~env ~spec ~depth ~store prog =
+  match
+    Rules_db.find store
+      ~key:(Rules_db.key ~env ~model_id:model.Cost.Model.name ~depth)
+  with
+  | None -> None
+  | Some db ->
+      let t0 = Unix.gettimeofday () in
+      let cost p =
+        if Types.well_typed env p then
+          match Cost.Model.program_cost model env p with
+          | c -> c
+          | exception _ -> infinity
+        else infinity
+      in
+      let applied = ref 0 in
+      let rules = List.map (fun r -> r.Rules_db.rule) db.Rules_db.rules in
+      let fixpoint = Rules.apply_fixpoint ~max_steps:64 ~cost ~applied rules prog in
+      let saturated =
+        match
+          let g = Egraph.create env in
+          let cls = Egraph.add g prog in
+          let ts = Unix.gettimeofday () in
+          let st = Egraph.saturate ~rules g in
+          Obs.Telemetry.Acc.add
+            (Obs.Telemetry.acc tel "tier.saturation_ms")
+            ((Unix.gettimeofday () -. ts) *. 1000.);
+          applied := !applied + st.Egraph.applications;
+          Egraph.extract g ~model cls
+        with
+        | p -> Some p
+        | exception Egraph.Unsupported _ -> None
+      in
+      let optimum = Rules_db.lookup_optimum db (Rules_db.spec_digest spec) in
+      let candidates =
+        List.filter_map Fun.id
+          [ Option.map snd optimum; saturated; Some fixpoint ]
+      in
+      let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let candidates =
+        List.filter
+          (fun c ->
+            let k = Ast.to_string c in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              cost c < infinity
+            end)
+          candidates
+      in
+      let candidates =
+        List.stable_sort (fun a b -> Float.compare (cost a) (cost b)) candidates
+      in
+      let verified c =
+        Ast.equal c prog
+        ||
+        match
+          robust_equivalent ~env prog c
+          && validate_concrete ~engine:(Config.engine config)
+               ~exec_options:(Config.exec_options config) ~env prog c
+        with
+        | ok -> ok
+        | exception _ -> false
+      in
+      let result =
+        match List.find_opt verified candidates with
+        | None -> None
+        | Some best ->
+            let best_cost = cost best in
+            let eps = 1e-9 *. (1. +. Float.abs best_cost) in
+            (* Certification demands a strict improvement that reaches
+               the recorded optimum (or a free program, which nothing
+               can undercut).  A candidate that merely *matches* the
+               database's best is not served: the optimum is exact only
+               for the mined space, and the search explores deeper — a
+               "nothing better exists" verdict must come from tier 3,
+               never from a bounded table. *)
+            let certified =
+              best_cost <= 0.
+              || (best_cost < cost prog
+                 &&
+                 match optimum with
+                 | Some (opt_cost, _) -> best_cost <= opt_cost +. eps
+                 | None -> false)
+            in
+            Some
+              {
+                t2_prog = best;
+                t2_cost = best_cost;
+                t2_certified = certified;
+                t2_applied = !applied;
+                t2_elapsed = Unix.gettimeofday () -. t0;
+              }
+      in
+      if Obs.Telemetry.enabled tel then
+        Obs.Telemetry.add tel "tier.rules_applied" !applied;
+      result
+
+(* Fold a verified search result back into the rule database: the
+   generalized rewrite (when the search improved the program and the
+   rule is sound to apply anywhere) and the spec's optimum.  This is
+   how the database outgrows its mining depth with traffic. *)
+let tier3_feedback ~model ~env ~spec ~depth ~store (outcome : outcome) =
+  let rule =
+    if not outcome.improved then None
+    else
+      let r = Rules.generalize outcome.original outcome.optimized in
+      if
+        r.Rules.metavars <> []
+        && (not (Ast.equal r.Rules.lhs r.Rules.rhs))
+        && Rules.closed r
+      then Some (r, outcome.original_cost -. outcome.optimized_cost)
+      else None
+  in
+  let model_id = model.Cost.Model.name in
+  Rules_db.record_feedback store
+    ~key:(Rules_db.key ~env ~model_id ~depth)
+    ~model_id ~depth ?rule
+    ~spec_digest:(Rules_db.spec_digest spec)
+    ~cost:outcome.optimized_cost
+    ~prog:(Ast.to_string outcome.optimized)
+    ()
+
+let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
+    ?stub_cache ?model ~env prog =
+  let model =
+    match model with Some m -> m | None -> Config.model ~tel config
+  in
+  let search_config = Config.search_config config in
+  match store with
+  | None -> superoptimize ~tel ~config:search_config ?stub_cache ~model ~env prog
+  | Some store -> (
+      let spec =
+        Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
+            Dsl.Sexec.exec_env env prog)
+      in
+      let key = store_key ~config ~model ~env ~spec prog in
+      let serve_event tier =
+        Obs.Telemetry.incr tel "tier.hit";
+        Obs.Telemetry.incr tel (Printf.sprintf "tier%d.hits" tier);
+        Obs.Telemetry.event tel "tier.serve"
+          [
+            ("tier", Obs.Telemetry.Int tier);
+            ("key", Obs.Telemetry.Str (Store.digest key));
+          ]
+      in
+      let record (outcome : outcome) =
+        (* Record-after-answer.  Unverified candidates never reach the
+           outcome (both tiers fall back to the original program), so
+           every recorded entry is correct by construction. *)
+        if outcome.verified then
+          Store.record_outcome store ~key
+            {
+              Store.version = Version.current;
+              original = Dsl.Parser.unparse env outcome.original;
+              optimized = Dsl.Parser.unparse env outcome.optimized;
+              improved = outcome.improved;
+              original_cost = outcome.original_cost;
+              optimized_cost = outcome.optimized_cost;
+              stats = outcome.search.stats;
+            }
+      in
+      let cached =
+        match Store.find_outcome store ~key with
+        | None -> None
+        | Some entry -> (
+            match outcome_of_entry ~env prog entry with
+            | Some o -> Some o
+            | None ->
+                Store.invalidate store key;
+                None)
+      in
+      match cached with
+      | Some outcome ->
+          (* Tier 1, check-before-search: served without entering
+             [Search]. *)
+          Obs.Telemetry.incr tel "store.hits";
+          Obs.Telemetry.event tel "store.serve"
+            [
+              ("key", Obs.Telemetry.Str (Store.digest key));
+              ("improved", Obs.Telemetry.Bool outcome.improved);
+            ];
+          serve_event 1;
+          outcome
+      | None -> (
+          Obs.Telemetry.incr tel "store.misses";
+          let original_cost = Cost.Model.program_cost model env prog in
+          let t2 =
+            match Config.rules_depth config with
+            | None -> None
+            | Some depth ->
+                tier2_attempt ~tel ~config ~model ~env ~spec ~depth ~store
+                  prog
+          in
+          match t2 with
+          | Some t2 when t2.t2_certified && t2.t2_cost <= original_cost ->
+              (* Tier 2: the mined database answered, provably as well
+                 as the search could against its recorded optimum, and
+                 the answer re-verified — serve it without searching. *)
+              let improved = t2.t2_cost < original_cost in
+              let outcome =
+                {
+                  original = prog;
+                  optimized = (if improved then t2.t2_prog else prog);
+                  improved;
+                  original_cost;
+                  optimized_cost =
+                    (if improved then t2.t2_cost else original_cost);
+                  search =
+                    {
+                      Search.program =
+                        (if improved then Some t2.t2_prog else None);
+                      cost = (if improved then t2.t2_cost else original_cost);
+                      stats = empty_stats t2.t2_elapsed;
+                    };
+                  verified = true;
+                  from_cache = false;
+                  tier = 2;
+                }
+              in
+              serve_event 2;
+              record outcome;
+              outcome
+          | _ ->
+              (* Tier 3: full branch-and-bound, with the tier-2
+                 candidate (when one verified) tightening the initial
+                 bound, and the result fed back into the database. *)
+              let bound = Option.map (fun t -> t.t2_cost) t2 in
+              let outcome =
+                superoptimize ~tel ~config:search_config ?stub_cache ~spec
+                  ?bound ~model ~env prog
+              in
+              let outcome =
+                match t2 with
+                | Some t2
+                  when t2.t2_cost < outcome.optimized_cost
+                       && t2.t2_cost < original_cost ->
+                    (* The search could not beat the tier-2 candidate
+                       (it pruned against its cost); the candidate is
+                       already verified, so it is the answer. *)
+                    {
+                      outcome with
+                      optimized = t2.t2_prog;
+                      improved = true;
+                      optimized_cost = t2.t2_cost;
+                      search =
+                        {
+                          outcome.search with
+                          program = Some t2.t2_prog;
+                          cost = t2.t2_cost;
+                        };
+                    }
+                | _ -> outcome
+              in
+              serve_event 3;
+              (match Config.rules_depth config with
+              | Some depth when outcome.verified ->
+                  tier3_feedback ~model ~env ~spec ~depth ~store outcome
+              | _ -> ());
+              record outcome;
+              outcome))

@@ -22,6 +22,11 @@ type outcome = {
   from_cache : bool;
       (** served from the persistent store without entering the search
           (only possible through {!optimize} with a store) *)
+  tier : int;
+      (** which tier answered: 1 = outcome-store lookup, 2 = mined
+          rules / e-graph saturation against the rule database, 3 =
+          full branch-and-bound search (always 3 for bare
+          {!superoptimize}) *)
 }
 
 val consts_of : Dsl.Ast.t -> float list
@@ -33,6 +38,7 @@ val superoptimize :
   ?config:Search.config ->
   ?stub_cache:Stub.Cache.cache ->
   ?spec:Spec.t ->
+  ?bound:float ->
   model:Cost.Model.t ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
@@ -43,7 +49,10 @@ val superoptimize :
     [stub_cache] shares one enumerated stub library per input
     environment across calls (see {!Stub.Cache}); [spec], when the
     caller has already symbolically executed the program, skips the
-    redundant execution. *)
+    redundant execution.  [bound], when below the original program's
+    cost, tightens the initial branch-and-bound bound (used by tiered
+    serving to prune against an already-verified tier-2 candidate);
+    the search then only returns programs cheaper than it. *)
 
 val optimize :
   ?tel:Obs.Telemetry.t ->
@@ -59,13 +68,41 @@ val optimize :
     ({!Config.model}), wired to the same [tel] — pass one explicitly to
     share a measured model's profiling table across many calls.
 
-    With [store], serving is cache-first: the request key (spec +
-    fingerprints + model id, {!Store.outcome_key}) is looked up before
-    the search — a hit reconstitutes the outcome (with
-    [outcome.from_cache] set, [store.hits] bumped, and a [store.serve]
-    event in the trace) without entering {!Search}, and every verified
-    fresh outcome is recorded after the search.  A stale or undecodable
-    entry is invalidated and the search runs normally. *)
+    With [store], serving is {e tiered}:
+
+    {ol
+    {- {b Tier 1 — outcome store.}  The request key (spec +
+       fingerprints + model id, {!Store.outcome_key}) is looked up
+       first — a hit reconstitutes the outcome (with
+       [outcome.from_cache] set, [store.hits] bumped, and [store.serve]
+       / [tier.serve] events in the trace) without entering {!Search}.
+       A stale or undecodable entry is invalidated.}
+    {- {b Tier 2 — mined rules} (only when the configuration sets
+       {!Config.with_rules_depth} and the store holds a {!Rules_db}
+       entry for this environment).  Candidates come from
+       {!Rules.apply_fixpoint} over the mined rules, e-graph equality
+       saturation with cheapest extraction ({!Egraph}), and the
+       database's optima table for this very spec.  The cheapest
+       candidate that passes full re-verification
+       ({!robust_equivalent} + {!validate_concrete}) is served — and
+       recorded to the outcome store — iff it is {e certified}: it
+       strictly improves the request and reaches the database's
+       recorded optimum for this spec (or costs nothing at all, which
+       no search can undercut).  Tier 2 never trusts the database for
+       correctness, only for guidance, and never certifies a
+       "keep the original" verdict — that can only come from the full
+       search.}
+    {- {b Tier 3 — full search.}  Anything uncertified falls through to
+       {!superoptimize}, with a verified tier-2 candidate tightening
+       the initial branch-and-bound bound (and serving as the answer if
+       the search cannot beat it).  Verified results are fed back into
+       the rule database ({!Rules_db.record_feedback}: the generalized
+       rewrite when improved, plus the spec optimum) and recorded to
+       the outcome store.}}
+
+    Per-tier telemetry: [tier.hit], [tier1.hits]/[tier2.hits]/
+    [tier3.hits], [tier.rules_applied], [tier.saturation_ms], and one
+    [tier.serve] event per answer. *)
 
 val robust_equivalent :
   env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool

@@ -108,6 +108,20 @@ let rec subst_input name replacement t =
   | For_stack fs ->
       For_stack { fs with body = subst_input name replacement fs.body }
 
+let subst_inputs bindings t =
+  let rec go bindings t =
+    match t with
+    | Input n -> (
+        match List.assoc_opt n bindings with Some r -> r | None -> t)
+    | Const _ -> t
+    | App (op, args) -> App (op, List.map (go bindings) args)
+    | For_stack fs -> (
+        match List.filter (fun (n, _) -> n <> fs.var) bindings with
+        | [] -> t (* everything shadowed *)
+        | live -> For_stack { fs with body = go live fs.body })
+  in
+  if bindings = [] then t else go bindings t
+
 let pp_int_list ppf xs =
   Format.fprintf ppf "[%s]" (String.concat ", " (List.map string_of_int xs))
 

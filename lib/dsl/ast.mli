@@ -58,6 +58,14 @@ val inputs : t -> string list
 val subst_input : string -> t -> t -> t
 (** [subst_input name replacement t] replaces [Input name] nodes. *)
 
+val subst_inputs : (string * t) list -> t -> t
+(** Simultaneous substitution: every [Input name] bound in the list is
+    replaced in one traversal, so replacements are never re-substituted
+    — [subst_inputs [("X", Input "Y"); ("Y", Input "Q")]] maps [X] to
+    [Y] and [Y] to [Q], where the sequential folds would corrupt [X]'s
+    replacement into [Q].  Comprehension variables shadow as in
+    {!subst_input}. *)
+
 val children : t -> t list
 val map_children : (t -> t) -> t -> t
 

@@ -89,6 +89,7 @@ let bench_json (r : bench_result) : Json.t =
           | `Github -> "github"
           | `Synthetic -> "synthetic") );
       ("klass", Json.Str (Benchmarks.klass_name r.bench.klass));
+      ("tier", Json.Int o.tier);
       ("improved", Json.Bool o.improved);
       ("verified", Json.Bool o.verified);
       ("cost_before", Json.Float o.original_cost);
@@ -159,6 +160,15 @@ let validate_report (j : Json.t) : (unit, string) result =
     let* _ = need "name" Json.to_string_opt b in
     let* _ = need "source" Json.to_string_opt b in
     let* _ = need "klass" Json.to_string_opt b in
+    (* [tier] arrived with tiered serving: absent in older archived
+       reports, so optional — but an integer when present. *)
+    let* () =
+      match Json.member "tier" b with
+      | None -> Ok ()
+      | Some v ->
+          if Option.is_some (Json.to_int_opt v) then Ok ()
+          else Error "mistyped field \"tier\""
+    in
     let* _ = need "improved" Json.to_bool_opt b in
     let* _ = need "verified" Json.to_bool_opt b in
     let* _ = need "cost_before" Json.to_float_opt b in
@@ -260,3 +270,148 @@ let validate_exec_bench ?min_speedup (j : Json.t) : (unit, string) result =
       let* () = acc in
       check_result b)
     (Ok ()) results
+
+(* ------------------------------------------------------------------ *)
+(* Tiered-serving report                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tiers_schema_version = "stenso.tiers/1"
+
+let tier_counts (t : t) =
+  List.fold_left
+    (fun (t1, t2, t3) r ->
+      match r.outcome.Stenso.Superopt.tier with
+      | 1 -> (t1 + 1, t2, t3)
+      | 2 -> (t1, t2 + 1, t3)
+      | _ -> (t1, t2, t3 + 1))
+    (0, 0, 0) t.results
+
+let pass_json (t : t) =
+  let t1, t2, t3 = tier_counts t in
+  let n = List.length t.results in
+  let frac =
+    if n = 0 then 0. else float_of_int (t1 + t2) /. float_of_int n
+  in
+  Json.Obj
+    [
+      ("tier1", Json.Int t1);
+      ("tier2", Json.Int t2);
+      ("tier3", Json.Int t3);
+      ("tier12_fraction", Json.Float frac);
+      ("elapsed", Json.Float t.elapsed);
+    ]
+
+(* The tiered-serving comparison document: one [baseline] run (plain
+   full search, no store), one [cold] tiered run (pre-mined rule
+   database, empty outcome store) and one [warm] tiered run (repeat of
+   the same requests against the now-populated store).  All three runs
+   must cover the same benchmarks in the same order. *)
+let tiers_report ?(config = Stenso.Config.default) ~baseline ~cold ~warm () :
+    Json.t =
+  let speedup_over tiered =
+    if tiered.elapsed > 0. then baseline.elapsed /. tiered.elapsed else 1.
+  in
+  let mismatches =
+    List.fold_left2
+      (fun acc (b : bench_result) (c : bench_result) ->
+        let bc = b.outcome.Stenso.Superopt.optimized_cost in
+        let cc = c.outcome.Stenso.Superopt.optimized_cost in
+        if Float.abs (bc -. cc) > 1e-9 *. (1. +. Float.abs bc) then acc + 1
+        else acc)
+      0 baseline.results cold.results
+  in
+  let row (b : bench_result) (c : bench_result) (w : bench_result) =
+    let o = c.outcome in
+    Json.Obj
+      [
+        ("name", Json.Str c.bench.name);
+        ("tier_cold", Json.Int o.tier);
+        ("tier_warm", Json.Int w.outcome.Stenso.Superopt.tier);
+        ("improved", Json.Bool o.improved);
+        ("verified", Json.Bool o.verified);
+        ("cost_before", Json.Float o.original_cost);
+        ("cost_after", Json.Float o.optimized_cost);
+        ( "baseline_cost_after",
+          Json.Float b.outcome.Stenso.Superopt.optimized_cost );
+        ("latency_baseline", Json.Float b.elapsed);
+        ("latency_cold", Json.Float c.elapsed);
+        ("latency_warm", Json.Float w.elapsed);
+      ]
+  in
+  let rows =
+    List.map2 (fun (b, c) w -> row b c w)
+      (List.combine baseline.results cold.results)
+      warm.results
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str tiers_schema_version);
+      ("version", Json.Str Stenso.Version.current);
+      ( "estimator",
+        Json.Str (Stenso.Config.estimator_name (Stenso.Config.estimator config))
+      );
+      ( "rules_depth",
+        Json.Int (Option.value ~default:0 (Stenso.Config.rules_depth config))
+      );
+      ("n_benchmarks", Json.Int (List.length cold.results));
+      ("baseline_elapsed", Json.Float baseline.elapsed);
+      ("cold", pass_json cold);
+      ("warm", pass_json warm);
+      ("cold_speedup", Json.Float (speedup_over cold));
+      ("warm_speedup", Json.Float (speedup_over warm));
+      ("n_cost_mismatches", Json.Int mismatches);
+      ("benchmarks", Json.List rows);
+    ]
+
+let validate_tiers_report (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need name extract j =
+    match Option.bind (Json.member name j) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* schema = need "schema" Json.to_string_opt j in
+  let* () =
+    if String.equal schema tiers_schema_version then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _ = need "version" Json.to_string_opt j in
+  let* _ = need "estimator" Json.to_string_opt j in
+  let* _ = need "rules_depth" Json.to_int_opt j in
+  let* _ = need "baseline_elapsed" Json.to_float_opt j in
+  let* _ = need "cold_speedup" Json.to_float_opt j in
+  let* _ = need "warm_speedup" Json.to_float_opt j in
+  let* _ = need "n_cost_mismatches" Json.to_int_opt j in
+  let check_pass name =
+    let* p = need name Option.some j in
+    let* _ = need "tier1" Json.to_int_opt p in
+    let* _ = need "tier2" Json.to_int_opt p in
+    let* _ = need "tier3" Json.to_int_opt p in
+    let* _ = need "tier12_fraction" Json.to_float_opt p in
+    let* _ = need "elapsed" Json.to_float_opt p in
+    Ok ()
+  in
+  let* () = check_pass "cold" in
+  let* () = check_pass "warm" in
+  let* n = need "n_benchmarks" Json.to_int_opt j in
+  let* benches = need "benchmarks" Json.to_list_opt j in
+  let* () =
+    if List.length benches = n then Ok ()
+    else Error "n_benchmarks disagrees with the benchmarks array"
+  in
+  List.fold_left
+    (fun acc b ->
+      let* () = acc in
+      let* _ = need "name" Json.to_string_opt b in
+      let* _ = need "tier_cold" Json.to_int_opt b in
+      let* _ = need "tier_warm" Json.to_int_opt b in
+      let* _ = need "improved" Json.to_bool_opt b in
+      let* _ = need "verified" Json.to_bool_opt b in
+      let* _ = need "cost_before" Json.to_float_opt b in
+      let* _ = need "cost_after" Json.to_float_opt b in
+      let* _ = need "baseline_cost_after" Json.to_float_opt b in
+      let* _ = need "latency_baseline" Json.to_float_opt b in
+      let* _ = need "latency_cold" Json.to_float_opt b in
+      let* _ = need "latency_warm" Json.to_float_opt b in
+      Ok ())
+    (Ok ()) benches

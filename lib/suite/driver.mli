@@ -80,3 +80,24 @@ val validate_exec_bench :
     any [expects_fused_reduction] benchmark with [ops_fused] = 0 (a
     planner fusion regression).  Used by [stenso report --min-speedup]
     and the CI exec-bench smoke check on [BENCH_exec_vm.json]. *)
+
+val tiers_schema_version : string
+(** ["stenso.tiers/1"], the tiered-serving comparison archive written
+    by [stenso suite --tiers-report]. *)
+
+val tiers_report :
+  ?config:Stenso.Config.t -> baseline:t -> cold:t -> warm:t -> unit ->
+  Stenso.Telemetry.Json.t
+(** Render a tiered-serving comparison over three runs of the {e same}
+    benchmarks: [baseline] (full search, no store), [cold] (tiered
+    against a pre-mined rule database with an empty outcome store) and
+    [warm] (the same requests again, now also hitting the outcome
+    store).  Reports per-pass tier counts, the fraction of requests
+    answered without entering the search ([tier12_fraction]),
+    end-to-end speedups over the baseline, and — honesty check — the
+    number of benchmarks whose cold-pass final cost differs from the
+    baseline's ([n_cost_mismatches]). *)
+
+val validate_tiers_report : Stenso.Telemetry.Json.t -> (unit, string) result
+(** Structural conformance check for [stenso.tiers/1], used by
+    [stenso report] and the CI harness on [BENCH_tiers.json]. *)

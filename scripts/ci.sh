@@ -110,6 +110,36 @@ if [ "$vm_out" != "$interp_out" ]; then
 fi
 echo "vm-vs-interp suite smoke check passed"
 
+# Tiered-optimizer smoke check: mine the depth-2 rule database for one
+# environment, then optimize the matching program twice through the
+# tiered path.  The first request must be answered without entering the
+# search (tier 2: mined rules + saturation + optima lookup), the repeat
+# must hit a lower-or-equal tier (the outcome store, tier 1).
+tstore="$scratch/tstore"
+printf 'input A : f32[3,3]\ninput B : f32[3,3]\nreturn np.exp(np.log(A + B))\n' \
+  > "$scratch/tiers_prog.tdsl"
+"$stenso" mine --depth 2 --benchmarks log_exp_1 --cost-estimator flops \
+  --store-dir "$tstore" --quiet
+tiered() {
+  "$stenso" optimize --program "$scratch/tiers_prog.tdsl" --rules-depth 2 \
+    --cost-estimator flops --store-dir "$tstore" --trace "$1" > /dev/null
+}
+tiered "$scratch/trace1.ndjson"
+tiered "$scratch/trace2.ndjson"
+if ! grep -F '"tier.serve"' "$scratch/trace1.ndjson" | grep -qF '"tier":2'
+then
+  echo "FAIL: first tiered request was not served by tier 2" >&2
+  grep -F '"tier.serve"' "$scratch/trace1.ndjson" >&2 || true
+  exit 1
+fi
+if ! grep -F '"tier.serve"' "$scratch/trace2.ndjson" \
+    | grep -qE '"tier":[12]'; then
+  echo "FAIL: repeated tiered request fell back to the full search" >&2
+  grep -F '"tier.serve"' "$scratch/trace2.ndjson" >&2 || true
+  exit 1
+fi
+echo "tiered-optimizer smoke check passed"
+
 # Exec-bench archive check: the interp-vs-VM microbenchmark report
 # must regenerate as a well-formed stenso.exec-bench/1 document with a
 # geomean (the committed trajectory point is BENCH_exec_vm.json), and

@@ -26,4 +26,5 @@ let () =
       ("soak", Test_soak.suite);
       ("printer", Test_printer.suite);
       ("egraph", Test_egraph.suite);
+      ("tiers", Test_tiers.suite);
     ]

@@ -87,6 +87,37 @@ let test_mined_rules_cross_apply () =
   Alcotest.(check bool) "still equivalent" true
     (Sexec.equivalent envk orig best)
 
+let test_nan_hashconsing () =
+  (* Constants are hashconsed by their IEEE bit pattern: under
+     structural equality nan <> nan, so a NaN constant used to mint a
+     fresh e-node (and a fresh class) on every insertion. *)
+  let g = Egraph.create env in
+  let nan_prog = Ast.App (Ast.Mul, [ Ast.Input "A"; Ast.Const Float.nan ]) in
+  let c1 = Egraph.add g nan_prog in
+  let c2 = Egraph.add g nan_prog in
+  Alcotest.(check bool) "same class" true (Egraph.equivalent g c1 c2);
+  (* mul, A, nan: exactly three nodes despite the double insertion *)
+  Alcotest.(check int) "structure shared" 3 (Egraph.stats g).nodes;
+  (* a rule whose pattern carries a NaN constant must still match *)
+  let rule =
+    {
+      Rules.lhs = Ast.App (Ast.Mul, [ Ast.Input "X"; Ast.Const Float.nan ]);
+      rhs = Ast.App (Ast.Mul, [ Ast.Const Float.nan; Ast.Input "X" ]);
+      metavars = [ ("A", "X") ];
+    }
+  in
+  let st = Egraph.saturate ~rules:[ rule ] g in
+  Alcotest.(check bool) "NaN pattern applies" true (st.applications >= 1);
+  (* extraction round-trips the bit pattern back to a NaN constant *)
+  let best = Egraph.extract g ~model:Cost.Model.flops c1 in
+  let rec has_nan = function
+    | Ast.Const f -> Float.is_nan f
+    | Ast.Input _ -> false
+    | Ast.App (_, args) -> List.exists has_nan args
+    | Ast.For_stack { body; _ } -> has_nan body
+  in
+  Alcotest.(check bool) "NaN survives extraction" true (has_nan best)
+
 let test_unsupported_loops () =
   let envl = [ ("A", Types.float_t [| 3; 2 |]) ] in
   let g = Egraph.create envl in
@@ -104,5 +135,6 @@ let suite =
     Alcotest.test_case "node limit" `Quick test_node_limit;
     Alcotest.test_case "mined rules cross-apply" `Quick
       test_mined_rules_cross_apply;
+    Alcotest.test_case "NaN hashconsing" `Quick test_nan_hashconsing;
     Alcotest.test_case "loops unsupported" `Quick test_unsupported_loops;
   ]

@@ -83,6 +83,62 @@ let test_apply_fixpoint () =
   Alcotest.check ast "fixpoint of no match is identity" (p "P + Q")
     (Rules.apply_fixpoint rules (p "P + Q"))
 
+let test_generalize_no_capture () =
+  (* Distinct inputs must get distinct metavariables even when an input
+     is literally named like a metavariable: the old sequential
+     substitution turned add(W, X) into add(Y, Y) (abstracting W to X
+     first, then X — now both occurrences — to Y). *)
+  let rule = Rules.generalize (p "np.add(W, X)") (p "W") in
+  List.iter
+    (fun (inp, mv) ->
+      if List.mem mv [ "W"; "X" ] then
+        Alcotest.failf "metavar %s collides with input %s" mv inp)
+    rule.metavars;
+  (match Rules.matches rule (p "np.add(P, Q)") with
+  | Some bindings ->
+      Alcotest.(check int) "two distinct operands bound" 2
+        (List.length bindings)
+  | None -> Alcotest.fail "generalized rule must keep its operands distinct");
+  (* and the abstraction still rewrites correctly *)
+  match Rules.apply_once rule (p "np.add(P, Q)") with
+  | Some r -> Alcotest.check ast "projects the first operand" (p "P") r
+  | None -> Alcotest.fail "rule should apply"
+
+let test_apply_no_capture () =
+  (* Instantiating commutativity on add(Y, Q): the binding X ↦ Y must
+     not be rewritten again by the binding for metavariable Y — the old
+     sequential substitution produced add(Q, Q). *)
+  let comm = Rules.generalize (p "np.add(A, B)") (p "np.add(B, A)") in
+  match Rules.apply_once comm (p "np.add(Y, Q)") with
+  | Some r ->
+      Alcotest.check ast "operands swapped, not conflated"
+        (p "np.add(Q, Y)") r
+  | None -> Alcotest.fail "commutativity should apply"
+
+let test_closed () =
+  Alcotest.(check bool) "diag rule is closed" true (Rules.closed diag_rule);
+  (* a dead lhs input lets the rhs mention an input the lhs never binds:
+     such a rule must be flagged open (unsound to apply anywhere) *)
+  let open_rule = Rules.generalize (p "np.multiply(B, 0)") (p "C") in
+  Alcotest.(check bool) "rhs input not bound on the lhs" false
+    (Rules.closed open_rule)
+
+let test_fixpoint_pingpong () =
+  (* An inverse pair (here: commutativity with itself) ping-pongs; the
+     walk must stop on the first revisit and return the cheapest
+     program seen, not loop until the step budget. *)
+  let comm = Rules.generalize (p "A + B") (p "B + A") in
+  Alcotest.check ast "commutativity terminates on revisit" (p "P + Q")
+    (Rules.apply_fixpoint [ comm ] (p "P + Q"));
+  (* a growing rule walks away from the input; cheapest-seen wins *)
+  let grow = Rules.generalize (p "np.sqrt(A)") (p "np.sqrt(np.sqrt(A))") in
+  Alcotest.check ast "cheapest seen returned" (p "np.sqrt(P)")
+    (Rules.apply_fixpoint [ grow ] (p "np.sqrt(P)"));
+  (* the applied counter reports rewrite steps *)
+  let applied = ref 0 in
+  ignore (Rules.apply_fixpoint ~applied [ comm ] (p "P + Q"));
+  Alcotest.(check bool) "steps counted" true (!applied >= 1)
+
 let test_classifier () =
   let check name orig opt expected =
     let k =
@@ -110,5 +166,10 @@ let suite =
     Alcotest.test_case "semantics preserved" `Quick
       test_rule_preserves_semantics;
     Alcotest.test_case "rule set to fixpoint" `Quick test_apply_fixpoint;
+    Alcotest.test_case "generalize avoids capture" `Quick
+      test_generalize_no_capture;
+    Alcotest.test_case "apply avoids capture" `Quick test_apply_no_capture;
+    Alcotest.test_case "closedness" `Quick test_closed;
+    Alcotest.test_case "fixpoint ping-pong" `Quick test_fixpoint_pingpong;
     Alcotest.test_case "transformation classifier" `Quick test_classifier;
   ]

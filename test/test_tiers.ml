@@ -1,0 +1,247 @@
+(* Tiered serving end to end: offline mining into the store
+   ([stenso.rules/1]), tier-2 certification (mined rules + e-graph
+   saturation + optima lookup, fully re-verified), tier-1 repeats, and
+   the tier-3 fallback with database feedback. *)
+open Dsl
+open Stenso
+
+let p = Parser.expression
+let model = Cost.Model.flops
+
+let config =
+  Config.default
+  |> Config.with_estimator `Flops
+  |> Config.with_rules_depth 2
+
+let bench name =
+  match Suite.Benchmarks.find_opt name with
+  | Some b -> b
+  | None -> Alcotest.failf "unknown benchmark %s" name
+
+(* A fresh store directory per call; tests must not share state. *)
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "stenso-tiers-%d-%d" (Unix.getpid ()) !n)
+    in
+    dir
+
+let env2 =
+  [ ("A", Types.float_t [| 3; 3 |]); ("B", Types.float_t [| 3; 3 |]) ]
+
+let test_mine_env () =
+  let db, stats = Mine.mine_env ~depth:2 ~model env2 in
+  Alcotest.(check bool) "rules mined" true (stats.rules > 0);
+  Alcotest.(check bool) "optima recorded" true (stats.optima > 0);
+  (* every mined rule is closed and strictly gainful *)
+  List.iter
+    (fun (r : Rules_db.rule) ->
+      if not (Rules.closed r.rule) then
+        Alcotest.failf "open rule mined: %s" (Rules.to_string r.rule);
+      if r.gain <= 0. then
+        Alcotest.failf "gainless rule mined: %s" (Rules.to_string r.rule))
+    db.rules;
+  (* exp(log(X)) ⇒ X is minable at depth 2 and applies to fresh terms *)
+  let target = p "np.exp(np.log(np.add(P, Q)))" in
+  let eliminates (r : Rules_db.rule) =
+    match Rules.apply_once r.rule target with
+    | Some r -> Ast.equal r (p "np.add(P, Q)")
+    | None -> false
+  in
+  Alcotest.(check bool) "exp∘log eliminated by some mined rule" true
+    (List.exists eliminates db.rules);
+  (* the optima table knows the cheapest implementation of this spec *)
+  let concrete = p "np.exp(np.log(np.add(A, B)))" in
+  let spec = Sexec.exec_env env2 concrete in
+  match Rules_db.lookup_optimum db (Rules_db.spec_digest spec) with
+  | Some (cost, prog) ->
+      Alcotest.(check (float 1e-9)) "optimum cost" 9. cost;
+      Alcotest.(check bool) "optimum is equivalent" true
+        (Sexec.equivalent env2 concrete prog)
+  | None -> Alcotest.fail "spec missing from the optima table"
+
+let test_db_roundtrip_and_corruption () =
+  let dir = fresh_dir () in
+  let db, _ = Mine.mine_env ~depth:2 ~model env2 in
+  let key =
+    Rules_db.key ~env:env2 ~model_id:model.Cost.Model.name ~depth:2
+  in
+  let store = Store.open_store ~dir () in
+  Rules_db.record store ~key db;
+  (* a fresh handle decodes the entry from disk *)
+  let store' = Store.open_store ~dir () in
+  (match Rules_db.find store' ~key with
+  | Some db' ->
+      Alcotest.(check int) "rules survive the round-trip"
+        (List.length db.rules) (List.length db'.rules);
+      Alcotest.(check int) "optima survive the round-trip"
+        (Hashtbl.length db.optima)
+        (Hashtbl.length db'.optima);
+      Alcotest.(check int) "depth preserved" db.depth db'.depth
+  | None -> Alcotest.fail "recorded entry not found");
+  (* corrupt the on-disk payload: a fresh handle must treat it as a
+     miss (and delete it), never raise *)
+  let path = Store.entry_path store key in
+  let oc = open_out path in
+  output_string oc "{ definitely not a rules payload";
+  close_out oc;
+  let store'' = Store.open_store ~dir () in
+  Alcotest.(check bool) "corrupt entry reads as a miss" true
+    (Rules_db.find store'' ~key = None);
+  Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists path)
+
+let test_tier2_then_tier1 () =
+  let b = bench "log_exp_1" in
+  let store = Store.open_store ~dir:(fresh_dir ()) () in
+  ignore (Mine.mine ~depth:2 ~model ~store [ (b.name, b.env) ]);
+  let tel = Telemetry.create () in
+  let o1 = Superopt.optimize ~tel ~config ~store ~model ~env:b.env b.program in
+  Alcotest.(check int) "first request answered by tier 2" 2 o1.tier;
+  Alcotest.(check bool) "improved" true o1.improved;
+  Alcotest.(check bool) "verified" true o1.verified;
+  Alcotest.(check bool) "reaches the known optimum" true
+    (Sexec.equivalent b.env o1.optimized b.expected_opt);
+  (* the served answer stands up to the same scrutiny as a search
+     result: symbolic robustness and VM differential validation *)
+  Alcotest.(check bool) "robustly equivalent" true
+    (Superopt.robust_equivalent ~env:b.env o1.original o1.optimized);
+  Alcotest.(check bool) "validates concretely" true
+    (Superopt.validate_concrete ~env:b.env o1.original o1.optimized);
+  let counters = Telemetry.counters tel in
+  Alcotest.(check (option int)) "tier2.hits counted" (Some 1)
+    (List.assoc_opt "tier2.hits" counters);
+  Alcotest.(check (option int)) "tier.hit counted" (Some 1)
+    (List.assoc_opt "tier.hit" counters);
+  (* the certified answer was recorded: the repeat is a tier-1 hit *)
+  let o2 = Superopt.optimize ~config ~store ~model ~env:b.env b.program in
+  Alcotest.(check int) "repeat answered by tier 1" 1 o2.tier;
+  Alcotest.(check bool) "repeat from cache" true o2.from_cache;
+  Alcotest.(check (float 1e-9)) "same cost" o1.optimized_cost
+    o2.optimized_cost
+
+let test_tier3_feedback () =
+  (* diag_dot's true optimum is depth 3 — outside the depth-2 mined
+     space — so the first request must fall through to the search (no
+     degraded tier-2 certification), whose result then feeds the
+     database: a second store sharing the rules entry can replay it. *)
+  let b = bench "diag_dot" in
+  let store = Store.open_store ~dir:(fresh_dir ()) () in
+  ignore (Mine.mine ~depth:2 ~model ~store [ (b.name, b.env) ]);
+  let o1 = Superopt.optimize ~config ~store ~model ~env:b.env b.program in
+  Alcotest.(check int) "deep optimum forces tier 3" 3 o1.tier;
+  Alcotest.(check bool) "search improved it" true o1.improved;
+  Alcotest.(check bool) "matches the expected optimum" true
+    (Sexec.equivalent b.env o1.optimized b.expected_opt);
+  (* the fed-back optimum is now in the rules database *)
+  let key =
+    Rules_db.key ~env:b.env ~model_id:model.Cost.Model.name ~depth:2
+  in
+  let db =
+    match Rules_db.find store ~key with
+    | Some db -> db
+    | None -> Alcotest.fail "rules entry vanished"
+  in
+  let spec = Sexec.exec_env b.env b.program in
+  match Rules_db.lookup_optimum db (Rules_db.spec_digest spec) with
+  | Some (cost, prog) ->
+      Alcotest.(check (float 1e-9)) "fed-back optimum cost"
+        o1.optimized_cost cost;
+      Alcotest.(check bool) "fed-back program equivalent" true
+        (Sexec.equivalent b.env prog b.program)
+  | None -> Alcotest.fail "tier-3 result was not fed back"
+
+(* Mined-rule saturation alone (no optima lookup, no search) strictly
+   improves these suite benchmarks all the way to the known optimum. *)
+let saturation_benches =
+  [ "log_exp_1"; "synth_3"; "synth_5"; "synth_11"; "synth_12" ]
+
+let test_saturation_reaches_optimum () =
+  List.iter
+    (fun name ->
+      let b = bench name in
+      let db, _ = Mine.mine_env ~depth:2 ~model b.env in
+      let rules = List.map (fun r -> r.Rules_db.rule) db.rules in
+      let g = Egraph.create b.env in
+      let cls = Egraph.add g b.program in
+      ignore (Egraph.saturate ~rules g);
+      let best = Egraph.extract g ~model cls in
+      let got = Cost.Model.program_cost model b.env best in
+      let opt = Cost.Model.program_cost model b.env b.expected_opt in
+      let orig = Cost.Model.program_cost model b.env b.program in
+      if got >= orig then
+        Alcotest.failf "%s: saturation did not improve (%.6g)" name got;
+      if got > opt +. 1e-6 then
+        Alcotest.failf "%s: saturation reached %.6g, optimum is %.6g (%s)"
+          name got opt (Ast.to_string best);
+      if not (Sexec.equivalent b.env b.program best) then
+        Alcotest.failf "%s: extraction broke equivalence" name)
+    saturation_benches
+
+let test_tiers_report () =
+  let benches = [ bench "log_exp_1"; bench "dot_trans_2" ] in
+  let store = Store.open_store ~dir:(fresh_dir ()) () in
+  ignore
+    (Mine.mine ~depth:2 ~model ~store
+       (List.map (fun (b : Suite.Benchmarks.t) -> (b.name, b.env)) benches));
+  let baseline =
+    Suite.Driver.run ~config:(Config.with_rules_depth 0 config) benches
+  in
+  let cold = Suite.Driver.run ~config ~store benches in
+  let warm = Suite.Driver.run ~config ~store benches in
+  let doc = Suite.Driver.tiers_report ~config ~baseline ~cold ~warm () in
+  (match Suite.Driver.validate_tiers_report doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid tiers report: %s" e);
+  let tiers (t : Suite.Driver.t) =
+    List.map
+      (fun (r : Suite.Driver.bench_result) -> r.outcome.Superopt.tier)
+      t.results
+  in
+  Alcotest.(check (list int)) "cold pass never searches" [ 2; 2 ]
+    (tiers cold);
+  Alcotest.(check (list int)) "warm pass is all store hits" [ 1; 1 ]
+    (tiers warm);
+  (* tiered answers must agree with the baseline search *)
+  List.iter2
+    (fun (bl : Suite.Driver.bench_result) (cd : Suite.Driver.bench_result) ->
+      Alcotest.(check (float 1e-9))
+        (bl.bench.name ^ ": tiered cost equals baseline")
+        bl.outcome.Superopt.optimized_cost cd.outcome.Superopt.optimized_cost)
+    baseline.results cold.results
+
+let test_config_fingerprint () =
+  (* legacy outcome-store keys must stay byte-identical when tier 2 is
+     off; enabling it must change the fingerprint *)
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let base = Config.fingerprint Config.default in
+  Alcotest.(check bool) "no rules marker by default" false
+    (contains ~sub:"rules=" base);
+  let with_rules =
+    Config.fingerprint (Config.with_rules_depth 2 Config.default)
+  in
+  Alcotest.(check bool) "depth fingerprinted" true
+    (base <> with_rules);
+  Alcotest.(check string) "depth 0 is off" base
+    (Config.fingerprint (Config.with_rules_depth 0 Config.default))
+
+let suite =
+  [
+    Alcotest.test_case "mine one environment" `Quick test_mine_env;
+    Alcotest.test_case "rules db round-trip + corruption" `Quick
+      test_db_roundtrip_and_corruption;
+    Alcotest.test_case "tier 2 then tier 1" `Quick test_tier2_then_tier1;
+    Alcotest.test_case "tier 3 fallback + feedback" `Quick
+      test_tier3_feedback;
+    Alcotest.test_case "saturation reaches optima" `Quick
+      test_saturation_reaches_optimum;
+    Alcotest.test_case "tiers report" `Quick test_tiers_report;
+    Alcotest.test_case "config fingerprint" `Quick test_config_fingerprint;
+  ]
