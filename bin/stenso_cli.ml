@@ -475,6 +475,33 @@ let report_run file min_speedup =
               (int "n_benchmarks") (pass "cold") (pass "warm")
               (float "warm_speedup")
               (int "n_cost_mismatches"))
+      else if String.equal schema Suite.Driver.serve_load_schema_version then (
+        (match min_speedup with
+        | Some _ ->
+            die "%s: --min-speedup only applies to %s reports" file
+              Suite.Driver.exec_bench_schema_version
+        | None -> ());
+        match Suite.Driver.validate_serve_load doc with
+        | Error msg -> die "%s: invalid serve-load report: %s" file msg
+        | Ok () ->
+            let lat name =
+              match J.member "latency" doc with
+              | Some l ->
+                  Option.value ~default:Float.nan
+                    (Option.bind (J.member name l) J.to_float_opt)
+              | None -> Float.nan
+            in
+            Printf.printf
+              "%s: valid %s (%d connections, %d requests, %.0f req/s; p50 \
+               %.2f ms, p95 %.2f, p99 %.2f; %d coalesced, %d refined, %d \
+               busy, %d protocol errors)\n"
+              file schema (int "concurrency") (int "n_requests")
+              (float "throughput_rps")
+              (1000. *. lat "p50")
+              (1000. *. lat "p95")
+              (1000. *. lat "p99")
+              (int "n_coalesced") (int "n_refined") (int "n_busy")
+              (int "n_protocol_errors"))
       else (
         (match min_speedup with
         | Some _ ->
@@ -495,9 +522,21 @@ let report_run file min_speedup =
 let default_socket =
   Filename.concat (Filename.get_temp_dir_name ()) "stenso.sock"
 
-let serve_run socket workers queue_capacity estimator exec timeout no_bnb
-    no_simplification extended_ops cost_cache rules_depth no_store store_dir
-    trace =
+let parse_tcp spec =
+  match Stenso.Net.Endpoint.parse spec with
+  | Ok (Stenso.Net.Endpoint.Tcp _ as e) -> e
+  | Ok (Stenso.Net.Endpoint.Unix_sock _) ->
+      die "--tcp expects HOST:PORT, got %S" spec
+  | Error msg -> die "--tcp: %s" msg
+
+let parse_endpoints s =
+  match Stenso.Net.Endpoint.parse_list s with
+  | Ok eps -> eps
+  | Error msg -> die "--endpoints: %s" msg
+
+let serve_run socket tcp workers queue_capacity max_conns read_deadline
+    write_deadline no_refine estimator exec timeout no_bnb no_simplification
+    extended_ops cost_cache rules_depth no_store store_dir trace =
   let config =
     config_of ~rules_depth ~estimator ~engine:"vm" ~exec ~timeout ~jobs:1
       ~no_bnb ~no_simplification ~extended_ops ~cost_cache ()
@@ -508,13 +547,30 @@ let serve_run socket workers queue_capacity estimator exec timeout no_bnb
     | None -> Stenso.Telemetry.null
   in
   let store = if no_store then None else Some (open_store ~tel store_dir) in
-  Printf.printf "stenso %s serving on %s (%d workers, queue %d%s)\n%!"
-    Stenso.Version.current socket workers queue_capacity
+  let listeners =
+    (if String.equal socket "" then []
+     else [ Stenso.Net.Endpoint.Unix_sock socket ])
+    @ List.map parse_tcp tcp
+  in
+  if listeners = [] then die "nothing to listen on (--socket \"\" and no --tcp)";
+  Printf.printf "stenso %s serving (%d workers, queue %d, %d conns max%s%s)\n%!"
+    Stenso.Version.current workers queue_capacity max_conns
     (match store with
     | Some s -> ", store " ^ Stenso.Store.dir s
-    | None -> ", no store");
-  Stenso.Serve.serve ~tel ?store ~workers ~queue_capacity ~base:config ~socket
-    ();
+    | None -> ", no store")
+    (if no_refine then ", refinement off" else "");
+  Stenso.Net.serve ~tel ?store ~workers ~queue_capacity ~max_conns
+    ~read_deadline ~write_deadline ~background:(not no_refine)
+    ~on_bound:(fun eps ->
+      (* One line per listener with the *bound* address — a TCP
+         listener requested on port 0 reports its real ephemeral port
+         here, which scripts grep for. *)
+      List.iter
+        (fun e ->
+          Printf.printf "listening on %s\n%!"
+            (Stenso.Net.Endpoint.to_string e))
+        eps)
+    ~base:config ~listeners ();
   match trace with
   | Some path ->
       let oc = open_out path in
@@ -523,12 +579,23 @@ let serve_run socket workers queue_capacity estimator exec timeout no_bnb
         (fun () -> Stenso.Telemetry.write_ndjson tel oc)
   | None -> ()
 
-let request_run socket program_path id estimator timeout io_timeout =
+(* Exit codes: 0 ok, 1 protocol [ok:false] or transport failure, 75
+   (EX_TEMPFAIL) when every replica shed the request even after jittered
+   retries — transient by definition, scripts may re-run later. *)
+let ex_tempfail = 75
+
+let request_run endpoints socket program_path id estimator timeout io_timeout
+    busy_retries =
   let module J = Stenso.Telemetry.Json in
   let source =
     match program_path with
     | Some p -> read_file p
     | None -> die "--program is required"
+  in
+  let endpoints =
+    match endpoints with
+    | Some s -> parse_endpoints s
+    | None -> [ Stenso.Net.Endpoint.Unix_sock socket ]
   in
   let overrides =
     List.filter_map Fun.id
@@ -543,11 +610,15 @@ let request_run socket program_path id estimator timeout io_timeout =
     @ (match overrides with [] -> [] | o -> [ ("config", J.Obj o) ])
   in
   match
-    Stenso.Serve.request ~timeout:io_timeout ~socket
+    Stenso.Serve.request ~timeout:io_timeout ~busy_retries ~endpoints
       (J.to_string (J.Obj fields))
   with
-  | Error msg -> die "%s" msg
-  | Ok resp ->
+  | Stenso.Serve.Transport msg -> die "%s" msg
+  | Stenso.Serve.Busy ->
+      prerr_endline
+        "stenso: all endpoints busy (retries exhausted); try again later";
+      exit ex_tempfail
+  | Stenso.Serve.Reply resp ->
       print_endline resp;
       let ok =
         match J.of_string resp with
@@ -557,6 +628,102 @@ let request_run socket program_path id estimator timeout io_timeout =
         | Error _ -> false
       in
       if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* stenso loadgen                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_run endpoints names concurrency duration timeout no_warmup
+    warmup_timeout settle estimator report quiet =
+  let endpoints =
+    match endpoints with
+    | Some s -> parse_endpoints s
+    | None -> [ Stenso.Net.Endpoint.Unix_sock default_socket ]
+  in
+  if concurrency < 1 then die "--concurrency must be at least 1";
+  if duration <= 0. then die "--duration must be positive";
+  let benches = select_benchmarks names in
+  let module J = Stenso.Telemetry.Json in
+  let line_of (b : Suite.Benchmarks.t) =
+    J.to_string
+      (J.Obj
+         [
+           ("id", J.Str b.name);
+           ("program", J.Str (render_program b.env b.program));
+         ])
+  in
+  let lines = Array.of_list (List.map line_of benches) in
+  if not quiet then
+    Printf.printf
+      "replaying %d benchmarks against %s: %d connections, %.0fs%s\n%!"
+      (Array.length lines)
+      (String.concat ","
+         (List.map Stenso.Net.Endpoint.to_string endpoints))
+      concurrency duration
+      (if no_warmup then "" else " (after warmup)");
+  let cfg =
+    {
+      Stenso.Net.Loadgen.endpoints;
+      concurrency;
+      duration;
+      timeout;
+      warmup_lines = (if no_warmup then [] else Array.to_list lines);
+      warmup_timeout;
+      settle;
+      lines;
+    }
+  in
+  let (stats : Stenso.Net.Loadgen.stats) =
+    Stenso.Net.Loadgen.run ~classify:Suite.Driver.classify_serve_response cfg
+  in
+  if Array.length stats.samples = 0 then
+    die "no responses at all (%d transport errors) — is the daemon running?"
+      stats.n_transport_errors;
+  let config =
+    config_of ~estimator ~engine:"vm" ~exec:Stenso.Exec.Options.default
+      ~timeout:600. ~jobs:1 ~no_bnb:false ~no_simplification:false
+      ~extended_ops:false ~cost_cache:None ()
+  in
+  let doc =
+    Suite.Driver.serve_load_report ~config
+      ~endpoints:(List.map Stenso.Net.Endpoint.to_string endpoints)
+      ~concurrency ~duration
+      ~benchmarks:(List.map (fun (b : Suite.Benchmarks.t) -> b.name) benches)
+      stats
+  in
+  (match Suite.Driver.validate_serve_load doc with
+  | Ok () -> ()
+  | Error msg -> die "generated serve-load report is invalid: %s" msg);
+  (match report with
+  | Some path ->
+      write_file path (J.to_string doc ^ "\n");
+      if not quiet then Printf.printf "wrote serve-load report to %s\n" path
+  | None -> print_endline (J.to_string doc));
+  if not quiet then begin
+    let int name =
+      Option.value ~default:0 (Option.bind (J.member name doc) J.to_int_opt)
+    in
+    let float name =
+      Option.value ~default:Float.nan
+        (Option.bind (J.member name doc) J.to_float_opt)
+    in
+    let lat name =
+      match J.member "latency" doc with
+      | Some l ->
+          Option.value ~default:Float.nan
+            (Option.bind (J.member name l) J.to_float_opt)
+      | None -> Float.nan
+    in
+    Printf.printf
+      "# %d requests in %.1fs: %.0f req/s; p50 %.2f ms, p95 %.2f, p99 \
+       %.2f; %d coalesced, %d refined, %d busy, %d protocol errors, %d \
+       transport errors\n"
+      (int "n_requests") (float "elapsed") (float "throughput_rps")
+      (1000. *. lat "p50") (1000. *. lat "p95") (1000. *. lat "p99")
+      (int "n_coalesced") (int "n_refined") (int "n_busy")
+      (int "n_protocol_errors")
+      (int "n_transport_errors")
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -944,21 +1111,68 @@ let serve_cmd =
       value & opt int 64
       & info [ "queue-capacity" ] ~docv:"N"
           ~doc:
-            "Pending-connection bound; beyond it new connections are \
-             shed immediately with a $(b,busy) response.")
+            "Pending-request bound; beyond it requests are shed \
+             immediately with a $(b,busy) response.")
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also listen on a TCP endpoint (repeatable).  Port 0 binds \
+             an ephemeral port; the daemon prints one $(b,listening on) \
+             line per listener with the bound address.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Open-connection bound; beyond it new connections receive \
+             the $(b,busy) response and are closed at accept.")
+  in
+  let read_deadline_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds a partial request line may sit without progress \
+             before its connection is closed (slow-loris guard); idle \
+             connections with no partial line are unaffected.")
+  in
+  let write_deadline_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "write-deadline" ] ~docv:"SECONDS"
+          ~doc:"Seconds a response write may take before the connection \
+                is dropped.")
+  in
+  let no_refine_arg =
+    Arg.(
+      value & flag
+      & info [ "no-refine" ]
+          ~doc:
+            "Disable background refinement: tier-1/2 answers are served \
+             as-is and never upgraded to the full-search optimum on \
+             spare worker capacity.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived synthesis daemon: NDJSON requests over a \
-          Unix-domain socket, answered cache-first from the persistent \
-          store by a bounded worker pool.  SIGINT/SIGTERM shut it down \
-          gracefully.")
+          Unix-domain socket and/or TCP ($(b,--tcp)), answered \
+          cache-first from the persistent store by a bounded worker \
+          pool.  Identical in-flight requests coalesce onto one \
+          synthesis, and answers served without a full search are \
+          refined to the search optimum in the background.  \
+          SIGINT/SIGTERM shut it down gracefully.  $(b,--socket \"\") \
+          disables the Unix listener.")
     Term.(
-      const serve_run $ socket_arg $ workers_arg $ queue_arg $ estimator_arg
-      $ exec_options_term $ timeout_arg $ no_bnb_arg $ no_simp_arg
-      $ extended_ops_arg $ cost_cache_arg $ rules_depth_arg $ no_store_arg
-      $ store_dir_arg $ trace_arg)
+      const serve_run $ socket_arg $ tcp_arg $ workers_arg $ queue_arg
+      $ max_conns_arg $ read_deadline_arg $ write_deadline_arg
+      $ no_refine_arg $ estimator_arg $ exec_options_term $ timeout_arg
+      $ no_bnb_arg $ no_simp_arg $ extended_ops_arg $ cost_cache_arg
+      $ rules_depth_arg $ no_store_arg $ store_dir_arg $ trace_arg)
 
 let request_cmd =
   let id_arg =
@@ -992,15 +1206,124 @@ let request_cmd =
              the daemon is retried with backoff until it, and the \
              socket reads/writes are bounded by the remaining budget.")
   in
+  let endpoints_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"EP,EP,..."
+          ~doc:
+            "Comma-separated replica endpoints ($(b,HOST:PORT), \
+             $(b,tcp://HOST:PORT) or $(b,unix://PATH)), tried \
+             round-robin with failover.  Default: the $(b,--socket) \
+             Unix path.")
+  in
+  let busy_retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "busy-retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts (with full-jitter exponential backoff) when \
+             every replica sheds the request as $(b,busy).")
+  in
   Cmd.v
     (Cmd.info "request"
        ~doc:
-         "Send one program to a running $(b,stenso serve) daemon and \
-          print its response line.  Exits non-zero when the daemon \
-          reports $(b,ok:false) or cannot be reached.")
+         "Send one program to running $(b,stenso serve) daemon(s) and \
+          print the response line.  Exit status: 0 on $(b,ok:true), 1 on \
+          $(b,ok:false) or transport failure, 75 ($(b,EX_TEMPFAIL)) when \
+          every replica stayed busy through the jittered retries.")
     Term.(
-      const request_run $ socket_arg $ program_arg $ id_arg
-      $ req_estimator_arg $ req_timeout_arg $ io_timeout_arg)
+      const request_run $ endpoints_arg $ socket_arg $ program_arg $ id_arg
+      $ req_estimator_arg $ req_timeout_arg $ io_timeout_arg
+      $ busy_retries_arg)
+
+let loadgen_cmd =
+  let endpoints_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"EP,EP,..."
+          ~doc:
+            "Comma-separated replica endpoints to spread the load over \
+             (default: the default Unix socket).")
+  in
+  let benchmarks_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "benchmarks" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated benchmark names to replay (default: all \
+             33).")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "c"; "concurrency" ] ~docv:"N"
+          ~doc:"Concurrent keep-alive client connections (closed loop).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Measured-phase length.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-exchange deadline during the measured phase.")
+  in
+  let no_warmup_arg =
+    Arg.(
+      value & flag
+      & info [ "no-warmup" ]
+          ~doc:
+            "Skip the warmup pass (each program once before measuring) \
+             — the measured phase then includes cold synthesis times.")
+  in
+  let warmup_timeout_arg =
+    Arg.(
+      value & opt float 600.
+      & info [ "warmup-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-exchange deadline during warmup (cold requests may run \
+             a full synthesis).")
+  in
+  let settle_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "settle" ] ~docv:"SECONDS"
+          ~doc:
+            "Pause between warmup and measurement, letting background \
+             refinement drain so the measured phase hits a fully warm \
+             store.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the $(b,stenso.serve-load/1) JSON report to FILE \
+             (default: stdout).  Validate with $(b,stenso report FILE).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Print only the report (no progress lines).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay the benchmark suite against running $(b,stenso serve) \
+          daemon(s) from a closed-loop pool of keep-alive connections, \
+          and report throughput plus p50/p95/p99 latency split by \
+          serving tier ($(b,stenso.serve-load/1)).")
+    Term.(
+      const loadgen_run $ endpoints_arg $ benchmarks_arg $ concurrency_arg
+      $ duration_arg $ timeout_arg $ no_warmup_arg $ warmup_timeout_arg
+      $ settle_arg $ estimator_arg $ report_arg $ quiet_arg)
 
 let cmd =
   let doc = "STENSO: tensor-program superoptimization by symbolic synthesis" in
@@ -1015,6 +1338,7 @@ let cmd =
       report_cmd;
       serve_cmd;
       request_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval cmd)

@@ -19,14 +19,31 @@ let error_json ?(id = Json.Null) msg =
   Json.Obj (base_fields ~id ~ok:false @ [ ("error", Json.Str msg) ])
 
 let busy_line = Json.to_string (error_json "busy")
+let too_long_line = Json.to_string (error_json "request line too long")
 
-let outcome_json ~id ~env (o : Superopt.outcome) =
+(* A shed response, from any replica: ok:false with the exact "busy"
+   error.  Clients treat it as backpressure (retry with jitter, exit
+   code of its own), never as an IO failure. *)
+let is_busy_line line =
+  match Json.of_string (String.trim line) with
+  | Error _ -> false
+  | Ok doc -> (
+      match
+        ( Option.bind (Json.member "ok" doc) Json.to_bool_opt,
+          Option.bind (Json.member "error" doc) Json.to_string_opt )
+      with
+      | Some false, Some "busy" -> true
+      | _ -> false)
+
+let outcome_json ~id ~env ~coalesced (o : Superopt.outcome) =
   let s = o.search.stats in
   Json.Obj
     (base_fields ~id ~ok:true
     @ [
         ("cache_hit", Json.Bool o.from_cache);
         ("tier", Json.Int o.tier);
+        ("coalesced", Json.Bool coalesced);
+        ("refined", Json.Bool o.refined);
         ("improved", Json.Bool o.improved);
         ("verified", Json.Bool o.verified);
         ("cost_before", Json.Float o.original_cost);
@@ -100,6 +117,13 @@ type handler = {
      daemon's lifetime instead of re-profiling per request. *)
   models : (string, Cost.Model.t) Hashtbl.t;
   models_lock : Mutex.t;
+  (* Identical in-flight requests (same store key) coalesce onto one
+     synthesis; waiters all receive the leader's outcome. *)
+  flight : Superopt.outcome Tnet.Single_flight.t;
+  (* Store keys with a background refinement queued or running, so one
+     hot spec enqueues one refinement, not one per request. *)
+  refining : (string, unit) Hashtbl.t;
+  refine_lock : Mutex.t;
 }
 
 let handler ?(tel = Tel.null) ?store ~base () =
@@ -112,7 +136,12 @@ let handler ?(tel = Tel.null) ?store ~base () =
     stub_cache = Stub.Cache.create ();
     models = Hashtbl.create 4;
     models_lock = Mutex.create ();
+    flight = Tnet.Single_flight.create ();
+    refining = Hashtbl.create 16;
+    refine_lock = Mutex.create ();
   }
+
+let coalesced_total h = Tnet.Single_flight.coalesced h.flight
 
 let model_for h config =
   let name = Config.estimator_name (Config.estimator config) in
@@ -124,7 +153,41 @@ let model_for h config =
           Hashtbl.add h.models name m;
           m)
 
-let handle_doc h doc =
+(* Queue a tier-3 refinement for an unrefined answer on the caller's
+   background executor.  At most one refinement per store key is ever
+   outstanding; a full background queue just drops the attempt (a later
+   request for the same spec will retry). *)
+let maybe_refine h ~background ~key ~config ~model ~env ~spec prog =
+  match (h.store, background) with
+  | Some store, Some submit ->
+      let claimed =
+        Mutex.protect h.refine_lock (fun () ->
+            if Hashtbl.mem h.refining key then false
+            else begin
+              Hashtbl.add h.refining key ();
+              true
+            end)
+      in
+      if claimed then begin
+        let release () =
+          Mutex.protect h.refine_lock (fun () ->
+              Hashtbl.remove h.refining key)
+        in
+        let job () =
+          Fun.protect ~finally:release (fun () ->
+              ignore
+                (Superopt.refine ~tel:h.tel ~config ~store
+                   ~stub_cache:h.stub_cache ~model ~spec ~env prog))
+        in
+        if submit job then Tel.incr h.tel "serve.refine_enqueued"
+        else begin
+          release ();
+          Tel.incr h.tel "serve.refine_shed"
+        end
+      end
+  | _ -> ()
+
+let handle_doc ?background h doc =
   match parse_request ~base:h.base doc with
   | Error (id, msg) -> error_json ~id msg
   | Ok { id; source; config } -> (
@@ -132,11 +195,26 @@ let handle_doc h doc =
         let env, prog = Dsl.Parser.program source in
         ignore (Dsl.Types.infer env prog);
         let model = model_for h config in
-        let outcome =
-          Superopt.optimize ~tel:h.tel ~config ?store:h.store
-            ~stub_cache:h.stub_cache ~model ~env prog
-        in
-        outcome_json ~id ~env outcome
+        match h.store with
+        | None ->
+            let outcome =
+              Superopt.optimize ~tel:h.tel ~config
+                ~stub_cache:h.stub_cache ~model ~env prog
+            in
+            outcome_json ~id ~env ~coalesced:false outcome
+        | Some store ->
+            let spec = Dsl.Sexec.exec_env env prog in
+            let key = Superopt.store_key ~config ~model ~env ~spec prog in
+            let outcome, coalesced =
+              Tnet.Single_flight.run h.flight key (fun () ->
+                  Superopt.optimize ~tel:h.tel ~config ~store
+                    ~stub_cache:h.stub_cache ~model ~spec ~env prog)
+            in
+            if coalesced then Tel.incr h.tel "serve.coalesced";
+            if not outcome.refined then
+              maybe_refine h ~background ~key ~config ~model ~env ~spec
+                prog;
+            outcome_json ~id ~env ~coalesced outcome
       with
       | resp -> resp
       | exception Dsl.Parser.Parse_error msg ->
@@ -147,209 +225,123 @@ let handle_doc h doc =
           (* The daemon must survive any request: report, don't die. *)
           error_json ~id ("internal error: " ^ Printexc.to_string e))
 
-let handle_line h line =
+let handle_line ?background h line =
   Tel.incr h.tel "serve.requests";
   let resp =
     match Json.of_string (String.trim line) with
     | Error msg -> error_json ("invalid JSON: " ^ msg)
-    | Ok doc -> handle_doc h doc
+    | Ok doc -> handle_doc ?background h doc
   in
   Json.to_string resp
-
-(* ------------------------------------------------------------------ *)
-(* Daemon                                                              *)
-(* ------------------------------------------------------------------ *)
-
-type queue = {
-  lock : Mutex.t;
-  cond : Condition.t;
-  conns : Unix.file_descr Queue.t;
-  capacity : int;
-  stop : bool Atomic.t;
-}
-
-let respond_and_close fd line =
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     output_string oc (line ^ "\n");
-     flush oc
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let serve_connection h fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let rec loop () =
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         output_string oc (handle_line h line);
-         output_char oc '\n';
-         flush oc
-       end;
-       loop ()
-     in
-     loop ()
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
-  (* Closing either channel closes the shared descriptor. *)
-  close_out_noerr oc;
-  close_in_noerr ic
-
-let worker_loop h q () =
-  let rec next () =
-    Mutex.lock q.lock;
-    while Queue.is_empty q.conns && not (Atomic.get q.stop) do
-      Condition.wait q.cond q.lock
-    done;
-    (* Graceful shutdown: drain what was accepted before stopping. *)
-    let job =
-      if Queue.is_empty q.conns then None else Some (Queue.pop q.conns)
-    in
-    Mutex.unlock q.lock;
-    match job with
-    | Some fd ->
-        serve_connection h fd;
-        next ()
-    | None -> ()
-  in
-  next ()
-
-let serve ?(tel = Tel.null) ?store ?(workers = 2) ?(queue_capacity = 64)
-    ~base ~socket () =
-  let h = handler ~tel ?store ~base () in
-  let q =
-    {
-      lock = Mutex.create ();
-      cond = Condition.create ();
-      conns = Queue.create ();
-      capacity = max 1 queue_capacity;
-      stop = Atomic.make false;
-    }
-  in
-  (* A client that disconnects mid-response must not kill the daemon. *)
-  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  let request_stop _ = Atomic.set q.stop true in
-  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
-  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
-  (try if Sys.file_exists socket then Sys.remove socket
-   with Sys_error _ -> ());
-  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close listen with Unix.Unix_error _ -> ());
-      (try Sys.remove socket with Sys_error _ -> ());
-      Sys.set_signal Sys.sigint prev_int;
-      Sys.set_signal Sys.sigterm prev_term;
-      Sys.set_signal Sys.sigpipe prev_pipe)
-    (fun () ->
-      Unix.bind listen (Unix.ADDR_UNIX socket);
-      Unix.listen listen 64;
-      let pool = Array.init (max 1 workers) (fun _ -> Domain.spawn (worker_loop h q)) in
-      Tel.event tel "serve.start"
-        [
-          ("socket", Tel.Str socket);
-          ("workers", Tel.Int (max 1 workers));
-          ("queue_capacity", Tel.Int q.capacity);
-        ];
-      (* Accept loop: poll with a short timeout so SIGINT/SIGTERM are
-         honoured promptly whether or not the signal interrupts the
-         syscall. *)
-      while not (Atomic.get q.stop) do
-        match Unix.select [ listen ] [] [] 0.25 with
-        | [], _, _ -> ()
-        | _ -> (
-            match Unix.accept listen with
-            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
-                ()
-            | fd, _ ->
-                let accepted =
-                  Mutex.protect q.lock (fun () ->
-                      if Queue.length q.conns >= q.capacity then false
-                      else begin
-                        Queue.push fd q.conns;
-                        Condition.signal q.cond;
-                        true
-                      end)
-                in
-                if not accepted then begin
-                  (* Explicit backpressure: shed instead of queueing
-                     unboundedly. *)
-                  Tel.incr tel "serve.shed";
-                  respond_and_close fd busy_line
-                end)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      done;
-      (* Graceful shutdown: wake the pool, drain, flush the store. *)
-      Mutex.protect q.lock (fun () -> Condition.broadcast q.cond);
-      Array.iter Domain.join pool;
-      Option.iter Store.flush store;
-      Tel.event tel "serve.stop" [])
 
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)
 
+type reply =
+  | Reply of string  (** a protocol response line (possibly [ok:false]) *)
+  | Busy  (** every endpoint shed the request, retries exhausted *)
+  | Transport of string  (** no endpoint produced a response *)
+
 (* Connect with retry: a daemon that is still binding its socket (or
    briefly saturated) makes [connect] fail with ENOENT / ECONNREFUSED /
    EAGAIN; back off geometrically and retry until [deadline].  Other
    errors (permissions, not a socket) fail immediately. *)
-let connect_with_retry ~deadline fd addr =
+let connect_with_retry ~deadline ep =
   let rec go delay =
-    match Unix.connect fd addr with
-    | () -> Ok ()
-    | exception
-        Unix.Unix_error
-          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN) as e, _, _)
-      ->
+    match Tnet.Endpoint.connect ep with
+    | Ok fd -> Ok fd
+    | Error
+        (Unix.Unix_error
+           ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN), _, _) as e) ->
         let now = Unix.gettimeofday () in
         if now >= deadline then Error e
         else begin
           Unix.sleepf (Float.min delay (deadline -. now));
           go (Float.min (delay *. 2.) 1.)
         end
-    | exception Unix.Unix_error (e, _, _) -> Error e
+    | Error e -> Error e
   in
   go 0.05
 
-let request ?(timeout = 30.) ~socket line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let deadline = Unix.gettimeofday () +. Float.max 0. timeout in
-  match connect_with_retry ~deadline fd (Unix.ADDR_UNIX socket) with
+let exn_message = function
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | Not_found -> "host not found"
+  | e -> Printexc.to_string e
+
+(* One exchange against one endpoint. *)
+let try_endpoint ~deadline ep line =
+  match connect_with_retry ~deadline ep with
   | Error e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
       Error
-        (Printf.sprintf "cannot connect to %s: %s" socket
-           (Unix.error_message e))
-  | Ok () -> (
-      (* Bound each read/write so a hung daemon cannot block the client
-         forever; the remaining budget after connecting caps both. *)
-      let io_budget = Float.max 0.05 (deadline -. Unix.gettimeofday ()) in
-      (try
-         Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_budget;
-         Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_budget
-       with Unix.Unix_error _ -> ());
-      let oc = Unix.out_channel_of_descr fd in
-      let ic = Unix.in_channel_of_descr fd in
-      let finish r =
-        close_out_noerr oc;
-        close_in_noerr ic;
-        r
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Tnet.Endpoint.to_string ep)
+           (exn_message e))
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let buf = Buffer.create 256 in
+          Tnet.Lineio.exchange ~deadline ~buf fd line)
+
+(* Send one request to a replica set: endpoints are tried round-robin
+   (starting from a caller-chosen offset so independent clients spread
+   load), transport failures fail over to the next replica, and busy
+   responses are retried with jittered exponential backoff — a shed
+   request is backpressure, not an error, until [busy_retries] rounds
+   have all been shed. *)
+let request ?(timeout = 30.) ?(busy_retries = 3) ?(rng = Random.State.make_self_init ())
+    ?(offset = 0) ~endpoints line =
+  match endpoints with
+  | [] -> Transport "no endpoints"
+  | _ -> (
+      let eps = Array.of_list endpoints in
+      let n = Array.length eps in
+      let deadline = Unix.gettimeofday () +. Float.max 0.05 timeout in
+      let round start =
+        (* One sweep across the replicas: the first protocol response
+           wins; remember whether everything that answered said busy. *)
+        let rec go i last_err =
+          if i >= n then `No_reply last_err
+          else
+            let ep = eps.((start + i) mod n) in
+            (* Within a sweep each endpoint gets a slice of the budget,
+               so one dead replica cannot eat the whole deadline. *)
+            let slice =
+              Unix.gettimeofday ()
+              +. Float.max 0.05
+                   ((deadline -. Unix.gettimeofday ())
+                   /. float_of_int (n - i))
+            in
+            let slice = Float.min slice deadline in
+            match try_endpoint ~deadline:slice ep line with
+            | Ok resp when is_busy_line resp -> `Busy
+            | Ok resp -> `Reply resp
+            | Error e -> go (i + 1) (Some e)
+        in
+        go 0 None
       in
-      match
-        output_string oc (line ^ "\n");
-        flush oc;
-        input_line ic
-      with
-      | resp -> finish (Ok resp)
-      | exception End_of_file ->
-          finish (Error "connection closed without a response")
-      | exception Sys_error _ ->
-          finish (Error "transport error while talking to the daemon")
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-        ->
-          finish
-            (Error
-               (Printf.sprintf "no response from the daemon within %gs"
-                  timeout))
-      | exception Unix.Unix_error _ ->
-          finish (Error "transport error while talking to the daemon"))
+      let rec attempt k delay =
+        match round (offset + k) with
+        | `Reply resp -> Reply resp
+        | `No_reply err ->
+            if Unix.gettimeofday () < deadline && k < busy_retries then begin
+              Unix.sleepf (Float.min delay (deadline -. Unix.gettimeofday ()));
+              attempt (k + 1) (Float.min (delay *. 2.) 2.)
+            end
+            else
+              Transport
+                (Option.value ~default:"no endpoint reachable" err)
+        | `Busy ->
+            if k >= busy_retries || Unix.gettimeofday () >= deadline then
+              Busy
+            else begin
+              (* Full jitter: uniformly random in [0, cap] so shed
+                 clients do not re-arrive in lockstep. *)
+              let cap = Float.min delay (deadline -. Unix.gettimeofday ()) in
+              if cap > 0. then Unix.sleepf (Random.State.float rng cap);
+              attempt (k + 1) (Float.min (delay *. 2.) 2.)
+            end
+      in
+      attempt 0 0.1)

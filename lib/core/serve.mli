@@ -1,29 +1,33 @@
-(** The [stenso serve] daemon and its NDJSON protocol
-    ([stenso.serve/1]).
+(** The [stenso serve] protocol ([stenso.serve/1]): request handling and
+    the client side.  The daemon itself — listeners, worker pool,
+    background refinement executor — lives in {!Net} (built on
+    {!Tnet.Server}); this module is the socket-free core it serves.
 
-    A long-lived process owns the persistent synthesis store, a shared
-    stub-library cache and a shared cost-model pool, and serves
-    superoptimization requests over a Unix-domain socket.  The protocol
-    is NDJSON — one JSON object per line in each direction:
+    The protocol is NDJSON — one JSON object per line in each
+    direction, many requests per connection (keep-alive):
 
     {v
     → {"id": 1, "program": "input A : f32[3,3]\n...", "config": {"cost_estimator": "flops"}}
     ← {"schema":"stenso.serve/1","version":"...","id":1,"ok":true,
-       "cache_hit":false,"improved":true,"verified":true,
+       "cache_hit":false,"tier":2,"coalesced":false,"refined":false,
+       "improved":true,"verified":true,
        "cost_before":123.0,"cost_after":27.0,
        "optimized":"input A : f32[3,3]\n...","search":{...}}
     v}
 
     [id] is echoed verbatim (any JSON value; [null] when absent).
     [config] is optional; recognized fields — [cost_estimator] (string),
-    [timeout] (seconds), [node_budget], [max_depth] (ints),
-    [extended_ops], [use_bnb], [use_simplification] (bools) — override
-    the daemon's base configuration per request.  A malformed line, an
-    unparseable program or any synthesis failure yields
-    [{"ok":false,"error":...}] on that request only; the daemon never
-    dies on request content.  When all worker slots are busy and the
-    connection queue is full, new connections are shed immediately with
-    [{"ok":false,"error":"busy"}] instead of queueing unboundedly. *)
+    [timeout] (seconds), [node_budget], [max_depth], [rules_depth]
+    (ints), [extended_ops], [use_bnb], [use_simplification] (bools) —
+    override the daemon's base configuration per request.  [tier] says
+    which serving tier answered (see {!Superopt.optimize}); [coalesced]
+    that this request piggybacked on an identical in-flight one;
+    [refined] that the answer is final (tier-3-confirmed) — an
+    unrefined answer may be silently upgraded in the store by background
+    refinement, so a later identical request returns the better program
+    without any client action.  A malformed line, an unparseable program
+    or any synthesis failure yields [{"ok":false,"error":...}] on that
+    request only; the daemon never dies on request content. *)
 
 module Json = Obs.Telemetry.Json
 
@@ -40,45 +44,64 @@ val handler :
   base:Config.t ->
   unit ->
   handler
-(** A request handler sharing one stub-library cache and one cost model
-    per estimator across all requests it serves.  [base] supplies the
-    defaults requests may override; its [jobs] is forced to 1 — the
-    daemon's parallelism is its worker pool, not per-request domains. *)
+(** A request handler sharing one stub-library cache, one cost model per
+    estimator, and one single-flight table across all requests it
+    serves.  [base] supplies the defaults requests may override; its
+    [jobs] is forced to 1 — the daemon's parallelism is its worker pool,
+    not per-request domains. *)
 
-val handle_line : handler -> string -> string
+val handle_line :
+  ?background:((unit -> unit) -> bool) -> handler -> string -> string
 (** Process one NDJSON request line into one response line (no trailing
-    newline).  Never raises: every failure is an [ok:false] response. *)
+    newline).  Never raises: every failure is an [ok:false] response.
+
+    With a [store], identical in-flight requests (same
+    {!Superopt.store_key}) coalesce onto one synthesis — waiters get the
+    leader's outcome with [coalesced:true] and bump the [serve.coalesced]
+    counter.  [background], when given, receives deferred tier-3
+    refinement jobs for unrefined answers (at most one outstanding per
+    store key; [serve.refine_enqueued] / [serve.refine_shed] counters);
+    it returns [false] to reject the job (queue full).  Omitting it —
+    as tests exercising only the request path do — disables background
+    refinement. *)
+
+val coalesced_total : handler -> int
+(** Requests served by piggybacking on another in-flight request since
+    the handler was created. *)
 
 val busy_line : string
 (** The load-shedding response. *)
 
-(** {2 The daemon} *)
+val too_long_line : string
+(** The response sent before closing a connection whose request line
+    exceeded the daemon's line cap. *)
 
-val serve :
-  ?tel:Obs.Telemetry.t ->
-  ?store:Store.t ->
-  ?workers:int ->
-  ?queue_capacity:int ->
-  base:Config.t ->
-  socket:string ->
-  unit ->
-  unit
-(** Bind [socket] (replacing a stale file), then serve until SIGINT or
-    SIGTERM: a bounded pool of [workers] domains (default 2) drains a
-    connection queue of capacity [queue_capacity] (default 64); beyond
-    that, connections receive {!busy_line} and are closed.  Shutdown is
-    graceful — queued connections finish, the store is flushed, the
-    socket file is removed. *)
+val is_busy_line : string -> bool
+(** Recognize {!busy_line} (from any build: matched on the [ok]/[error]
+    fields, not byte equality). *)
 
 (** {2 Client side} *)
 
-val request : ?timeout:float -> socket:string -> string -> (string, string) result
-(** Send one request line to a running daemon and read one response
-    line.  [timeout] (seconds, default 30) bounds the whole exchange: a
-    daemon whose socket is not accepting yet is retried with geometric
-    backoff (50ms doubling, capped at 1s) until the deadline, and the
-    remaining budget bounds the socket reads and writes, so a hung
-    daemon yields an [Error] instead of blocking forever.  [Error]
-    describes a transport failure (daemon not running, connection
-    closed, deadline exceeded); protocol-level failures come back as
-    [Ok] lines with [ok:false]. *)
+type reply =
+  | Reply of string  (** a protocol response line (possibly [ok:false]) *)
+  | Busy  (** every endpoint shed the request, retries exhausted *)
+  | Transport of string  (** no endpoint produced a response *)
+
+val request :
+  ?timeout:float ->
+  ?busy_retries:int ->
+  ?rng:Random.State.t ->
+  ?offset:int ->
+  endpoints:Tnet.Endpoint.t list ->
+  string ->
+  reply
+(** Send one request line to a replica set and read one response line.
+    Endpoints are tried round-robin from [offset] (so independent
+    clients spread load); an endpoint that is not accepting yet is
+    retried with geometric backoff within its slice of the [timeout]
+    budget (seconds, default 30), and transport failures fail over to
+    the next replica.  A busy (shed) response is backpressure, not an
+    error: the request is retried up to [busy_retries] (default 3) more
+    times with full-jitter exponential backoff, and only then reported
+    as {!Busy} so callers can map it to a distinct exit code.
+    {!Transport} means no replica produced any response. *)

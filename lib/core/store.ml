@@ -13,6 +13,9 @@ type outcome_entry = {
   original_cost : float;
   optimized_cost : float;
   stats : Search.stats;
+  refined : bool;
+      (* finalized by a full tier-3 search: background refinement will
+         not touch this entry again *)
 }
 
 let stats_json (s : Search.stats) =
@@ -39,6 +42,7 @@ let entry_json (e : outcome_entry) =
       ("original_cost", Json.Float e.original_cost);
       ("optimized_cost", Json.Float e.optimized_cost);
       ("search", stats_json e.stats);
+      ("refined", Json.Bool e.refined);
     ]
 
 let ( let* ) = Option.bind
@@ -80,6 +84,12 @@ let entry_of_json j : outcome_entry option =
     Option.bind (Json.member "optimized_cost" j) Json.to_float_opt
   in
   let* stats = Option.bind (Json.member "search" j) stats_of_json in
+  (* Tolerant decode: entries written before refinement existed are
+     simply not-yet-refined, not corrupt. *)
+  let refined =
+    Option.value ~default:false
+      (Option.bind (Json.member "refined" j) Json.to_bool_opt)
+  in
   Some
     {
       version;
@@ -89,6 +99,7 @@ let entry_of_json j : outcome_entry option =
       original_cost;
       optimized_cost;
       stats;
+      refined;
     }
 
 let find_outcome t ~key =

@@ -44,6 +44,10 @@ type outcome_entry = {
   original_cost : float;
   optimized_cost : float;
   stats : Search.stats;  (** statistics of the search that ran *)
+  refined : bool;
+      (** finalized by a full tier-3 search — either served by one, or
+          upgraded by background refinement; entries written by older
+          builds decode as unrefined *)
 }
 
 val find_outcome : t -> key:string -> outcome_entry option

@@ -11,6 +11,7 @@ type outcome = {
   verified : bool;
   from_cache : bool;
   tier : int;
+  refined : bool;
 }
 
 let consts_of prog =
@@ -114,6 +115,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
           verified;
           from_cache = false;
           tier = 3;
+          refined = true;
         }
       else begin
         (* The candidate failed re-verification (for example a rewrite
@@ -133,6 +135,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
           verified = true;
           from_cache = false;
           tier = 3;
+          refined = true;
         }
       end
   | _ ->
@@ -146,6 +149,7 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
         verified = true;
         from_cache = false;
         tier = 3;
+        refined = true;
       }
 
 (* The full store key for one request: what will be synthesized (the
@@ -187,6 +191,7 @@ let outcome_of_entry ~env prog (e : Store.outcome_entry) : outcome option =
             verified = true;
             from_cache = true;
             tier = 1;
+            refined = e.refined;
           }
 
 let validate_concrete ?(trials = 16) ?(max_draws = 512)
@@ -402,17 +407,22 @@ let tier3_feedback ~model ~env ~spec ~depth ~store (outcome : outcome) =
     ()
 
 let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
-    ?stub_cache ?model ~env prog =
+    ?stub_cache ?model ?spec ~env prog =
   let model =
     match model with Some m -> m | None -> Config.model ~tel config
   in
   let search_config = Config.search_config config in
   match store with
-  | None -> superoptimize ~tel ~config:search_config ?stub_cache ~model ~env prog
+  | None ->
+      superoptimize ~tel ~config:search_config ?stub_cache ?spec ~model ~env
+        prog
   | Some store -> (
       let spec =
-        Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
-            Dsl.Sexec.exec_env env prog)
+        match spec with
+        | Some s -> s
+        | None ->
+            Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
+                Dsl.Sexec.exec_env env prog)
       in
       let key = store_key ~config ~model ~env ~spec prog in
       let serve_event tier =
@@ -438,6 +448,7 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
               original_cost = outcome.original_cost;
               optimized_cost = outcome.optimized_cost;
               stats = outcome.search.stats;
+              refined = outcome.refined;
             }
       in
       let cached =
@@ -496,6 +507,10 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
                   verified = true;
                   from_cache = false;
                   tier = 2;
+                  (* A certified tier-2 answer is optimal within the
+                     mined space, but the full search explores deeper:
+                     background refinement may still upgrade it. *)
+                  refined = false;
                 }
               in
               serve_event 2;
@@ -539,3 +554,52 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
               | _ -> ());
               record outcome;
               outcome))
+
+(* Background refinement: run the full tier-3 search for a request that
+   was answered by a faster tier, and finalize the store entry with the
+   result.  The entry is marked [refined] even when the search only
+   confirms the stored answer — "the full search has spoken" is exactly
+   the bit that stops the service from re-refining the same spec on
+   every future hit.  The upgraded answer also feeds the rule database,
+   so future tier-2 answers for this spec serve the true optimum. *)
+let refine ?(tel = Obs.Telemetry.null) ?(config = Config.default) ~store
+    ?stub_cache ?model ?spec ~env prog =
+  let model =
+    match model with Some m -> m | None -> Config.model ~tel config
+  in
+  let spec =
+    match spec with
+    | Some s -> s
+    | None ->
+        Obs.Telemetry.span tel "phase.symbolic_exec" (fun () ->
+            Dsl.Sexec.exec_env env prog)
+  in
+  let key = store_key ~config ~model ~env ~spec prog in
+  let outcome =
+    superoptimize ~tel ~config:(Config.search_config config) ?stub_cache
+      ~spec ~model ~env prog
+  in
+  if outcome.verified then begin
+    (match Config.rules_depth config with
+    | Some depth -> tier3_feedback ~model ~env ~spec ~depth ~store outcome
+    | None -> ());
+    Store.record_outcome store ~key
+      {
+        Store.version = Version.current;
+        original = Dsl.Parser.unparse env outcome.original;
+        optimized = Dsl.Parser.unparse env outcome.optimized;
+        improved = outcome.improved;
+        original_cost = outcome.original_cost;
+        optimized_cost = outcome.optimized_cost;
+        stats = outcome.search.stats;
+        refined = true;
+      };
+    Obs.Telemetry.incr tel "tier.refined";
+    Obs.Telemetry.event tel "tier.refine"
+      [
+        ("key", Obs.Telemetry.Str (Store.digest key));
+        ("improved", Obs.Telemetry.Bool outcome.improved);
+        ("cost_after", Obs.Telemetry.Float outcome.optimized_cost);
+      ]
+  end;
+  outcome

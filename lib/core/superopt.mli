@@ -27,6 +27,11 @@ type outcome = {
           rules / e-graph saturation against the rule database, 3 =
           full branch-and-bound search (always 3 for bare
           {!superoptimize}) *)
+  refined : bool;
+      (** the answer is final: a full tier-3 search produced it (or an
+          earlier one upgraded the store entry it was served from).
+          Unrefined answers (tier 2, or tier 1 over a tier-2-written
+          entry) are candidates for background {!refine}ment. *)
 }
 
 val consts_of : Dsl.Ast.t -> float list
@@ -54,12 +59,25 @@ val superoptimize :
     serving to prune against an already-verified tier-2 candidate);
     the search then only returns programs cheaper than it. *)
 
+val store_key :
+  config:Config.t ->
+  model:Cost.Model.t ->
+  env:Dsl.Types.env ->
+  spec:Spec.t ->
+  Dsl.Ast.t ->
+  string
+(** The full store key for one request ({!Store.outcome_key} over the
+    spec key, stub fingerprint, config fingerprint and model id) —
+    exactly the key {!optimize} consults, exposed so serving layers can
+    deduplicate identical in-flight requests on it. *)
+
 val optimize :
   ?tel:Obs.Telemetry.t ->
   ?config:Config.t ->
   ?store:Store.t ->
   ?stub_cache:Stub.Cache.cache ->
   ?model:Cost.Model.t ->
+  ?spec:Spec.t ->
   env:Dsl.Types.env ->
   Dsl.Ast.t ->
   outcome
@@ -102,7 +120,30 @@ val optimize :
 
     Per-tier telemetry: [tier.hit], [tier1.hits]/[tier2.hits]/
     [tier3.hits], [tier.rules_applied], [tier.saturation_ms], and one
-    [tier.serve] event per answer. *)
+    [tier.serve] event per answer.
+
+    [spec], when the caller already symbolically executed the program
+    (for example to compute the {!store_key}), skips the redundant
+    execution. *)
+
+val refine :
+  ?tel:Obs.Telemetry.t ->
+  ?config:Config.t ->
+  store:Store.t ->
+  ?stub_cache:Stub.Cache.cache ->
+  ?model:Cost.Model.t ->
+  ?spec:Spec.t ->
+  env:Dsl.Types.env ->
+  Dsl.Ast.t ->
+  outcome
+(** Run the full tier-3 search for this request unconditionally and
+    finalize its store entry with the result — [refined:true] even when
+    the search only confirms what was stored, so the same spec is never
+    re-refined.  Verified results also feed the rule database
+    ({!Rules_db.record_feedback}), closing the loop for future tier-2
+    answers.  This is the serving layer's background-refinement hook: a
+    tier-2 answer goes out immediately and this call upgrades the entry
+    on spare capacity ([tier.refined] counter, [tier.refine] event). *)
 
 val robust_equivalent :
   env:Dsl.Types.env -> Dsl.Ast.t -> Dsl.Ast.t -> bool

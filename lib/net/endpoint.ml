@@ -1,0 +1,85 @@
+(* A serving endpoint: a Unix-domain socket path or a TCP host:port.
+   The textual form is what `--endpoints` and `--tcp` accept; TCP
+   endpoints with port 0 bind an ephemeral port (the bound address is
+   reported back with the real port, which tests and CI rely on). *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+let to_string = function
+  | Unix_sock path -> "unix://" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp://%s:%d" host port
+
+(* Accepted forms: "HOST:PORT", "tcp://HOST:PORT", "unix://PATH", or a
+   bare filesystem path (anything with a '/' and no parsable port). *)
+let parse s =
+  let strip prefix s =
+    if String.length s >= String.length prefix
+       && String.sub s 0 (String.length prefix) = prefix
+    then Some (String.sub s (String.length prefix)
+                 (String.length s - String.length prefix))
+    else None
+  in
+  match strip "unix://" s with
+  | Some path when path <> "" -> Ok (Unix_sock path)
+  | Some _ -> Error "empty unix socket path"
+  | None -> (
+      let s = Option.value ~default:s (strip "tcp://" s) in
+      match String.rindex_opt s ':' with
+      | Some i
+        when i > 0
+             && (not (String.contains s '/'))
+             && int_of_string_opt
+                  (String.sub s (i + 1) (String.length s - i - 1))
+                |> Option.is_some ->
+          let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+          if port < 0 || port > 65535 then
+            Error (Printf.sprintf "port out of range in %S" s)
+          else Ok (Tcp (String.sub s 0 i, port))
+      | _ ->
+          if s = "" then Error "empty endpoint"
+          else if String.contains s '/' || not (String.contains s ':') then
+            Ok (Unix_sock s)
+          else Error (Printf.sprintf "cannot parse endpoint %S" s))
+
+let parse_list s =
+  let parts =
+    List.filter (fun p -> p <> "") (String.split_on_char ',' s)
+  in
+  if parts = [] then Error "empty endpoint list"
+  else
+    List.fold_left
+      (fun acc p ->
+        Result.bind acc (fun eps ->
+            Result.map (fun e -> e :: eps) (parse p)))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+      | h -> h.Unix.h_addr_list.(0))
+
+let sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> Unix.ADDR_INET (resolve host, port)
+
+(* One blocking connect attempt; retry/backoff policy belongs to the
+   caller (see Serve's client), which knows its deadline. *)
+let connect t =
+  let domain =
+    match t with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (sockaddr t);
+    (match t with
+    | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | Unix_sock _ -> ())
+  with
+  | () -> Ok fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e

@@ -1,0 +1,102 @@
+(* Deadline-bounded line IO on raw file descriptors.
+
+   Works for blocking and non-blocking descriptors alike: every read
+   waits for readability with [select] first (so a deadline can be
+   honoured even on a blocking socket), and writes that hit
+   EAGAIN/EWOULDBLOCK wait for writability the same way.  This is the
+   reader/writer both sides of the protocol share — the server's
+   workers write responses through it, the clients (request, loadgen)
+   read and write whole exchanges through it. *)
+
+type read_result =
+  | Line of string
+  | Eof
+  | Timeout
+  | Too_long
+  | Io_error of string
+
+let ( let* ) = Result.bind
+
+let rec wait_fd ~deadline kind fd =
+  let now = Unix.gettimeofday () in
+  if now >= deadline then Ok false
+  else
+    let span = Float.min 0.25 (deadline -. now) in
+    let r, w = match kind with `Read -> ([ fd ], []) | `Write -> ([], [ fd ]) in
+    match Unix.select r w [] span with
+    | [], [], _ -> wait_fd ~deadline kind fd
+    | _ -> Ok true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        wait_fd ~deadline kind fd
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let write_all ~deadline fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        -> (
+          match wait_fd ~deadline `Write fd with
+          | Ok true -> go off
+          | Ok false -> Error "write deadline exceeded"
+          | Error e -> Error e)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let write_line ~deadline fd line = write_all ~deadline fd (line ^ "\n")
+
+(* Split the first complete line out of [buf], leaving the remainder.
+   A '\r' before the newline is dropped so telnet-style clients work. *)
+let take_line buf =
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let stop = if i > 0 && s.[i - 1] = '\r' then i - 1 else i in
+      let line = String.sub s 0 stop in
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+      Some line
+
+(* Read one newline-terminated line, buffering leftovers in [buf]
+   across calls (a pipelined peer may deliver several lines in one
+   segment).  [max_len] caps the bytes a single line may occupy. *)
+let read_line ?(max_len = 1 lsl 20) ~deadline ~buf fd =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line buf with
+    | Some line -> Line line
+    | None when Buffer.length buf > max_len -> Too_long
+    | None -> (
+        match wait_fd ~deadline `Read fd with
+        | Ok false -> Timeout
+        | Error e -> Io_error e
+        | Ok true -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Eof
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                go ()
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error (e, _, _) ->
+                Io_error (Unix.error_message e)))
+  in
+  go ()
+
+(* One request/response exchange on an established connection. *)
+let exchange ?max_len ~deadline ~buf fd line =
+  let* () = write_line ~deadline fd line in
+  match read_line ?max_len ~deadline ~buf fd with
+  | Line l -> Ok l
+  | Eof -> Error "connection closed without a response"
+  | Timeout -> Error "response deadline exceeded"
+  | Too_long -> Error "response line too long"
+  | Io_error e -> Error e

@@ -415,3 +415,194 @@ let validate_tiers_report (j : Json.t) : (unit, string) result =
       let* _ = need "latency_warm" Json.to_float_opt b in
       Ok ())
     (Ok ()) benches
+
+(* ------------------------------------------------------------------ *)
+(* Serve-load report                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let serve_load_schema_version = "stenso.serve-load/1"
+
+(* The load generator is protocol-agnostic; this is where its integer
+   response classes are defined for the serve protocol.  Successful
+   responses encode (tier, coalesced, refined) in one small integer so
+   the stats machinery needs no protocol knowledge; the two failure
+   classes sit above every success class. *)
+let class_busy = 100
+let class_protocol_error = 101
+
+let classify_serve_response line =
+  match Json.of_string (String.trim line) with
+  | Error _ -> class_protocol_error
+  | Ok doc -> (
+      let bool name =
+        Option.value ~default:false
+          (Option.bind (Json.member name doc) Json.to_bool_opt)
+      in
+      match bool "ok" with
+      | false -> (
+          match
+            Option.bind (Json.member "error" doc) Json.to_string_opt
+          with
+          | Some "busy" -> class_busy
+          | _ -> class_protocol_error)
+      | true ->
+          let tier =
+            Option.value ~default:0
+              (Option.bind (Json.member "tier" doc) Json.to_int_opt)
+          in
+          if tier < 1 || tier > 3 then class_protocol_error
+          else
+            tier
+            + (if bool "coalesced" then 10 else 0)
+            + if bool "refined" then 20 else 0)
+
+let class_is_ok c = c < class_busy
+let class_tier c = c mod 10
+let class_coalesced c = class_is_ok c && c / 10 land 1 = 1
+let class_refined c = class_is_ok c && c >= 20
+
+(* Nearest-rank percentiles over one latency population. *)
+let latency_json lats =
+  Array.sort compare lats;
+  let n = Array.length lats in
+  let pct p = Stenso.Net.Loadgen.percentile lats p in
+  let mean =
+    if n = 0 then 0. else Array.fold_left ( +. ) 0. lats /. float_of_int n
+  in
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("mean", Json.Float mean);
+      ("p50", Json.Float (pct 50.));
+      ("p95", Json.Float (pct 95.));
+      ("p99", Json.Float (pct 99.));
+    ]
+
+let serve_load_report ?(config = Stenso.Config.default) ~endpoints
+    ~concurrency ~duration ~benchmarks (stats : Stenso.Net.Loadgen.stats) =
+  let samples = stats.samples in
+  let count pred =
+    Array.fold_left (fun acc (_, c) -> if pred c then acc + 1 else acc) 0
+      samples
+  in
+  let lats_of pred =
+    Array.of_seq
+      (Seq.filter_map
+         (fun (l, c) -> if pred c then Some l else None)
+         (Array.to_seq samples))
+  in
+  let n_ok = count class_is_ok in
+  let throughput =
+    if stats.elapsed > 0. then float_of_int n_ok /. stats.elapsed else 0.
+  in
+  let tier_json t =
+    let lats = lats_of (fun c -> class_is_ok c && class_tier c = t) in
+    match latency_json lats with
+    | Json.Obj fields -> Json.Obj (("tier", Json.Int t) :: fields)
+    | j -> j
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str serve_load_schema_version);
+      ("version", Json.Str Stenso.Version.current);
+      ( "estimator",
+        Json.Str
+          (Stenso.Config.estimator_name (Stenso.Config.estimator config)) );
+      ("endpoints", Json.List (List.map (fun e -> Json.Str e) endpoints));
+      ("concurrency", Json.Int concurrency);
+      ("duration", Json.Float duration);
+      ("elapsed", Json.Float stats.elapsed);
+      ( "benchmarks",
+        Json.List (List.map (fun b -> Json.Str b) benchmarks) );
+      ("n_requests", Json.Int (Array.length samples));
+      ("n_ok", Json.Int n_ok);
+      ("throughput_rps", Json.Float throughput);
+      ("n_transport_errors", Json.Int stats.n_transport_errors);
+      ("n_protocol_errors", Json.Int (count (( = ) class_protocol_error)));
+      ("n_busy", Json.Int (count (( = ) class_busy)));
+      ("n_coalesced", Json.Int (count class_coalesced));
+      ("n_refined", Json.Int (count class_refined));
+      ("latency", latency_json (lats_of class_is_ok));
+      ("tiers", Json.List (List.map tier_json [ 1; 2; 3 ]));
+    ]
+
+let validate_serve_load (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need name extract j =
+    match Option.bind (Json.member name j) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* schema = need "schema" Json.to_string_opt j in
+  let* () =
+    if String.equal schema serve_load_schema_version then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _ = need "version" Json.to_string_opt j in
+  let* _ = need "estimator" Json.to_string_opt j in
+  let* endpoints = need "endpoints" Json.to_list_opt j in
+  let* () =
+    if
+      endpoints <> []
+      && List.for_all
+           (fun e -> Option.is_some (Json.to_string_opt e))
+           endpoints
+    then Ok ()
+    else Error "endpoints must be a non-empty list of strings"
+  in
+  let* _ = need "concurrency" Json.to_int_opt j in
+  let* _ = need "duration" Json.to_float_opt j in
+  let* _ = need "elapsed" Json.to_float_opt j in
+  let* benchmarks = need "benchmarks" Json.to_list_opt j in
+  let* () =
+    if List.for_all (fun b -> Option.is_some (Json.to_string_opt b)) benchmarks
+    then Ok ()
+    else Error "benchmarks must be a list of strings"
+  in
+  let* n_requests = need "n_requests" Json.to_int_opt j in
+  let* n_ok = need "n_ok" Json.to_int_opt j in
+  let* _ = need "throughput_rps" Json.to_float_opt j in
+  let* _ = need "n_transport_errors" Json.to_int_opt j in
+  let* n_proto = need "n_protocol_errors" Json.to_int_opt j in
+  let* n_busy = need "n_busy" Json.to_int_opt j in
+  let* n_coalesced = need "n_coalesced" Json.to_int_opt j in
+  let* n_refined = need "n_refined" Json.to_int_opt j in
+  let* () =
+    if n_requests = n_ok + n_busy + n_proto then Ok ()
+    else Error "n_requests disagrees with n_ok + n_busy + n_protocol_errors"
+  in
+  let* () =
+    if n_coalesced <= n_ok && n_refined <= n_ok then Ok ()
+    else Error "coalesced/refined counts exceed n_ok"
+  in
+  (* One latency block: counts plus monotone percentiles — a report
+     whose p50 exceeds its p95 (or p95 its p99) is internally
+     inconsistent however it was produced. *)
+  let check_latency ctx l =
+    let* n = need "n" Json.to_int_opt l in
+    let* _ = need "mean" Json.to_float_opt l in
+    let* p50 = need "p50" Json.to_float_opt l in
+    let* p95 = need "p95" Json.to_float_opt l in
+    let* p99 = need "p99" Json.to_float_opt l in
+    if n < 0 then Error (ctx ^ ": negative sample count")
+    else if not (p50 <= p95 && p95 <= p99) then
+      Error
+        (Printf.sprintf "%s: percentiles not monotone (p50 %g, p95 %g, p99 %g)"
+           ctx p50 p95 p99)
+    else Ok ()
+  in
+  let* latency = need "latency" Option.some j in
+  let* () = check_latency "latency" latency in
+  let* tiers = need "tiers" Json.to_list_opt j in
+  let* tier_total =
+    List.fold_left
+      (fun acc t ->
+        let* total = acc in
+        let* tier = need "tier" Json.to_int_opt t in
+        let* () = check_latency (Printf.sprintf "tier %d" tier) t in
+        let* n = need "n" Json.to_int_opt t in
+        Ok (total + n))
+      (Ok 0) tiers
+  in
+  if tier_total = n_ok then Ok ()
+  else Error "per-tier sample counts disagree with n_ok"

@@ -101,3 +101,37 @@ val tiers_report :
 val validate_tiers_report : Stenso.Telemetry.Json.t -> (unit, string) result
 (** Structural conformance check for [stenso.tiers/1], used by
     [stenso report] and the CI harness on [BENCH_tiers.json]. *)
+
+val serve_load_schema_version : string
+(** ["stenso.serve-load/1"], the serving-throughput archive written by
+    [stenso loadgen --report] ([BENCH_serve_load.json]). *)
+
+val classify_serve_response : string -> int
+(** Map one [stenso.serve/1] response line to the load generator's
+    integer response class: successful responses encode
+    [tier + 10·coalesced + 20·refined] (tiers 1–3), a shed response is
+    its own class, and anything unparseable — or [ok:false] for any
+    other reason — counts as a protocol error.  Pass as the [classify]
+    callback of {!Stenso.Net.Loadgen.run}. *)
+
+val serve_load_report :
+  ?config:Stenso.Config.t ->
+  endpoints:string list ->
+  concurrency:int ->
+  duration:float ->
+  benchmarks:string list ->
+  Stenso.Net.Loadgen.stats ->
+  Stenso.Telemetry.Json.t
+(** Render one load-generation run as the serve-load document: run
+    parameters (endpoints, concurrency, requested duration, programs
+    replayed), totals (requests, ok / busy / protocol-error / transport
+    splits, coalesced and refined counts, ok-throughput in requests per
+    second) and nearest-rank latency percentiles — overall and split by
+    serving tier. *)
+
+val validate_serve_load : Stenso.Telemetry.Json.t -> (unit, string) result
+(** Conformance check for [stenso.serve-load/1]: structure, count
+    consistency ([n_requests] = ok + busy + protocol errors; per-tier
+    sample counts summing to [n_ok]) and percentile monotonicity
+    (p50 ≤ p95 ≤ p99, overall and per tier).  Used by [stenso report]
+    and the CI loadgen smoke on [BENCH_serve_load.json]. *)

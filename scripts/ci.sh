@@ -160,3 +160,44 @@ done
 dune exec --no-build bin/stenso_cli.exe -- report "$exec_report" \
   --min-speedup 1.0
 echo "exec-bench report smoke check passed"
+
+# Serving-at-scale smoke check: a TCP daemon (ephemeral port) under a
+# short closed-loop replay must produce a valid stenso.serve-load/1
+# report with zero protocol errors and at least one coalesced request
+# (identical in-flight requests deduplicating onto one synthesis), and
+# drain cleanly on SIGTERM.
+serve_log="$scratch/serve.log"
+lg_report="$scratch/serve_load.json"
+"$stenso" serve --tcp 127.0.0.1:0 --socket "" \
+  --store-dir "$scratch/lstore" --cost-estimator flops --timeout 60 \
+  --workers 2 > "$serve_log" &
+serve_pid=$!
+port=""
+i=0
+while [ -z "$port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: serve daemon never reported its TCP port" >&2
+    cat "$serve_log" >&2
+    exit 1
+  fi
+  sleep 0.1
+  port=$(sed -n 's#.*listening on tcp://127\.0\.0\.1:\([0-9][0-9]*\).*#\1#p' \
+    "$serve_log" | head -n 1)
+done
+"$stenso" loadgen --endpoints "tcp://127.0.0.1:$port" \
+  --benchmarks log_exp_1,elem_square --concurrency 8 --duration 2 \
+  --cost-estimator flops --report "$lg_report" --quiet
+dune exec --no-build bin/stenso_cli.exe -- report "$lg_report"
+if ! grep -qF '"n_protocol_errors":0' "$lg_report"; then
+  echo "FAIL: serve-load replay saw protocol errors" >&2
+  exit 1
+fi
+if grep -qF '"n_coalesced":0' "$lg_report"; then
+  echo "FAIL: no request was coalesced during the replay" >&2
+  exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+echo "serve-load smoke check passed"

@@ -27,4 +27,6 @@ let () =
       ("printer", Test_printer.suite);
       ("egraph", Test_egraph.suite);
       ("tiers", Test_tiers.suite);
+      ("net", Test_net.suite);
+      ("serve-proto", Test_serve_proto.suite);
     ]

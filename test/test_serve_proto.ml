@@ -1,0 +1,248 @@
+(* Protocol hardening against a live TCP server: oversized request
+   lines, malformed NDJSON with keep-alive reuse, pipelining,
+   half-closed sockets, slow-loris partial writes against the deadline
+   reader, connection shedding at [max_conns], and graceful stop (every
+   test's teardown stops a server with live state). *)
+open Stenso
+module Json = Telemetry.Json
+
+let base = Config.default |> Config.with_estimator `Flops
+
+(* A real server on an ephemeral TCP port, dispatcher in its own
+   domain, torn down by [Server.stop] + join even when [f] fails. *)
+let with_server ?(workers = 1) ?(queue_capacity = 8) ?(max_conns = 16)
+    ?(max_line = 4096) ?(read_deadline = 30.) f =
+  let h = Serve.handler ~base () in
+  let config =
+    {
+      Net.Server.default_config with
+      listeners = [ Net.Endpoint.Tcp ("127.0.0.1", 0) ];
+      workers;
+      queue_capacity;
+      max_conns;
+      max_line;
+      read_deadline;
+      tick = 0.05;
+    }
+  in
+  let server =
+    Net.Server.create ~config ~busy_line:Serve.busy_line
+      ~too_long_line:Serve.too_long_line
+      (fun (ctx : Net.Server.ctx) line ->
+        Serve.handle_line ~background:ctx.background h line)
+  in
+  let runner = Domain.spawn (fun () -> Net.Server.run server) in
+  let ep =
+    match Net.Server.addresses server with
+    | e :: _ -> e
+    | [] -> Alcotest.fail "no bound address"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Server.stop server;
+      Domain.join runner)
+    (fun () -> f ep)
+
+let connect ep =
+  match Net.Endpoint.connect ep with
+  | Ok fd -> fd
+  | Error e -> Alcotest.failf "connect: %s" (Printexc.to_string e)
+
+let send fd s =
+  match Net.Lineio.write_all ~deadline:(Unix.gettimeofday () +. 5.) fd s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" e
+
+let read_line ?(timeout = 10.) ~buf fd =
+  Net.Lineio.read_line ~deadline:(Unix.gettimeofday () +. timeout) ~buf fd
+
+let expect_line ?timeout ~buf fd what =
+  match read_line ?timeout ~buf fd with
+  | Net.Lineio.Line l -> l
+  | Eof -> Alcotest.failf "%s: connection closed" what
+  | Timeout -> Alcotest.failf "%s: timed out" what
+  | Too_long -> Alcotest.failf "%s: response too long" what
+  | Io_error e -> Alcotest.failf "%s: %s" what e
+
+let expect_eof ?timeout ~buf fd what =
+  match read_line ?timeout ~buf fd with
+  | Net.Lineio.Eof -> ()
+  | Line l -> Alcotest.failf "%s: unexpected line %S" what l
+  | Timeout -> Alcotest.failf "%s: still open (timeout)" what
+  | Too_long -> Alcotest.failf "%s: response too long" what
+  | Io_error _ -> ()
+(* a RST on a closed connection is as good as a clean EOF here *)
+
+let is_error_response line =
+  match Json.of_string line with
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+  | Ok j -> (
+      match Json.member "ok" j with
+      | Some (Json.Bool b) -> not b
+      | _ -> Alcotest.failf "no ok field in %S" line)
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Malformed NDJSON is answered per-request ([ok:false]) and the
+   connection stays usable: keep-alive across failures. *)
+let test_malformed_keep_alive () =
+  with_server @@ fun ep ->
+  let fd = connect ep in
+  let buf = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+  send fd "{not json\n";
+  Alcotest.(check bool) "first error response" true
+    (is_error_response (expect_line ~buf fd "malformed #1"));
+  send fd "also not json\n";
+  Alcotest.(check bool) "second error response" true
+    (is_error_response (expect_line ~buf fd "malformed #2"));
+  (* blank lines are ignored, not answered *)
+  send fd "\n\n{}\n";
+  Alcotest.(check bool) "empty object answered" true
+    (is_error_response (expect_line ~buf fd "empty request"))
+
+(* Several requests written in one segment get one response each, in
+   order. *)
+let test_pipelined () =
+  with_server @@ fun ep ->
+  let fd = connect ep in
+  let buf = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+  send fd "{\"id\":1}\n{\"id\":2}\n{\"id\":3}\n";
+  List.iter
+    (fun i ->
+      let l = expect_line ~buf fd (Printf.sprintf "pipelined #%d" i) in
+      match Option.bind (Json.of_string l |> Result.to_option) (Json.member "id") with
+      | Some (Json.Int j) -> Alcotest.(check int) "order preserved" i j
+      | _ -> Alcotest.failf "response without id: %S" l)
+    [ 1; 2; 3 ]
+
+(* A complete line over the cap — even one arriving whole — draws the
+   too-long response and a close; so does a partial line that outgrows
+   the cap without ever completing. *)
+let test_oversized_line () =
+  with_server ~max_line:1024 @@ fun ep ->
+  (let fd = connect ep in
+   let buf = Buffer.create 256 in
+   Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+   send fd (String.make 2048 'a' ^ "\n");
+   Alcotest.(check bool) "complete oversized line rejected" true
+     (is_error_response (expect_line ~buf fd "oversized complete"));
+   expect_eof ~buf fd "closed after oversized complete");
+  let fd = connect ep in
+  let buf = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+  send fd (String.make 8192 'b');
+  (* no newline: the buffer itself outgrows the cap *)
+  Alcotest.(check bool) "oversized partial rejected" true
+    (is_error_response (expect_line ~buf fd "oversized partial"));
+  expect_eof ~buf fd "closed after oversized partial"
+
+(* A client that half-closes (FIN) after a complete request still gets
+   its response: EOF with a buffered line serves the line first. *)
+let test_half_closed () =
+  with_server @@ fun ep ->
+  let fd = connect ep in
+  let buf = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+  send fd "{\"id\":\"half\"}\n";
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  Alcotest.(check bool) "response after FIN" true
+    (is_error_response (expect_line ~buf fd "half-closed"));
+  expect_eof ~buf fd "server closes after half-closed request"
+
+(* A partial line sitting without progress past [read_deadline] gets
+   the connection closed (the slow-loris guard), while a connection
+   actively making byte-at-a-time progress survives it. *)
+let test_slow_loris () =
+  with_server ~read_deadline:0.3 @@ fun ep ->
+  let fd = connect ep in
+  let buf = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+  send fd "{\"partial";
+  let t0 = Unix.gettimeofday () in
+  expect_eof ~timeout:5. ~buf fd "slow-loris close";
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "closed promptly (%.2fs)" elapsed)
+    true
+    (elapsed < 3.)
+
+let test_slow_but_progressing () =
+  with_server ~read_deadline:0.5 @@ fun ep ->
+  let fd = connect ep in
+  let buf = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+  (* ~1.2s total, but never more than ~0.15s between bytes *)
+  String.iter
+    (fun c ->
+      send fd (String.make 1 c);
+      Thread.delay 0.15)
+    "{\"id\":9}";
+  send fd "\n";
+  Alcotest.(check bool) "slow writer served" true
+    (is_error_response (expect_line ~buf fd "slow writer"))
+
+(* Connections beyond [max_conns] are shed with the busy line. *)
+let test_conn_shedding () =
+  with_server ~max_conns:1 @@ fun ep ->
+  let fd1 = connect ep in
+  let buf1 = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd1) @@ fun () ->
+  (* make sure the first connection is accepted and serving *)
+  send fd1 "{\"id\":\"hold\"}\n";
+  ignore (expect_line ~buf:buf1 fd1 "first conn serves");
+  let fd2 = connect ep in
+  let buf2 = Buffer.create 256 in
+  Fun.protect ~finally:(fun () -> close fd2) @@ fun () ->
+  let l = expect_line ~buf:buf2 fd2 "shed response" in
+  Alcotest.(check bool) "busy line" true (Serve.is_busy_line l);
+  expect_eof ~buf:buf2 fd2 "shed connection closed";
+  (* the held connection is still alive and serving *)
+  send fd1 "{\"id\":\"still\"}\n";
+  Alcotest.(check bool) "survivor still served" true
+    (is_error_response (expect_line ~buf:buf1 fd1 "survivor"))
+
+(* [stop] with idle live connections drains and returns; [run]'s domain
+   joins and the listener is gone. *)
+let test_graceful_stop () =
+  let held = ref None in
+  let ep_ref = ref None in
+  (with_server @@ fun ep ->
+   ep_ref := Some ep;
+   let fd = connect ep in
+   let buf = Buffer.create 256 in
+   send fd "{\"id\":\"drain\"}\n";
+   ignore (expect_line ~buf fd "pre-stop request");
+   held := Some (fd, buf));
+  (* with_server has stopped the server and joined its domain *)
+  (match !held with
+  | Some (fd, buf) ->
+      expect_eof ~timeout:2. ~buf fd "connection closed by drain";
+      close fd
+  | None -> Alcotest.fail "no held connection");
+  match !ep_ref with
+  | Some ep -> (
+      match Net.Endpoint.connect ep with
+      | Ok fd ->
+          close fd;
+          Alcotest.fail "listener still accepting after stop"
+      | Error _ -> ())
+  | None -> Alcotest.fail "no endpoint"
+
+let suite =
+  [
+    Alcotest.test_case "malformed NDJSON keeps alive" `Quick
+      test_malformed_keep_alive;
+    Alcotest.test_case "pipelined requests answered in order" `Quick
+      test_pipelined;
+    Alcotest.test_case "oversized lines rejected" `Quick test_oversized_line;
+    Alcotest.test_case "half-closed socket still served" `Quick
+      test_half_closed;
+    Alcotest.test_case "slow-loris closed at deadline" `Quick test_slow_loris;
+    Alcotest.test_case "slow but progressing survives" `Quick
+      test_slow_but_progressing;
+    Alcotest.test_case "connections shed at max_conns" `Quick
+      test_conn_shedding;
+    Alcotest.test_case "graceful stop drains" `Quick test_graceful_stop;
+  ]
