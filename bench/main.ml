@@ -614,6 +614,96 @@ let exec_micro =
     ( "transpose", "input A : f32[512,512]\nreturn A.T", false );
   ]
 
+(* The interp-vs-VM measurement over typed entries, shared by the [vm]
+   and [mlsuite] sections.  Prints one table row per entry as it is
+   measured; [exec_footer] closes the table and returns the geomean. *)
+let exec_table_header () =
+  Printf.printf "%-14s %12s %12s %9s  %s\n" "Benchmark" "interp" "vm"
+    "speedup" "plan (steps, fused, strips, reused, arena)";
+  Printf.printf "%s\n" subline
+
+let exec_measure ~budget ~options entries =
+  List.map
+    (fun (name, env, prog, expects_fused) ->
+      ignore (Dsl.Types.infer env prog);
+      let st = Random.State.make [| 0xe4ec |] in
+      let inputs = Dsl.Interp.random_inputs st env in
+      let lookup n = List.assoc n inputs in
+      let compiled = Stenso.Exec.compile ~options ~env prog in
+      let ti =
+        time_min ~budget (fun () -> ignore (Dsl.Interp.eval_alist inputs prog))
+      in
+      let tv =
+        time_min ~budget (fun () -> ignore (Stenso.Exec.run compiled lookup))
+      in
+      let s = Stenso.Exec.stats compiled in
+      let speedup = ti /. tv in
+      Printf.printf
+        "%-14s %10.1fus %10.1fus %8.2fx  (%d, %d, %d, %d, %dB)\n" name
+        (ti *. 1e6) (tv *. 1e6) speedup s.steps s.ops_fused s.parallel_strips
+        s.buffers_reused s.arena_bytes;
+      if expects_fused && s.ops_fused = 0 then
+        Printf.printf
+          "  WARNING: %s is reduction-rooted but nothing was fused\n" name;
+      (name, ti, tv, speedup, s, expects_fused))
+    entries
+
+let exec_footer rows =
+  let g = geomean (List.map (fun (_, _, _, s, _, _) -> s) rows) in
+  Printf.printf "%s\n" subline;
+  Printf.printf "%-14s %34.2fx geomean\n" "" g;
+  g
+
+let exec_csv name rows =
+  emit_csv name
+    [ "benchmark"; "interp_seconds"; "vm_seconds"; "speedup" ]
+    (List.map
+       (fun (name, ti, tv, s, _, _) ->
+         [ name; Printf.sprintf "%.9g" ti; Printf.sprintf "%.9g" tv;
+           Printf.sprintf "%.4f" s ])
+       rows)
+
+let exec_doc ~options ~geomean:g rows =
+  let module J = Stenso.Telemetry.Json in
+  J.Obj
+    [
+      ("schema", J.Str Suite.Driver.exec_bench_schema_version);
+      ("version", J.Str Stenso.Version.current);
+      ("options", J.Str (Stenso.Exec.Options.fingerprint options));
+      ("n_benchmarks", J.Int (List.length rows));
+      ("geomean_speedup", J.Float g);
+      ( "results",
+        J.List
+          (List.map
+             (fun (name, ti, tv, s, (st : Stenso.Exec.stats), expects_fused) ->
+               J.Obj
+                 [
+                   ("name", J.Str name);
+                   ("interp_seconds", J.Float ti);
+                   ("vm_seconds", J.Float tv);
+                   ("speedup", J.Float s);
+                   ("steps", J.Int st.steps);
+                   ("ops_fused", J.Int st.ops_fused);
+                   ("parallel_strips", J.Int st.parallel_strips);
+                   ("buffers_reused", J.Int st.buffers_reused);
+                   ("arena_bytes", J.Int st.arena_bytes);
+                   ("expects_fused_reduction", J.Bool expects_fused);
+                 ])
+             rows) );
+    ]
+
+let write_report ~label doc =
+  match !report_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Stenso.Telemetry.Json.to_string doc);
+          output_char oc '\n');
+      Printf.printf "  wrote %s report to %s\n%!" label path
+
 let exec_bench ~full () =
   header
     "Execution engines: tree-walking interpreter vs compiled VM\n\
@@ -622,91 +712,92 @@ let exec_bench ~full () =
   let budget = if full then 0.5 else 0.1 in
   let options = !exec_opts in
   Printf.printf "exec options: %s\n\n" (Stenso.Exec.Options.fingerprint options);
-  Printf.printf "%-12s %12s %12s %9s  %s\n" "Benchmark" "interp" "vm"
-    "speedup" "plan (steps, fused, strips, reused, arena)";
-  Printf.printf "%s\n" subline;
-  let rows =
+  exec_table_header ();
+  let entries =
     List.map
       (fun (name, source, expects_fused) ->
         let env, prog = Dsl.Parser.program source in
-        ignore (Dsl.Types.infer env prog);
-        let st = Random.State.make [| 0xe4ec |] in
-        let inputs = Dsl.Interp.random_inputs st env in
-        let lookup n = List.assoc n inputs in
-        let compiled = Stenso.Exec.compile ~options ~env prog in
-        let ti =
-          time_min ~budget (fun () ->
-              ignore (Dsl.Interp.eval_alist inputs prog))
-        in
-        let tv =
-          time_min ~budget (fun () -> ignore (Stenso.Exec.run compiled lookup))
-        in
-        let s = Stenso.Exec.stats compiled in
-        let speedup = ti /. tv in
-        Printf.printf
-          "%-12s %10.1fus %10.1fus %8.2fx  (%d, %d, %d, %d, %dB)\n" name
-          (ti *. 1e6) (tv *. 1e6) speedup s.steps s.ops_fused
-          s.parallel_strips s.buffers_reused s.arena_bytes;
-        if expects_fused && s.ops_fused = 0 then
-          Printf.printf
-            "  WARNING: %s is reduction-rooted but nothing was fused\n" name;
-        (name, ti, tv, speedup, s, expects_fused))
+        (name, env, prog, expects_fused))
       exec_micro
   in
-  let g = geomean (List.map (fun (_, _, _, s, _, _) -> s) rows) in
-  Printf.printf "%s\n" subline;
-  Printf.printf "%-12s %36.2fx geomean\n" "" g;
-  emit_csv "exec_vm"
-    [ "benchmark"; "interp_seconds"; "vm_seconds"; "speedup" ]
-    (List.map
-       (fun (name, ti, tv, s, _, _) ->
-         [ name; Printf.sprintf "%.9g" ti; Printf.sprintf "%.9g" tv;
-           Printf.sprintf "%.4f" s ])
-       rows);
-  match !report_file with
-  | None -> ()
-  | Some path ->
-      let module J = Stenso.Telemetry.Json in
-      let doc =
-        J.Obj
-          [
-            ("schema", J.Str "stenso.exec-bench/1");
-            ("version", J.Str Stenso.Version.current);
-            ("options", J.Str (Stenso.Exec.Options.fingerprint options));
-            ("n_benchmarks", J.Int (List.length rows));
-            ("geomean_speedup", J.Float g);
-            ( "results",
-              J.List
-                (List.map
-                   (fun ( name,
-                          ti,
-                          tv,
-                          s,
-                          (st : Stenso.Exec.stats),
-                          expects_fused ) ->
-                     J.Obj
-                       [
-                         ("name", J.Str name);
-                         ("interp_seconds", J.Float ti);
-                         ("vm_seconds", J.Float tv);
-                         ("speedup", J.Float s);
-                         ("steps", J.Int st.steps);
-                         ("ops_fused", J.Int st.ops_fused);
-                         ("parallel_strips", J.Int st.parallel_strips);
-                         ("buffers_reused", J.Int st.buffers_reused);
-                         ("arena_bytes", J.Int st.arena_bytes);
-                         ("expects_fused_reduction", J.Bool expects_fused);
-                       ])
-                   rows) );
-          ]
-      in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc (J.to_string doc);
-          output_char oc '\n');
-      Printf.printf "  wrote exec-bench report to %s\n%!" path
+  let rows = exec_measure ~budget ~options entries in
+  let g = exec_footer rows in
+  exec_csv "exec_vm" rows;
+  write_report ~label:"exec-bench" (exec_doc ~options ~geomean:g rows)
+
+(* ------------------------------------------------------------------ *)
+(* ML-kernel workload tier: exec point + tiered-serving point          *)
+(* ------------------------------------------------------------------ *)
+
+let mlsuite ~full () =
+  header
+    "ML-kernel workload tier (softmax / layernorm / attention)\n\
+     exec point: interp vs VM at performance shapes; tiers point:\n\
+     mined depth-2 rules vs full search at synthesis shapes";
+  let budget = if full then 0.5 else 0.1 in
+  let options = !exec_opts in
+  Printf.printf "exec options: %s\n\n" (Stenso.Exec.Options.fingerprint options);
+  exec_table_header ();
+  let entries =
+    List.map
+      (fun (b : B.t) ->
+        (* attn_mix's elementwise producer feeds a contraction, not a
+           reduction loop — the planner has nothing to inline there. *)
+        (b.name, b.perf_env, b.perf_program, b.name <> "attn_mix"))
+      B.ml
+  in
+  let rows = exec_measure ~budget ~options entries in
+  let g = exec_footer rows in
+  exec_csv "mlsuite_exec" rows;
+  let exec = exec_doc ~options ~geomean:g rows in
+  (* Tiered-serving point: mine the tier's environments at depth 2 into
+     a scratch store, then run the same benchmarks three ways —
+     baseline (full search, no store), cold (mined rules, empty outcome
+     store), warm (the same requests again, now also hitting the
+     outcome store). *)
+  let config =
+    Stenso.Config.default
+    |> Stenso.Config.with_estimator `Flops
+    |> Stenso.Config.with_timeout (if full then 30. else 10.)
+    |> Stenso.Config.with_exec_options options
+    |> Stenso.Config.with_rules_depth 2
+  in
+  let model = Stenso.Config.model config in
+  let store_dir = Filename.temp_file "stenso-mlsuite" ".store" in
+  Sys.remove store_dir;
+  let store =
+    Stenso.Store.open_store ~tel:Stenso.Telemetry.null ~dir:store_dir ()
+  in
+  Printf.printf "\nmining depth-2 rules over %d benchmark environments...\n%!"
+    (List.length B.ml);
+  let stats =
+    Stenso.Mine.mine ~jobs:!jobs ~depth:2 ~model ~store
+      (List.map (fun (b : B.t) -> (b.name, b.env)) B.ml)
+  in
+  List.iter
+    (fun (s : Stenso.Mine.env_stats) ->
+      Printf.printf "  %-16s %4d rules, %6d optima%s %6.1fs\n%!" s.label
+        s.rules s.optima
+        (if s.truncated then " (truncated)" else "")
+        s.elapsed)
+    stats;
+  let pass name cfg store =
+    Printf.printf "%s pass...\n%!" name;
+    Suite.Driver.run ~config:cfg ~model ?store ~jobs:!jobs B.ml
+  in
+  let baseline =
+    pass "baseline (full search)" (Stenso.Config.with_rules_depth 0 config)
+      None
+  in
+  let cold = pass "tiered, cold" config (Some store) in
+  let warm = pass "tiered, warm" config (Some store) in
+  let tiers = Suite.Driver.tiers_report ~config ~baseline ~cold ~warm () in
+  let doc = Suite.Driver.mlsuite_report ~exec ~tiers () in
+  (match Suite.Driver.validate_mlsuite ~min_speedup:1.0 doc with
+  | Ok () -> Printf.printf "mlsuite report valid (every kernel >= 1.0x)\n"
+  | Error msg ->
+      Printf.printf "  WARNING: mlsuite report failed validation: %s\n" msg);
+  write_report ~label:"mlsuite" doc
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: real wall-clock on the tensor substrate                   *)
@@ -840,6 +931,7 @@ let () =
   if want "egraph" then egraph (need results);
   if want "ablation" then ablations ();
   if want "vm" then exec_bench ~full ();
+  if want "mlsuite" then mlsuite ~full ();
   if want "masking" then masking ();
   if want "scaling" then scaling ();
   if want "bechamel" then bechamel (need results)

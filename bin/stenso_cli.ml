@@ -131,15 +131,24 @@ let optimize_run program_path synth_out estimator engine exec timeout jobs
 (* stenso suite                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Group tokens expand to whole tiers; anything else must be a
+   benchmark name. *)
 let select_benchmarks names =
   match names with
   | [] -> Suite.Benchmarks.all
   | names ->
-      List.map
+      List.concat_map
         (fun name ->
-          match Suite.Benchmarks.find_opt name with
-          | Some b -> b
-          | None -> die "unknown benchmark %S (see `stenso suite --list')" name)
+          match name with
+          | "github" -> Suite.Benchmarks.github
+          | "synthetic" -> Suite.Benchmarks.synthetic
+          | "masking" -> Suite.Benchmarks.masking
+          | "ml" -> Suite.Benchmarks.ml
+          | name -> (
+              match Suite.Benchmarks.find_opt name with
+              | Some b -> [ b ]
+              | None ->
+                  die "unknown benchmark %S (see `stenso suite --list')" name))
         names
 
 (* The three-pass tiered-serving comparison behind [--tiers-report]:
@@ -186,10 +195,19 @@ let suite_run list_only names jobs timeout estimator engine exec cost_cache
     rules_depth use_store store_dir out report tiers_report quiet =
   if list_only then
     List.iter
-      (fun (b : Suite.Benchmarks.t) ->
-        Printf.printf "%-16s %s\n" b.name
-          (Dsl.Ast.to_string b.program))
-      Suite.Benchmarks.all
+      (fun (group, benches) ->
+        Printf.printf "# %s\n" group;
+        List.iter
+          (fun (b : Suite.Benchmarks.t) ->
+            Printf.printf "%-16s %s\n" b.name
+              (Dsl.Ast.to_string b.program))
+          benches)
+      [
+        ("github", Suite.Benchmarks.github);
+        ("synthetic", Suite.Benchmarks.synthetic);
+        ("masking", Suite.Benchmarks.masking);
+        ("ml", Suite.Benchmarks.ml);
+      ]
   else begin
     let benches = select_benchmarks names in
     let config =
@@ -475,6 +493,35 @@ let report_run file min_speedup =
               (int "n_benchmarks") (pass "cold") (pass "warm")
               (float "warm_speedup")
               (int "n_cost_mismatches"))
+      else if String.equal schema Suite.Driver.mlsuite_schema_version then (
+        match Suite.Driver.validate_mlsuite ?min_speedup doc with
+        | Error msg -> die "%s: invalid mlsuite report: %s" file msg
+        | Ok () ->
+            let sub name field =
+              match J.member name doc with
+              | Some d ->
+                  Option.value ~default:Float.nan
+                    (Option.bind (J.member field d) J.to_float_opt)
+              | None -> Float.nan
+            in
+            let subi name field =
+              match J.member name doc with
+              | Some d ->
+                  Option.value ~default:0
+                    (Option.bind (J.member field d) J.to_int_opt)
+              | None -> 0
+            in
+            Printf.printf
+              "%s: valid %s (%d kernels, %.2fx VM geomean; tiers: %.1fx \
+               warm speedup, %d cost mismatches%s)\n"
+              file schema
+              (subi "exec" "n_benchmarks")
+              (sub "exec" "geomean_speedup")
+              (sub "tiers" "warm_speedup")
+              (subi "tiers" "n_cost_mismatches")
+              (match min_speedup with
+              | None -> ""
+              | Some m -> Printf.sprintf "; all above %.2fx" m))
       else if String.equal schema Suite.Driver.serve_load_schema_version then (
         (match min_speedup with
         | Some _ ->
@@ -929,7 +976,9 @@ let suite_cmd =
       value
       & opt (list string) []
       & info [ "benchmarks" ] ~docv:"NAMES"
-          ~doc:"Comma-separated benchmark names (default: all 33).")
+          ~doc:
+            "Comma-separated benchmark names or group tokens (github, \
+             synthetic, masking, ml); default: the paper's 33.")
   in
   let out_arg =
     Arg.(
@@ -1065,7 +1114,9 @@ let profile_cmd =
       value
       & opt (list string) []
       & info [ "benchmarks" ] ~docv:"NAMES"
-          ~doc:"Comma-separated benchmark names (default: all 33).")
+          ~doc:
+            "Comma-separated benchmark names or group tokens (github, \
+             synthetic, masking, ml); default: the paper's 33.")
   in
   Cmd.v
     (Cmd.info "profile"

@@ -205,7 +205,7 @@ let sum_axis_candidates cfg spec =
           in
           (* Resulting axis in the original rank: summing [hole] over
              [axis] restores the spec. *)
-          { op = Ast.Sum (Some axis); parts = [ P_hole hole ] })
+          { op = Ast.sum_op (Some axis); parts = [ P_hole hole ] })
   | _ -> []
 
 let divisor_pairs t =
@@ -224,13 +224,13 @@ let sum_all_candidates cfg spec =
         let terms = Expr.terms (St.get spec [||]) in
         let arr = Array.of_list terms in
         let flat =
-          { op = Ast.Sum None; parts = [ P_hole (St.of_array [| t |] arr) ] }
+          { op = Ast.sum_op None; parts = [ P_hole (St.of_array [| t |] arr) ] }
         in
         let matrices =
           List.filter_map
             (fun (r, c) ->
               if r = t then None
-              else Some { op = Ast.Sum None;
+              else Some { op = Ast.sum_op None;
                           parts = [ P_hole (St.of_array [| r; c |] arr) ] })
             (divisor_pairs t)
         in

@@ -7,6 +7,7 @@ type env_stats = {
   dups : int;
   rules : int;
   optima : int;
+  truncated : bool;
   elapsed : float;
 }
 
@@ -20,9 +21,18 @@ let reparses (r : Rules.t) =
   in
   ok r.lhs && ok r.rhs
 
-let mine_env ?(tel = Obs.Telemetry.null) ?(jobs = 1) ~depth ~model env =
+let mine_env ?(tel = Obs.Telemetry.null) ?(jobs = 1) ?max_stubs ~depth ~model
+    env =
   let t0 = Unix.gettimeofday () in
   let config = Rules_db.mine_config ~jobs ~depth () in
+  (* Test/benchmark escape hatch.  The database key deliberately does
+     not capture the override: a cap small enough to matter truncates
+     the library, and a truncated entry never publishes optima. *)
+  let config =
+    match max_stubs with
+    | None -> config
+    | Some n -> { config with Stub.max_stubs = n }
+  in
   (* Collect every strictly-worse duplicate; key by rendering so a
      program displaced and re-attempted is recorded once. *)
   let displaced : (string, Stub.t) Hashtbl.t = Hashtbl.create 256 in
@@ -49,14 +59,24 @@ let mine_env ?(tel = Obs.Telemetry.null) ?(jobs = 1) ~depth ~model env =
         | Some _ | None -> acc)
       displaced []
   in
+  let truncated = Stub.truncated lib in
+  (* An optima table is a "cheapest program for this spec" claim over
+     the full bounded stub space.  A truncated enumeration never saw
+     that space, so recording its per-spec champions would let tier 2
+     certify answers against optima that deeper stubs may beat.  The
+     rules are kept — each one pairs two programs verified equivalent
+     within the library, truncated or not. *)
   let optima =
-    List.map
-      (fun (s : Stub.t) ->
-        (Rules_db.spec_digest s.sem, (s.cost, Ast.to_string s.prog)))
-      (Stub.stubs lib)
+    if truncated then []
+    else
+      List.map
+        (fun (s : Stub.t) ->
+          (Rules_db.spec_digest s.sem, (s.cost, Ast.to_string s.prog)))
+        (Stub.stubs lib)
   in
   let entry =
-    Rules_db.entry ~model_id:model.Cost.Model.name ~depth ~rules ~optima
+    Rules_db.entry ~truncated ~model_id:model.Cost.Model.name ~depth ~rules
+      ~optima ()
   in
   let stats =
     {
@@ -66,13 +86,14 @@ let mine_env ?(tel = Obs.Telemetry.null) ?(jobs = 1) ~depth ~model env =
       dups = Hashtbl.length displaced;
       rules = List.length entry.Rules_db.rules;
       optima = Hashtbl.length entry.Rules_db.optima;
+      truncated;
       elapsed = Unix.gettimeofday () -. t0;
     }
   in
   (entry, stats)
 
-let mine ?(tel = Obs.Telemetry.null) ?(jobs = 1) ?on_env ~depth ~model ~store
-    envs =
+let mine ?(tel = Obs.Telemetry.null) ?(jobs = 1) ?max_stubs ?on_env ~depth
+    ~model ~store envs =
   let model_id = model.Cost.Model.name in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   List.filter_map
@@ -81,7 +102,7 @@ let mine ?(tel = Obs.Telemetry.null) ?(jobs = 1) ?on_env ~depth ~model ~store
       if Hashtbl.mem seen key then None
       else begin
         Hashtbl.add seen key ();
-        let entry, stats = mine_env ~tel ~jobs ~depth ~model env in
+        let entry, stats = mine_env ~tel ~jobs ?max_stubs ~depth ~model env in
         Rules_db.record store ~key entry;
         let stats = { stats with label } in
         Obs.Telemetry.event tel "mine.env"
@@ -90,6 +111,7 @@ let mine ?(tel = Obs.Telemetry.null) ?(jobs = 1) ?on_env ~depth ~model ~store
             ("stubs", Obs.Telemetry.Int stats.stubs);
             ("rules", Obs.Telemetry.Int stats.rules);
             ("optima", Obs.Telemetry.Int stats.optima);
+            ("truncated", Obs.Telemetry.Bool stats.truncated);
             ("elapsed", Obs.Telemetry.Float stats.elapsed);
           ];
         (match on_env with Some f -> f stats | None -> ());

@@ -18,12 +18,16 @@ type env_stats = {
   dups : int;  (** strictly-worse semantic duplicates observed *)
   rules : int;  (** rules persisted after filtering and deduplication *)
   optima : int;  (** optima-table entries persisted *)
+  truncated : bool;
+      (** the enumeration hit its stub cap or deadline; no optima were
+          recorded (see {!Rules_db.t}) *)
   elapsed : float;
 }
 
 val mine_env :
   ?tel:Obs.Telemetry.t ->
   ?jobs:int ->
+  ?max_stubs:int ->
   depth:int ->
   model:Cost.Model.t ->
   Dsl.Types.env ->
@@ -31,11 +35,15 @@ val mine_env :
 (** Mine one environment (with {!Rules_db.standard_consts} as the
     constant terminals) without touching any store.  Rules are kept only
     when they strictly decrease cost, bind at least one metavariable,
-    and have a right-hand side whose inputs all occur on the left. *)
+    and have a right-hand side whose inputs all occur on the left.
+    [max_stubs] overrides the pinned enumeration budget (tests and
+    benchmarks); a cap that bites marks the entry truncated, which
+    suppresses its optima table. *)
 
 val mine :
   ?tel:Obs.Telemetry.t ->
   ?jobs:int ->
+  ?max_stubs:int ->
   ?on_env:(env_stats -> unit) ->
   depth:int ->
   model:Cost.Model.t ->

@@ -22,6 +22,10 @@ type t = {
   version : string;
   model_id : string;
   depth : int;
+  truncated : bool;
+      (* the mining enumeration hit its stub cap or deadline: the rule
+         set is still sound (each rule was verified within the library),
+         but "no better program exists" conclusions must not be drawn *)
   rules : rule list;
   optima : (string, float * string) Hashtbl.t;
 }
@@ -52,7 +56,7 @@ let dedupe_rules rules =
   in
   List.filteri (fun i _ -> i < max_rules) sorted
 
-let entry ~model_id ~depth ~rules ~optima =
+let entry ?(truncated = false) ~model_id ~depth ~rules ~optima () =
   let table = Hashtbl.create (List.length optima) in
   List.iter
     (fun (digest, ((cost, _) as binding)) ->
@@ -64,6 +68,7 @@ let entry ~model_id ~depth ~rules ~optima =
     version = Version.current;
     model_id;
     depth;
+    truncated;
     rules = dedupe_rules rules;
     optima = table;
   }
@@ -115,6 +120,7 @@ let to_json t =
       ("version", Json.Str t.version);
       ("model", Json.Str t.model_id);
       ("depth", Json.Int t.depth);
+      ("truncated", Json.Bool t.truncated);
       ("rules", Json.List (List.map rule_json t.rules));
       ("optima", Json.List optima);
     ]
@@ -153,6 +159,12 @@ let of_json j =
   let* depth = Option.bind (Json.member "depth" j) Json.to_int_opt in
   let* rule_docs = Option.bind (Json.member "rules" j) Json.to_list_opt in
   let* optima_docs = Option.bind (Json.member "optima" j) Json.to_list_opt in
+  (* Entries written before the flag existed default to [false]: their
+     optima predate truncation tracking and are grandfathered in. *)
+  let truncated =
+    Option.value ~default:false
+      (Option.bind (Json.member "truncated" j) Json.to_bool_opt)
+  in
   (* Individually malformed lines degrade the entry, not the load. *)
   let rules = List.filter_map rule_of_json rule_docs in
   let optima = Hashtbl.create (List.length optima_docs) in
@@ -164,7 +176,7 @@ let of_json j =
           | None -> ())
       | _ -> ())
     optima_docs;
-  Some { version; model_id; depth; rules; optima }
+  Some { version; model_id; depth; truncated; rules; optima }
 
 (* ------------------------------------------------------------------ *)
 (* Store plumbing                                                      *)
@@ -225,6 +237,11 @@ let record_feedback store ~key ~model_id ~depth ?rule ~spec_digest ~cost ~prog
         | Some t -> (t.rules, Hashtbl.copy t.optima)
         | None -> ([], Hashtbl.create 4)
       in
+      (* Feedback optima come from verified searches, not from the
+         mining enumeration; they do not clear the truncation mark. *)
+      let truncated =
+        match current with Some t -> t.truncated | None -> false
+      in
       let rules =
         match rule with
         | None -> rules
@@ -242,6 +259,7 @@ let record_feedback store ~key ~model_id ~depth ?rule ~spec_digest ~cost ~prog
           version = Version.current;
           model_id;
           depth;
+          truncated;
           rules;
           optima = optima_tbl;
         })

@@ -49,6 +49,13 @@ type t = {
   version : string;  (** build that mined the entry *)
   model_id : string;
   depth : int;
+  truncated : bool;
+      (** the mining enumeration hit its stub cap or deadline.  Rules
+          stay sound (each was verified within the enumerated library),
+          but the miner refuses to record optima from a truncated
+          library — a "cheapest known" claim over a partial space is
+          not one — so this flag on a decoded entry means its optima
+          came solely from tier-3 feedback (or predate the flag). *)
   rules : rule list;  (** sorted by decreasing gain *)
   optima : (string, float * string) Hashtbl.t;
       (** spec-key digest ↦ (cost, program text) of the cheapest known
@@ -62,14 +69,17 @@ val spec_digest : Spec.t -> string
 (** Digest of the canonical spec rendering — the optima-table key. *)
 
 val entry :
+  ?truncated:bool ->
   model_id:string ->
   depth:int ->
   rules:rule list ->
   optima:(string * (float * string)) list ->
+  unit ->
   t
 (** Assemble a fresh entry: rules are deduplicated (by rendered
     lhs/rhs), sorted by decreasing gain and capped at {!max_rules};
-    optima keep the cheapest binding per digest. *)
+    optima keep the cheapest binding per digest.  [truncated] (default
+    [false]) stamps the entry as mined from a capped enumeration. *)
 
 val lookup_optimum : t -> string -> (float * Dsl.Ast.t) option
 (** The recorded cheapest implementation of a spec digest, parsed.

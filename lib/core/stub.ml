@@ -52,12 +52,19 @@ let truncated l = l.hit_cap
    ranks available.  Attribute-carrying ops are expanded per rank. *)
 let unary_ops ~extended rank =
   let axes = List.init rank (fun i -> Some i) in
-  let sums = List.map (fun a -> Ast.Sum a) (None :: axes) in
-  let maxes = List.map (fun a -> Ast.Max a) (None :: axes) in
+  let sums = List.map (fun a -> Ast.sum_op a) (None :: axes) in
+  let maxes = List.map (fun a -> Ast.max_op a) (None :: axes) in
+  (* keepdims variants keep the reduced axis as size 1 so the result
+     broadcasts back over its source — the shape softmax/layernorm-style
+     kernels need.  Only per-axis variants: a keepdims full reduction is
+     just a reshape of the scalar and never appears in the workloads. *)
+  let keep_sums = List.map (fun a -> Ast.sum_op ~keepdims:true a) axes in
+  let keep_maxes = List.map (fun a -> Ast.max_op ~keepdims:true a) axes in
   let base = [ Ast.Sqrt; Ast.Exp; Ast.Log ] in
   let structural =
     (if rank >= 2 then [ Ast.Transpose None; Ast.Diag; Ast.Trace ] else [])
     @ (if rank >= 1 then sums @ maxes else [])
+    @ if rank >= 2 then keep_sums @ keep_maxes else []
   in
   let masks = if extended && rank = 2 then [ Ast.Triu; Ast.Tril ] else [] in
   base @ structural @ masks
@@ -229,8 +236,12 @@ let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ?on_dup
       hit_cap := true;
       raise Stop_enumeration
     end;
+    (* Checked on every attempt: a single candidate evaluation can take
+       milliseconds (symbolic towers of rational exponents), so any
+       batching here turns the deadline into a suggestion.  The clock
+       read is vDSO-cheap next to even the fastest evaluation. *)
     match config.deadline with
-    | Some d when !attempts land 1023 = 0 && Unix.gettimeofday () > d ->
+    | Some d when Unix.gettimeofday () > d ->
         hit_cap := true;
         raise Stop_enumeration
     | _ -> ()
@@ -297,17 +308,20 @@ let enumerate ?(config = default_config) ?(tel = Obs.Telemetry.null) ?on_dup
 (* Canonical identity of an enumeration: everything the resulting
    library depends on.  [deadline] and [jobs] are deliberately excluded
    — [jobs] never changes the library (registration is sequential) and
-   [deadline] only truncates it, which the cache accepts as the answer
-   for the run that built it. *)
+   [deadline] only truncates it; a truncated library is never published
+   to the cache (see {!Cache}), so the key does not need to capture it. *)
 let fingerprint (config : config) ~consts (env : Types.env) =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
     (Printf.sprintf "stub:d=%d,max=%d,ext=%b,full=%b" config.depth
        config.max_stubs config.extended_ops config.full_binary);
   Buffer.add_string buf ";consts=";
+  (* Constants are keyed by IEEE-754 bit pattern (like the e-graph's
+     hashconsing): polymorphic compare on floats mis-sorts NaN, and
+     printf rounding must not be what decides cache identity. *)
   List.iter
-    (fun c -> Buffer.add_string buf (Printf.sprintf "%.17g," c))
-    (List.sort_uniq compare consts);
+    (fun bits -> Buffer.add_string buf (Printf.sprintf "%Lx," bits))
+    (List.sort_uniq Int64.compare (List.map Int64.bits_of_float consts));
   Buffer.add_string buf ";env=";
   List.iter
     (fun ((name, vt) : string * Types.vt) ->
@@ -360,7 +374,11 @@ module Cache = struct
         in
         (match enumerate ?tel ~config ~model ~consts env with
         | lib ->
-            finish (Some lib);
+            (* A library truncated by the deadline or the stub cap is
+               complete only for the run that built it: publishing it
+               would serve callers with fresh deadlines a partial answer
+               forever.  They re-enumerate instead. *)
+            finish (if lib.hit_cap then None else Some lib);
             (lib, false)
         | exception e ->
             finish None;

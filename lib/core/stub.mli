@@ -107,7 +107,10 @@ val attempts : library -> int
 
 val env : library -> Dsl.Types.env
 val truncated : library -> bool
-(** Did enumeration hit [max_stubs]? *)
+(** Did enumeration stop early — at [max_stubs] or the deadline?  A
+    truncated library is sound but incomplete: "no cheaper program
+    exists" conclusions must not be drawn from it, and {!Cache} never
+    shares one across requests. *)
 
 val lookup_exact : library -> Spec.t -> t option
 (** Cheapest stub whose symbolic value (and shape) equals the spec. *)

@@ -77,10 +77,22 @@ let superoptimize ?(tel = Obs.Telemetry.null) ?(config = Search.default_config)
     match stub_cache with
     | None -> None
     | Some cache ->
+        (* Mirror the deadline Search.run sets on its own enumeration
+           (search.ml): without it the cached path enumerates unbounded
+           and the search timeout only starts counting afterwards.  The
+           deadline is not part of the cache key, and a truncated
+           library is never published, so sharing is unaffected. *)
+        let stub_config =
+          {
+            config.Search.stub_config with
+            Stub.deadline =
+              Some (Unix.gettimeofday () +. config.Search.timeout);
+          }
+        in
         let lib, shared =
           Obs.Telemetry.span tel "phase.stub_enum" (fun () ->
-              Stub.Cache.enumerate cache ~config:config.Search.stub_config
-                ~tel ~model ~consts env)
+              Stub.Cache.enumerate cache ~config:stub_config ~tel ~model
+                ~consts env)
         in
         if shared && Obs.Telemetry.enabled tel then
           Obs.Telemetry.incr tel "stub.cache_hits";
@@ -249,6 +261,7 @@ type tier2 = {
          for this spec (or costs nothing at all), so the search cannot
          improve on what the database already knows *)
   t2_applied : int;  (* rewrite steps taken (fixpoint + saturation) *)
+  t2_db_truncated : bool;  (* the serving database was mined truncated *)
   t2_elapsed : float;
 }
 
@@ -374,6 +387,7 @@ let tier2_attempt ~tel ~config ~model ~env ~spec ~depth ~store prog =
                 t2_cost = best_cost;
                 t2_certified = certified;
                 t2_applied = !applied;
+                t2_db_truncated = db.Rules_db.truncated;
                 t2_elapsed = Unix.gettimeofday () -. t0;
               }
       in
@@ -425,13 +439,14 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
                 Dsl.Sexec.exec_env env prog)
       in
       let key = store_key ~config ~model ~env ~spec prog in
-      let serve_event tier =
+      let serve_event ?(db_truncated = false) tier =
         Obs.Telemetry.incr tel "tier.hit";
         Obs.Telemetry.incr tel (Printf.sprintf "tier%d.hits" tier);
         Obs.Telemetry.event tel "tier.serve"
           [
             ("tier", Obs.Telemetry.Int tier);
             ("key", Obs.Telemetry.Str (Store.digest key));
+            ("db_truncated", Obs.Telemetry.Bool db_truncated);
           ]
       in
       let record (outcome : outcome) =
@@ -513,7 +528,7 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
                   refined = false;
                 }
               in
-              serve_event 2;
+              serve_event ~db_truncated:t2.t2_db_truncated 2;
               record outcome;
               outcome
           | _ ->
@@ -547,7 +562,9 @@ let optimize ?(tel = Obs.Telemetry.null) ?(config = Config.default) ?store
                     }
                 | _ -> outcome
               in
-              serve_event 3;
+              serve_event
+                ?db_truncated:(Option.map (fun t -> t.t2_db_truncated) t2)
+                3;
               (match Config.rules_depth config with
               | Some depth when outcome.verified ->
                   tier3_feedback ~model ~env ~spec ~depth ~store outcome

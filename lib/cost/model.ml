@@ -118,9 +118,10 @@ let op_fingerprint (op : Dsl.Ast.op) (args : Dsl.Types.vt list) =
             (String.concat ","
                (Array.to_list (Array.map string_of_int p)))
       | Transpose None -> Format.fprintf ppf "[rev]"
-      | Sum ax | Max ax ->
-          Format.fprintf ppf "[%s]"
-            (match ax with None -> "all" | Some a -> string_of_int a)
+      | Sum { axis; keepdims } | Max { axis; keepdims } ->
+          Format.fprintf ppf "[%s%s]"
+            (match axis with None -> "all" | Some a -> string_of_int a)
+            (if keepdims then ";k" else "")
       | Stack ax -> Format.fprintf ppf "[%d]" ax
       | Reshape s | Full s ->
           Format.fprintf ppf "[%s]"

@@ -1,3 +1,5 @@
+type reduce = { axis : int option; keepdims : bool }
+
 type op =
   | Add
   | Sub
@@ -11,8 +13,8 @@ type op =
   | Dot
   | Tensordot of int list * int list
   | Transpose of int array option
-  | Sum of int option
-  | Max of int option
+  | Sum of reduce
+  | Max of reduce
   | Stack of int
   | Where
   | Less
@@ -28,6 +30,10 @@ type t =
   | Const of float
   | App of op * t list
   | For_stack of { var : string; iter : string; body : t }
+
+let reduce ?(keepdims = false) axis = { axis; keepdims }
+let sum_op ?keepdims axis = Sum (reduce ?keepdims axis)
+let max_op ?keepdims axis = Max (reduce ?keepdims axis)
 
 let op_name = function
   | Add -> "add"
@@ -131,6 +137,10 @@ let pp_axis ppf = function
   | None -> ()
   | Some a -> Format.fprintf ppf ", axis=%d" a
 
+let pp_reduce ppf { axis; keepdims } =
+  pp_axis ppf axis;
+  if keepdims then Format.fprintf ppf ", keepdims=True"
+
 let rec pp ppf t =
   match t with
   | Input name -> Format.pp_print_string ppf name
@@ -151,8 +161,8 @@ and pp_app ppf op args =
       args extras
   in
   match (op, args) with
-  | Sum axis, [ _ ] -> call "sum" (Format.asprintf "%a" pp_axis axis)
-  | Max axis, [ _ ] -> call "max" (Format.asprintf "%a" pp_axis axis)
+  | Sum r, [ _ ] -> call "sum" (Format.asprintf "%a" pp_reduce r)
+  | Max r, [ _ ] -> call "max" (Format.asprintf "%a" pp_reduce r)
   | Stack axis, _ ->
       Format.fprintf ppf "np.stack([%a], axis=%d)"
         (Format.pp_print_list

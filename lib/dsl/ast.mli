@@ -7,6 +7,11 @@
     list-comprehension loop [For_stack] that models
     [np.stack([body for v in xs])]. *)
 
+type reduce = { axis : int option; keepdims : bool }
+(** Reduction attributes: [axis = None] reduces all axes; [keepdims]
+    keeps every reduced axis as size 1 so the result broadcasts back
+    over its source (NumPy's [keepdims=True]). *)
+
 type op =
   | Add
   | Sub
@@ -20,8 +25,8 @@ type op =
   | Dot
   | Tensordot of int list * int list
   | Transpose of int array option  (** [None] reverses all axes *)
-  | Sum of int option  (** [None] reduces all axes *)
-  | Max of int option
+  | Sum of reduce
+  | Max of reduce
   | Stack of int  (** axis *)
   | Where
   | Less
@@ -39,6 +44,12 @@ type t =
   | For_stack of { var : string; iter : string; body : t }
       (** [np.stack([body for var in iter], axis=0)] where [iter] names
           an input tensor iterated along axis 0. *)
+
+val reduce : ?keepdims:bool -> int option -> reduce
+(** [reduce axis] with [keepdims] defaulting to [false]. *)
+
+val sum_op : ?keepdims:bool -> int option -> op
+val max_op : ?keepdims:bool -> int option -> op
 
 val op_name : op -> string
 val op_arity : op -> int

@@ -32,8 +32,8 @@ and apply (op : Ast.op) (args : F.t list) : F.t =
   | Dot, [ a; b ] -> F.dot a b
   | Tensordot (axes_a, axes_b), [ a; b ] -> F.tensordot a b ~axes_a ~axes_b
   | Transpose perm, [ a ] -> F.transpose ?perm a
-  | Sum axis, [ a ] -> F.sum ?axis a
-  | Max axis, [ a ] -> F.max_reduce ?axis a
+  | Sum { axis; keepdims }, [ a ] -> F.sum ?axis ~keepdims a
+  | Max { axis; keepdims }, [ a ] -> F.max_reduce ?axis ~keepdims a
   | Stack axis, ts -> F.stack ts ~axis
   | Where, [ c; a; b ] -> F.where c a b
   | Less, [ a; b ] -> F.less a b

@@ -334,22 +334,37 @@ and parse_np_call s fn =
       Ast.App (Where, [ c; a; b ])
   | "sum" | "max" ->
       let a = parse_expr s in
-      let axis =
+      let axis = ref None and keepdims = ref false in
+      let parse_keepdims () =
+        expect s EQUALS;
+        match next s with
+        | IDENT "True" -> keepdims := true
+        | IDENT "False" -> keepdims := false
+        | t -> fail "expected True or False for keepdims, found %s" (pp_token t)
+      in
+      let rec args () =
         match peek s with
-        | COMMA -> (
+        | COMMA ->
             advance s;
-            match next s with
-            | IDENT "axis" -> Some (kwarg_axis s)
-            | NUMBER f when Float.is_integer f -> Some (int_of_float f)
+            (match next s with
+            | IDENT "axis" -> axis := Some (kwarg_axis s)
+            | IDENT "keepdims" -> parse_keepdims ()
+            | NUMBER f when Float.is_integer f -> axis := Some (int_of_float f)
             | MINUS -> (
                 match next s with
-                | NUMBER f when Float.is_integer f -> Some (-int_of_float f)
+                | NUMBER f when Float.is_integer f ->
+                    axis := Some (-int_of_float f)
                 | t -> fail "bad axis: %s" (pp_token t))
-            | t -> fail "expected axis argument, found %s" (pp_token t))
-        | _ -> None
+            | t ->
+                fail "expected axis or keepdims argument, found %s"
+                  (pp_token t));
+            args ()
+        | _ -> ()
       in
+      args ();
       expect s RPAREN;
-      if fn = "sum" then Ast.App (Sum axis, [ a ]) else Ast.App (Max axis, [ a ])
+      let r = Ast.reduce ~keepdims:!keepdims !axis in
+      if fn = "sum" then Ast.App (Sum r, [ a ]) else Ast.App (Max r, [ a ])
   | "transpose" ->
       let a = parse_expr s in
       let perm =

@@ -71,8 +71,8 @@ and apply (op : Ast.op) (args : Stensor.t list) : Stensor.t =
   | Dot, [ a; b ] -> Stensor.dot a b
   | Tensordot (axes_a, axes_b), [ a; b ] -> Stensor.tensordot a b ~axes_a ~axes_b
   | Transpose perm, [ a ] -> Stensor.transpose ?perm a
-  | Sum axis, [ a ] -> Stensor.sum ?axis a
-  | Max axis, [ a ] -> Stensor.max_reduce ?axis a
+  | Sum { axis; keepdims }, [ a ] -> Stensor.sum ?axis ~keepdims a
+  | Max { axis; keepdims }, [ a ] -> Stensor.max_reduce ?axis ~keepdims a
   | Stack axis, ts -> Stensor.stack ts ~axis
   | Where, [ c; a; b ] -> Stensor.where c a b
   | Less, [ a; b ] -> Stensor.less a b

@@ -100,16 +100,21 @@ let infer_op (op : Ast.op) (args : vt list) : vt =
       | Some p -> (
           try { a with shape = Shape.transpose a.shape p }
           with Invalid_argument m -> err "transpose: %s" m))
-  | (Sum axis | Max axis), [ a ] -> (
+  | (Sum { axis; keepdims } | Max { axis; keepdims }), [ a ] -> (
       require_float name a;
       match axis with
-      | None -> float_t Shape.scalar
+      | None ->
+          if keepdims then
+            float_t (Array.make (Shape.rank a.shape) 1)
+          else float_t Shape.scalar
       | Some ax ->
           let ax =
             try Shape.normalize_axis a.shape ax
             with Invalid_argument m -> err "%s: %s" name m
           in
-          float_t (Shape.remove_axis a.shape ax))
+          if keepdims then
+            float_t (Array.mapi (fun i d -> if i = ax then 1 else d) a.shape)
+          else float_t (Shape.remove_axis a.shape ax))
   | Stack axis, first :: rest ->
       List.iter
         (fun t ->

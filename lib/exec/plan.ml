@@ -688,7 +688,9 @@ let compile ~(opts : Opts.t) (ir : Ir.t) : t =
       | Ir.Op (op, _) when Ir.is_elementwise op -> emit_elementwise id
       | Ir.Op (((Ast.Dot | Ast.Tensordot _) as op), args) ->
           emit_contraction id op args
-      | Ir.Op ((Ast.Sum axis | Ast.Max axis) as op, args) ->
+      | Ir.Op ((Ast.Sum { axis; _ } | Ast.Max { axis; _ }) as op, args) ->
+          (* keepdims only re-tags the output shape (the reduced layout is
+             identical either way), so the loop structure ignores it. *)
           let a = args.(0) in
           let s = shape a in
           let outer, mid, inner =

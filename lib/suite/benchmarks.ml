@@ -273,6 +273,99 @@ let masking =
       ~orig:"np.tril(np.exp(np.log(A)))" ~opt:"np.tril(A)";
   ]
 
+let ml =
+  [
+    mk "softmax_vec" gh Redundancy_elimination ~domain:"AI/ML"
+      ~pattern:"Numerically-stable softmax over a logit vector."
+      ~small:"input x : f32[4]" ~big:"input x : f32[262144]"
+      ~orig:"np.exp(x - np.max(x)) / np.sum(np.exp(x - np.max(x)))"
+      ~opt:"np.exp(x) / np.sum(np.exp(x))";
+    mk "softmax_stable" gh Redundancy_elimination ~domain:"AI/ML"
+      ~pattern:"Row-wise stable softmax of a logit matrix."
+      ~small:"input A : f32[2,3]" ~big:"input A : f32[512,512]"
+      ~orig:
+        "np.exp(A - np.max(A, axis=1, keepdims=True)) / np.sum(np.exp(A - \
+         np.max(A, axis=1, keepdims=True)), axis=1, keepdims=True)"
+      ~opt:"np.exp(A) / np.sum(np.exp(A), axis=1, keepdims=True)";
+    mk "logsumexp" gh Algebraic_simplification ~domain:"AI/ML"
+      ~pattern:"Max-shifted log-sum-exp of a score vector."
+      ~small:"input x : f32[4]" ~big:"input x : f32[262144]"
+      ~orig:"np.max(x) + np.log(np.sum(np.exp(x - np.max(x))))"
+      ~opt:"np.log(np.sum(np.exp(x)))";
+    mk "layernorm" gh Algebraic_simplification ~domain:"AI/ML"
+      ~pattern:"Two-pass layer normalization over the feature axis."
+      ~small:"input X : f32[32]" ~big:"input X : f32[65536]"
+      ~orig:
+        "(np.reshape(X, (4, 8)) - np.sum(np.reshape(X, (4, 8)), axis=1, \
+         keepdims=True) / 8.0) / np.sqrt(np.sum((np.reshape(X, (4, 8)) - \
+         np.sum(np.reshape(X, (4, 8)), axis=1, keepdims=True) / 8.0) * \
+         (np.reshape(X, (4, 8)) - np.sum(np.reshape(X, (4, 8)), axis=1, \
+         keepdims=True) / 8.0), axis=1, keepdims=True) / 8.0 + 0.00001)"
+      ~opt:
+        "(np.reshape(X, (4, 8)) - np.sum(np.reshape(X, (4, 8)), axis=1, \
+         keepdims=True) / 8.0) / np.sqrt(np.sum(np.reshape(X, (4, 8)) * \
+         np.reshape(X, (4, 8)), axis=1, keepdims=True) / 8.0 - \
+         (np.sum(np.reshape(X, (4, 8)), axis=1, keepdims=True) / 8.0) * \
+         (np.sum(np.reshape(X, (4, 8)), axis=1, keepdims=True) / 8.0) + \
+         0.00001)"
+      ~orig_big:
+        "(np.reshape(X, (512, 128)) - np.sum(np.reshape(X, (512, 128)), \
+         axis=1, keepdims=True) / 128.0) / np.sqrt(np.sum((np.reshape(X, \
+         (512, 128)) - np.sum(np.reshape(X, (512, 128)), axis=1, \
+         keepdims=True) / 128.0) * (np.reshape(X, (512, 128)) - \
+         np.sum(np.reshape(X, (512, 128)), axis=1, keepdims=True) / 128.0), \
+         axis=1, keepdims=True) / 128.0 + 0.00001)"
+      ~opt_big:
+        "(np.reshape(X, (512, 128)) - np.sum(np.reshape(X, (512, 128)), \
+         axis=1, keepdims=True) / 128.0) / np.sqrt(np.sum(np.reshape(X, \
+         (512, 128)) * np.reshape(X, (512, 128)), axis=1, keepdims=True) / \
+         128.0 - (np.sum(np.reshape(X, (512, 128)), axis=1, keepdims=True) / \
+         128.0) * (np.sum(np.reshape(X, (512, 128)), axis=1, keepdims=True) \
+         / 128.0) + 0.00001)";
+    mk "rmsnorm" gh Strength_reduction ~domain:"AI/ML"
+      ~pattern:"Root-mean-square normalization of a hidden state."
+      ~small:"input x : f32[8]" ~big:"input x : f32[262144]"
+      ~orig:"x / np.power(np.sum(np.power(x, 2)) / 8.0 + 0.00001, 0.5)"
+      ~opt:"x / np.sqrt(np.sum(x * x) / 8.0 + 0.00001)"
+      ~orig_big:
+        "x / np.power(np.sum(np.power(x, 2)) / 262144.0 + 0.00001, 0.5)"
+      ~opt_big:"x / np.sqrt(np.sum(x * x) / 262144.0 + 0.00001)";
+    mk "attn_scores" gh Redundancy_elimination ~domain:"AI/ML"
+      ~pattern:"Stable softmax of scaled attention scores."
+      ~small:"input Q : f32[2,4]\ninput K : f32[3,4]"
+      ~big:"input Q : f32[128,64]\ninput K : f32[128,64]"
+      ~orig:
+        "np.exp(Q @ K.T / 8.0 - np.max(Q @ K.T / 8.0, axis=1, \
+         keepdims=True)) / np.sum(np.exp(Q @ K.T / 8.0 - np.max(Q @ K.T / \
+         8.0, axis=1, keepdims=True)), axis=1, keepdims=True)"
+      ~opt:
+        "np.exp(Q @ K.T / 8.0) / np.sum(np.exp(Q @ K.T / 8.0), axis=1, \
+         keepdims=True)";
+    mk "attn_mix" gh Algebraic_simplification ~domain:"AI/ML"
+      ~pattern:"Normalizes attention weights before mixing values."
+      ~small:"input W : f32[2,3]\ninput V : f32[3,2]"
+      ~big:"input W : f32[512,512]\ninput V : f32[512,64]"
+      ~orig:"np.dot(W / np.sum(W, axis=1, keepdims=True), V)"
+      ~opt:"np.dot(W, V) / np.sum(W, axis=1, keepdims=True)";
+    mk "gelu_tanh" gh Strength_reduction ~domain:"AI/ML"
+      ~pattern:"Tanh-approximated GELU activation."
+      ~small:"input x : f32[4]" ~big:"input x : f32[262144]"
+      ~orig:
+        "x * np.exp(2.0 * (0.7979 * (x + 0.0447 * np.power(x, 3)))) \
+         / (1.0 + np.exp(2.0 * (0.7979 * (x + 0.0447 * np.power(x, \
+         3)))))"
+      ~opt:
+        "x / (1.0 + np.exp(-2.0 * (0.7979 * (x + 0.0447 * \
+         np.power(x, 3)))))";
+    mk "maxpool1d" gh Algebraic_simplification ~domain:"AI/ML"
+      ~pattern:"Shift-invariant sliding-window max pooling."
+      ~small:"input x : f32[8]" ~big:"input x : f32[524288]"
+      ~orig:"np.max(np.reshape(x, (4, 2)) - 1.0, axis=1) + 1.0"
+      ~opt:"np.max(np.reshape(x, (4, 2)), axis=1)"
+      ~orig_big:"np.max(np.reshape(x, (262144, 2)) - 1.0, axis=1) + 1.0"
+      ~opt_big:"np.max(np.reshape(x, (262144, 2)), axis=1)";
+  ]
+
 let all = github @ synthetic
-let find name = List.find (fun b -> b.name = name) (all @ masking)
-let find_opt name = List.find_opt (fun b -> b.name = name) (all @ masking)
+let find name = List.find (fun b -> b.name = name) (all @ masking @ ml)
+let find_opt name = List.find_opt (fun b -> b.name = name) (all @ masking @ ml)

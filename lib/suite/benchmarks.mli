@@ -45,6 +45,15 @@ val masking : t list
     optimization relies on the density component of the simplification
     metric.  Not included in {!all} (the paper's 33). *)
 
+val ml : t list
+(** Extension suite of ML-kernel workloads: softmax (vector and
+    row-wise stable forms), log-sum-exp, layer/RMS normalization,
+    attention score and mixing pieces, tanh-approximated GELU, and
+    sliding-window max pooling.  These exercise the exp/log/max
+    identities (max-shift invariance, [log(exp x) = x], positive
+    common-factor extraction) and keepdims-style broadcasting of
+    reduced tensors.  Not included in {!all} (the paper's 33). *)
+
 val all : t list
 (** The paper's 33 benchmarks (Tables I and II). *)
 

@@ -417,6 +417,52 @@ let validate_tiers_report (j : Json.t) : (unit, string) result =
     (Ok ()) benches
 
 (* ------------------------------------------------------------------ *)
+(* ML-suite report                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mlsuite_schema_version = "stenso.mlsuite/1"
+
+let mlsuite_report ~exec ~tiers () =
+  Json.Obj
+    [
+      ("schema", Json.Str mlsuite_schema_version);
+      ("version", Json.Str Stenso.Version.current);
+      ("exec", exec);
+      ("tiers", tiers);
+    ]
+
+(* The document is a composition, so validation is too: the embedded
+   exec point carries the per-kernel VM speedups (where [min_speedup]
+   gates), the embedded tiers point the serving comparison. *)
+let validate_mlsuite ?min_speedup (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need name j =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* schema = need "schema" j in
+  let* () =
+    match Json.to_string_opt schema with
+    | Some s when String.equal s mlsuite_schema_version -> Ok ()
+    | Some s -> Error (Printf.sprintf "unknown schema %S" s)
+    | None -> Error "mistyped field \"schema\""
+  in
+  let* () =
+    match Option.bind (Json.member "version" j) Json.to_string_opt with
+    | Some _ -> Ok ()
+    | None -> Error "missing or mistyped field \"version\""
+  in
+  let* exec = need "exec" j in
+  let* () =
+    Result.map_error
+      (fun e -> "exec: " ^ e)
+      (validate_exec_bench ?min_speedup exec)
+  in
+  let* tiers = need "tiers" j in
+  Result.map_error (fun e -> "tiers: " ^ e) (validate_tiers_report tiers)
+
+(* ------------------------------------------------------------------ *)
 (* Serve-load report                                                   *)
 (* ------------------------------------------------------------------ *)
 

@@ -102,6 +102,29 @@ val validate_tiers_report : Stenso.Telemetry.Json.t -> (unit, string) result
 (** Structural conformance check for [stenso.tiers/1], used by
     [stenso report] and the CI harness on [BENCH_tiers.json]. *)
 
+val mlsuite_schema_version : string
+(** ["stenso.mlsuite/1"], the ML-kernel workload archive written by
+    [bench mlsuite --report] ([BENCH_mlsuite.json]): one exec point
+    (interp-vs-VM per kernel, [stenso.exec-bench/1]) and one tiers
+    point ([stenso.tiers/1]) over the {!Benchmarks.ml} tier. *)
+
+val mlsuite_report :
+  exec:Stenso.Telemetry.Json.t ->
+  tiers:Stenso.Telemetry.Json.t ->
+  unit ->
+  Stenso.Telemetry.Json.t
+(** Compose the two archived points into one [stenso.mlsuite/1]
+    document.  The components must already conform to their own
+    schemas; {!validate_mlsuite} checks both. *)
+
+val validate_mlsuite :
+  ?min_speedup:float -> Stenso.Telemetry.Json.t -> (unit, string) result
+(** Conformance check for [stenso.mlsuite/1], delegating to
+    {!validate_exec_bench} (with [min_speedup] as the per-kernel VM
+    speedup floor) and {!validate_tiers_report} on the embedded
+    documents.  Used by [stenso report] and the CI ML-suite smoke on
+    [BENCH_mlsuite.json]. *)
+
 val serve_load_schema_version : string
 (** ["stenso.serve-load/1"], the serving-throughput archive written by
     [stenso loadgen --report] ([BENCH_serve_load.json]). *)

@@ -38,8 +38,14 @@ let generate cfg =
   let pool = ref (List.map (fun (n, _) -> Ast.Input n) env) in
   let consts = [ Ast.Const 1.; Ast.Const 2. ] in
   let unary =
-    [ (fun a -> Ast.App (Sum (Some 0), [ a ]));
-      (fun a -> Ast.App (Sum None, [ a ]));
+    [ (fun a -> Ast.App (Ast.sum_op (Some 0), [ a ]));
+      (fun a -> Ast.App (Ast.sum_op None, [ a ]));
+      (* keepdims variants keep rank, so their results re-enter the
+         pool broadcastable against the reduced input — the fuzz then
+         composes them into the gather-indexed broadcast paths *)
+      (fun a -> Ast.App (Ast.sum_op ~keepdims:true (Some 0), [ a ]));
+      (fun a -> Ast.App (Ast.max_op ~keepdims:true (Some 0), [ a ]));
+      (fun a -> Ast.App (Ast.max_op None, [ a ]));
       (fun a -> Ast.App (Transpose None, [ a ])) ]
     @
     if cfg.allow_transcendentals then

@@ -76,6 +76,18 @@ let mk_term q rest =
     | Mul fs -> Mul (Rat q :: fs)
     | t -> Mul [ Rat q; t ]
 
+(* Conservative syntactic positivity: [true] means the expression is
+   positive for every assignment where it is defined (reals; a positive
+   base to any real power stays positive). *)
+let rec surely_pos = function
+  | Rat q -> Q.sign q > 0
+  | App (Exp, _) -> true
+  | App (Max, xs) -> xs <> [] && List.for_all surely_pos xs
+  | Pow (b, _) -> surely_pos b
+  | Mul fs -> List.for_all surely_pos fs
+  | Add ts -> ts <> [] && List.for_all surely_pos ts
+  | Var _ | App ((Log | Less | Where), _) -> false
+
 let rec add es =
   let rec flatten acc = function
     | [] -> acc
@@ -164,10 +176,19 @@ and pow b e =
           match rat_root qb qe with Some q -> rat q | None -> Pow (b, e)))
   | Mul fs, _ -> mul (List.map (fun f -> pow f e) fs)
   | Pow (b', e'), _ -> pow b' (mul [ e'; e ])
-  | Add ts, Rat q when Q.is_integer q && Q.sign q > 0 -> (
-      match Q.to_int q with
-      | Some n when pow_fits (List.length ts) n -> expand_pow_add ts n
-      | _ -> Pow (b, e))
+  | Add ts, _ -> (
+      (* (c * r)^e = c^e * r^e when c, the common surely-positive factor
+         of the sum's terms, exists.  This identifies max-shifted
+         softmax denominators with their naive forms. *)
+      match factor_pos_common ts with
+      | Some (common, residual) -> mul [ pow common e; pow residual e ]
+      | None -> (
+          match e with
+          | Rat q when Q.is_integer q && Q.sign q > 0 -> (
+              match Q.to_int q with
+              | Some n when pow_fits (List.length ts) n -> expand_pow_add ts n
+              | _ -> Pow (b, e))
+          | _ -> Pow (b, e)))
   | _ -> Pow (b, e)
 
 (* Expand (t1 + ... + tk)^n by repeated term-by-term distribution.  The
@@ -192,19 +213,86 @@ and pow_fits nterms n =
   in
   go 1 n
 
+(* Greatest common surely-positive factor of the terms of a sum:
+   [Some (common, residual)] with [add ts = mul [common; residual]] and
+   [common <> 1].  Only bases that are syntactically positive
+   ([surely_pos]) and carry rational exponents everywhere they appear
+   participate; a base absent from a term counts as exponent 0 there, so
+   a base whose minimum exponent is negative factors out as a common
+   denominator (clearing it from every term).  Together with the hooks
+   in [pow] and [log] this is what lets the normal form identify e.g. a
+   max-shifted softmax with its naive form:
+     exp(x-m) / (exp(x-m) + exp(y-m))  -->  exp(x) / (exp(x) + exp(y)) *)
+and factor_pos_common ts =
+  match ts with
+  | [] | [ _ ] -> None
+  | _ ->
+      let factor_exps term =
+        let _, rest = split_coeff term in
+        List.map as_base_exp (factors rest)
+      in
+      let per_term = List.map factor_exps ts in
+      (* rational exponent of [b] in a term's factor list; absent -> 0,
+         symbolic exponent -> None (base cannot participate) *)
+      let exp_of b fs =
+        match List.find_opt (fun (b', _) -> equal b b') fs with
+        | None -> Some Q.zero
+        | Some (_, Rat q) -> Some q
+        | Some (_, _) -> None
+      in
+      let candidates =
+        List.concat_map (List.map fst) per_term
+        |> List.sort_uniq compare
+        |> List.filter (fun b ->
+               (match b with Rat _ -> false | _ -> true) && surely_pos b)
+      in
+      let min_exp b =
+        List.fold_left
+          (fun acc fs ->
+            match (acc, exp_of b fs) with
+            | Some m, Some q -> Some (if Q.compare q m < 0 then q else m)
+            | _ -> None)
+          (exp_of b (List.hd per_term))
+          (List.tl per_term)
+      in
+      let pulled =
+        List.filter_map
+          (fun b ->
+            match min_exp b with
+            | Some m when Q.sign m <> 0 -> Some (b, m)
+            | _ -> None)
+          candidates
+      in
+      if pulled = [] then None
+      else
+        let common = mul (List.map (fun (b, m) -> pow b (rat m)) pulled) in
+        let inv = List.map (fun (b, m) -> pow b (rat (Q.neg m))) pulled in
+        let residual = add (List.map (fun t -> mul (t :: inv)) ts) in
+        Some (common, residual)
+
 (* Exact rational root: qb^qe for fractional qe, when num and den of qb
    have exact integer roots. *)
 and rat_root qb qe =
   let iroot x r =
     if x < 0 then None
+    else if x <= 1 then Some x (* 0^r = 0, 1^r = 1 for any r *)
+    else if r >= 63 then None (* any root >= 2 overflows g^r past int *)
     else
       let guess = int_of_float (Float.round (Float.pow (float_of_int x) (1. /. float_of_int r))) in
       let candidates = [ guess - 1; guess; guess + 1 ] in
       List.find_opt
         (fun g ->
-          g >= 0
+          (* x >= 2 forces g >= 2, so the power loop runs at most r < 63
+             steps and bails as soon as it passes x — without this bound
+             a denominator like 10^10 (from a float constant such as
+             1e-10) made the verification loop for that many steps. *)
+          g >= 2
           &&
-          let rec p acc i = if i = 0 then acc else p (acc * g) (i - 1) in
+          let rec p acc i =
+            if i = 0 then acc
+            else if acc > x / g then x + 1 (* acc*g > x; g^r only grows *)
+            else p (acc * g) (i - 1)
+          in
           p 1 r = x)
         candidates
   in
@@ -235,15 +323,66 @@ let rec log e =
   | App (Exp, [ x ]) -> x
   | Mul fs -> add (List.map log fs)
   | Pow (b, ex) -> mul [ ex; log b ]
+  | Add ts -> (
+      (* log(c * r) = log c + log r for the common surely-positive
+         factor c of the sum; identifies stable logsumexp with its
+         naive form (the log pulls the exp(-m) shift back out). *)
+      match factor_pos_common ts with
+      | Some (common, residual) -> add [ log common; log residual ]
+      | None -> App (Log, [ e ]))
   | _ -> App (Log, [ e ])
 
-let max2 a b =
+let rec max2 a b =
   let args = function App (Max, xs) -> xs | x -> [ x ] in
   let xs = List.sort_uniq compare (args a @ args b) in
   match xs with
   | [ x ] -> x
   | [ Rat p; Rat q ] -> rat (if Q.compare p q >= 0 then p else q)
-  | xs -> App (Max, xs)
+  | xs -> (
+      (* max(c + u, c + v) = c + max(u, v): additive terms common to
+         every argument shift out of the max (max-shift invariance).
+         Term lists are kept sorted so common terms are a sorted-list
+         intersection and removal is a sorted-list difference. *)
+      let term_lists = List.map (fun x -> List.sort compare (terms x)) xs in
+      let inter2 ts us =
+        let rec go ts us acc =
+          match (ts, us) with
+          | [], _ | _, [] -> List.rev acc
+          | t :: ts', u :: us' ->
+              let c = compare t u in
+              if c = 0 then go ts' us' (t :: acc)
+              else if c < 0 then go ts' us acc
+              else go ts us' acc
+        in
+        go ts us []
+      in
+      let common =
+        match term_lists with
+        | t0 :: rest -> List.fold_left inter2 t0 rest
+        | [] -> []
+      in
+      match common with
+      | [] -> App (Max, xs)
+      | _ ->
+          let rec diff ts cs =
+            match (ts, cs) with
+            | ts, [] -> ts
+            | [], _ -> []
+            | t :: ts', c :: cs' ->
+                let k = compare t c in
+                if k = 0 then diff ts' cs'
+                else if k < 0 then t :: diff ts' cs
+                else diff ts cs'
+          in
+          let residuals =
+            List.map (fun ts -> add (diff ts common)) term_lists
+          in
+          let shifted =
+            match residuals with
+            | r :: rest -> List.fold_left max2 r rest
+            | [] -> assert false
+          in
+          add (common @ [ shifted ]))
 
 let less a b =
   match (a, b) with

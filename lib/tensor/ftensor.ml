@@ -184,7 +184,7 @@ let dot a b =
   end
   else generic_dot a b
 
-let sum ?axis t =
+let fast_sum ?axis t =
   match axis with
   | None ->
       let d = unsafe_data t in
@@ -227,6 +227,22 @@ let sum ?axis t =
         unsafe_of_data [| n |] out
       end
       else generic_sum ~axis:ax t
+
+let sum ?axis ?(keepdims = false) t =
+  let plain = fast_sum ?axis t in
+  if not keepdims then plain
+  else
+    (* Zero-copy shape re-tag: the reduced data is laid out identically
+       whether the axis is dropped or kept as size 1. *)
+    let s = shape t in
+    let ks =
+      match axis with
+      | None -> Array.make (Shape.rank s) 1
+      | Some ax ->
+          let ax = Shape.normalize_axis s ax in
+          Array.mapi (fun i d -> if i = ax then 1 else d) s
+    in
+    unsafe_of_data ks (unsafe_data plain)
 
 let transpose ?perm t =
   let s = shape t in

@@ -37,8 +37,8 @@ module type S = sig
   val full : Shape.t -> elt -> t
   val dot : t -> t -> t
   val tensordot : t -> t -> axes_a:int list -> axes_b:int list -> t
-  val sum : ?axis:int -> t -> t
-  val max_reduce : ?axis:int -> t -> t
+  val sum : ?axis:int -> ?keepdims:bool -> t -> t
+  val max_reduce : ?axis:int -> ?keepdims:bool -> t -> t
   val trace : t -> t
   val equal : t -> t -> bool
   val for_all2 : (elt -> elt -> bool) -> t -> t -> bool
@@ -275,13 +275,24 @@ module Make (E : Elt.S) : S with type elt = E.t = struct
             acc := E.add !acc (E.mul (get a ia) (get b ib)));
         !acc)
 
-  let sum ?axis t =
+  (* Keeping reduced axes as size 1 only re-tags the shape: the reduced
+     data is laid out identically whether the axis is dropped or kept. *)
+  let keep_shape src_shape axis reduced =
+    match axis with
+    | None -> { reduced with shape = Array.make (Shape.rank src_shape) 1 }
+    | Some ax ->
+        { reduced with
+          shape = Array.mapi (fun i d -> if i = ax then 1 else d) src_shape
+        }
+
+  let sum ?axis ?(keepdims = false) t =
+    let axis = Option.map (Shape.normalize_axis t.shape) axis in
+    let plain =
     match axis with
     | None ->
         let acc = Array.fold_left E.add E.zero t.data in
         scalar acc
     | Some axis ->
-        let axis = Shape.normalize_axis t.shape axis in
         let out_shape = Shape.remove_axis t.shape axis in
         init out_shape (fun idx ->
             let src = Array.make (rank t) 0 in
@@ -296,16 +307,19 @@ module Make (E : Elt.S) : S with type elt = E.t = struct
               acc := E.add !acc (get t src)
             done;
             !acc)
+    in
+    if keepdims then keep_shape t.shape axis plain else plain
 
-  let max_reduce ?axis t =
+  let max_reduce ?axis ?(keepdims = false) t =
     if numel t = 0 then invalid_arg "Nd.max_reduce: empty tensor";
+    let axis = Option.map (Shape.normalize_axis t.shape) axis in
+    let plain =
     match axis with
     | None ->
         let acc = ref t.data.(0) in
         Array.iteri (fun i v -> if i > 0 then acc := E.max !acc v) t.data;
         scalar !acc
     | Some axis ->
-        let axis = Shape.normalize_axis t.shape axis in
         let out_shape = Shape.remove_axis t.shape axis in
         init out_shape (fun idx ->
             let src = Array.make (rank t) 0 in
@@ -321,6 +335,8 @@ module Make (E : Elt.S) : S with type elt = E.t = struct
               acc := E.max !acc (get t src)
             done;
             !acc)
+    in
+    if keepdims then keep_shape t.shape axis plain else plain
 
   let trace t =
     check_matrix "trace" t;

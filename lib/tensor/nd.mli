@@ -71,10 +71,12 @@ module type S = sig
       second-to-last (or only) axis of the second. *)
 
   val tensordot : t -> t -> axes_a:int list -> axes_b:int list -> t
-  val sum : ?axis:int -> t -> t
-  (** Reduce one axis, or all axes when [axis] is omitted. *)
+  val sum : ?axis:int -> ?keepdims:bool -> t -> t
+  (** Reduce one axis, or all axes when [axis] is omitted.  With
+      [keepdims] every reduced axis is kept as size 1, so the result
+      broadcasts back over the source tensor. *)
 
-  val max_reduce : ?axis:int -> t -> t
+  val max_reduce : ?axis:int -> ?keepdims:bool -> t -> t
   val trace : t -> t
 
   (** {1 Comparison and printing} *)

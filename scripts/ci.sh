@@ -201,3 +201,27 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 serve_pid=""
 echo "serve-load smoke check passed"
+
+# ML-suite smoke check, three parts.  (1) The ML-kernel tier must run
+# end-to-end through the suite and produce a valid suite report.
+# (2) The mlsuite benchmark section must regenerate as a well-formed
+# stenso.mlsuite/1 document (the committed trajectory point is
+# BENCH_mlsuite.json) whose exec half keeps every kernel at or above
+# 1.0x VM-vs-interp with its expected fusions intact.  (3) The
+# truncated-enumeration regression tests must hold: a capped library is
+# never cached and never mints optima (the full runtest above already
+# ran them; re-run the two groups here so a future test-suite split
+# cannot silently drop them).
+ml_report="$scratch/ml_suite.json"
+dune exec --no-build bin/stenso_cli.exe -- suite \
+  --benchmarks ml --cost-estimator flops --timeout 30 --jobs 4 \
+  --report "$ml_report" --quiet > /dev/null
+dune exec --no-build bin/stenso_cli.exe -- report "$ml_report"
+mlsuite_report="$scratch/mlsuite.json"
+dune exec --no-build bench/main.exe -- mlsuite --jobs 4 \
+  --report "$mlsuite_report" > /dev/null
+dune exec --no-build bin/stenso_cli.exe -- report "$mlsuite_report" \
+  --min-speedup 1.0
+./_build/default/test/main.exe test stub > /dev/null
+./_build/default/test/main.exe test tiers > /dev/null
+echo "ml-suite smoke check passed"

@@ -195,6 +195,15 @@ let targeted_programs =
     ("fused sum axis0", "np.sum(np.exp(A) * B, axis=0)");
     ("normalize", "A / np.sum(A)");
     ("sum then scale", "np.sum(A * A) * b");
+    (* keepdims reductions broadcast back against their input *)
+    ("keepdims col broadcast", "A / np.sum(A, axis=0, keepdims=True)");
+    ("keepdims row broadcast", "A - np.max(A, axis=1, keepdims=True)");
+    ("keepdims full reduce", "A - np.max(A, keepdims=True)");
+    ( "row softmax",
+      "np.exp(A - np.max(A, axis=1, keepdims=True)) / np.sum(np.exp(A - \
+       np.max(A, axis=1, keepdims=True)), axis=1, keepdims=True)" );
+    ( "keepdims mean center",
+      "A - np.sum(A, axis=1, keepdims=True) / 3.0" );
   ]
 
 let fuzz_env =
@@ -305,6 +314,23 @@ let test_fusion_legality () =
   let shared = stats "np.sum(A * B) + np.max(A * B)" in
   Alcotest.(check bool) "multi-use producer materializes" true
     (shared.Exec.steps >= 3)
+
+(* The ML-kernel workloads lean on reduction fusion: their elementwise
+   producers (exp, subtract, square) must inline into the reduction
+   loops rather than materialize as extra passes. *)
+let test_ml_kernel_fusion () =
+  let stats name =
+    let b = Suite.Benchmarks.find name in
+    Exec.stats
+      (Exec.compile ~env:b.Suite.Benchmarks.perf_env
+         b.Suite.Benchmarks.perf_program)
+  in
+  List.iter
+    (fun name ->
+      let s = stats name in
+      if s.Exec.ops_fused <= 0 then
+        Alcotest.failf "%s: plan fused no ops (steps=%d)" name s.Exec.steps)
+    [ "softmax_vec"; "softmax_stable"; "logsumexp"; "layernorm"; "rmsnorm" ]
 
 (* The Options record is the single configuration path: builder
    invariants, validation, and a telemetry-independent fingerprint. *)
@@ -584,6 +610,7 @@ let suite =
     Alcotest.test_case "vm: differential fuzz (200+ programs)" `Slow
       test_vm_fuzz;
     Alcotest.test_case "vm: fusion legality" `Quick test_fusion_legality;
+    Alcotest.test_case "vm: ML-kernel fusion" `Quick test_ml_kernel_fusion;
     Alcotest.test_case "vm: options api" `Quick test_options_api;
     Alcotest.test_case "vm: cache keyed by options" `Quick
       test_cache_keyed_by_options;

@@ -64,7 +64,23 @@ let test_powers () =
     (Expr.rat (Q.make 2 3))
     Expr.(pow (rat (Q.make 8 27)) (rat (Q.make 1 3)));
   Alcotest.check e "x^0 = 1" Expr.one Expr.(pow a Expr.zero);
-  Alcotest.check e "1^x = 1" Expr.one Expr.(pow one b)
+  Alcotest.check e "1^x = 1" Expr.one Expr.(pow one b);
+  (* Huge exponent denominators (float constants such as 1e-5 squared)
+     must fail the exact-root probe immediately — the verification loop
+     once ran for [den] iterations, freezing stub enumeration. *)
+  let t0 = Unix.gettimeofday () in
+  (match Expr.(pow (rat (Q.make 1 100000)) (rat (Q.make 1 10_000_000_000))) with
+  | Expr.Pow (Expr.Rat b, Expr.Rat ex) ->
+      Alcotest.(check bool)
+        "(1/100000)^(1/10^10) stays opaque" true
+        (Q.equal b (Q.make 1 100000)
+        && Q.equal ex (Q.make 1 10_000_000_000))
+  | _ -> Alcotest.fail "(1/100000)^(1/10^10): expected an opaque power");
+  Alcotest.check e "1^(1/10^10) = 1" Expr.one
+    Expr.(pow one (rat (Q.make 1 10_000_000_000)));
+  Alcotest.(check bool)
+    "giant-root probe is immediate" true
+    (Unix.gettimeofday () -. t0 < 1.0)
 
 let test_exp_log () =
   Alcotest.check e "exp(log x) = x" a Expr.(exp (log a));
@@ -93,6 +109,32 @@ let test_max_less_where () =
   Alcotest.check e "where true" a Expr.(where one a b);
   Alcotest.check e "where false" b Expr.(where zero a b);
   Alcotest.check e "where same" a Expr.(where (less a b) a a)
+
+(* The identities behind the ML-kernel workloads: numerically-stable
+   spellings must normalize to the same form as their naive (cheaper)
+   counterparts. *)
+let test_ml_identities () =
+  let m = Expr.max2 a b in
+  Alcotest.check e "stable softmax = naive"
+    Expr.(div (exp a) (add [ exp a; exp b ]))
+    Expr.(div (exp (sub a m)) (add [ exp (sub a m); exp (sub b m) ]));
+  Alcotest.check e "stable logsumexp = naive"
+    Expr.(log (add [ exp a; exp b ]))
+    Expr.(add [ m; log (add [ exp (sub a m); exp (sub b m) ]) ]);
+  Alcotest.check e "max shift"
+    Expr.(add [ c; max2 a b ])
+    Expr.(max2 (add [ a; c ]) (add [ b; c ]));
+  Alcotest.check e "max shift (constant)"
+    Expr.(add [ int (-1); max2 a b ])
+    Expr.(max2 (sub a one) (sub b one));
+  (* logistic gate: e^2t / (1 + e^2t) = 1 / (1 + e^-2t) *)
+  Alcotest.check e "two-exp logistic = one-exp logistic"
+    Expr.(div one (add [ one; exp (mul [ int (-2); a ]) ]))
+    Expr.(div (exp (mul [ i 2; a ])) (add [ one; exp (mul [ i 2; a ]) ]));
+  (* common positive factor clears from a sum under pow *)
+  Alcotest.check e "common denominator clears"
+    Expr.(div (pow (exp a) (i 2)) (add [ one; pow (exp a) (i 2) ]))
+    Expr.(div one (add [ one; pow (exp a) (i (-2)) ]))
 
 let test_queries () =
   Alcotest.(check (option reject)) "div_exact failure" None
@@ -244,6 +286,7 @@ let suite =
     Alcotest.test_case "power rules" `Quick test_powers;
     Alcotest.test_case "exp/log rules" `Quick test_exp_log;
     Alcotest.test_case "max/less/where" `Quick test_max_less_where;
+    Alcotest.test_case "ML-kernel identities" `Quick test_ml_identities;
     Alcotest.test_case "solver queries" `Quick test_queries;
     Alcotest.test_case "vars and size" `Quick test_vars_size;
     Alcotest.test_case "substitution" `Quick test_subst;

@@ -88,7 +88,8 @@ let test_sum_split () =
     (List.exists
        (fun (d : Invert.decomposition) ->
          match (d.op, Invert.hole_specs d) with
-         | Ast.Sum (Some _), [ h ] -> Tensor.Shape.rank (Spec.shape h) = 2
+         | Ast.Sum { axis = Some _; _ }, [ h ] ->
+             Tensor.Shape.rank (Spec.shape h) = 2
          | _ -> false)
        ds)
 

@@ -36,16 +36,16 @@ let test_calls () =
     (Ast.App (Add, [ Input "A"; Input "B" ]))
     (parse "np.add(A, B)");
   Alcotest.check ast "sum with axis"
-    (Ast.App (Sum (Some 1), [ Input "A" ]))
+    (Ast.App (Ast.sum_op (Some 1), [ Input "A" ]))
     (parse "np.sum(A, axis=1)");
   Alcotest.check ast "sum with negative axis"
-    (Ast.App (Sum (Some (-1)), [ Input "A" ]))
+    (Ast.App (Ast.sum_op (Some (-1)), [ Input "A" ]))
     (parse "np.sum(A, axis=-1)");
   Alcotest.check ast "sum without axis"
-    (Ast.App (Sum None, [ Input "A" ]))
+    (Ast.App (Ast.sum_op None, [ Input "A" ]))
     (parse "np.sum(A)");
   Alcotest.check ast "max with positional axis"
-    (Ast.App (Max (Some 0), [ Input "A" ]))
+    (Ast.App (Ast.max_op (Some 0), [ Input "A" ]))
     (parse "np.max(A, 0)");
   Alcotest.check ast "where"
     (Ast.App (Where, [ App (Less, [ Input "A"; Input "B" ]); Input "A";
@@ -94,7 +94,7 @@ let test_program_form () =
   | Some (vt : Types.vt) ->
       Alcotest.(check bool) "m is bool" true (vt.dtype = Types.Bool)
   | None -> Alcotest.fail "missing input m");
-  Alcotest.check ast "body" (Ast.App (Sum None, [ Input "A" ])) body
+  Alcotest.check ast "body" (Ast.App (Ast.sum_op None, [ Input "A" ])) body
 
 let expect_error src =
   match Parser.expression src with

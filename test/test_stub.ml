@@ -59,7 +59,13 @@ let test_deadline () =
     { Stub.default_config with deadline = Some (Unix.gettimeofday () -. 1.) }
   in
   let l = lib ~config env2 in
-  Alcotest.(check bool) "expired deadline truncates" true (Stub.truncated l)
+  Alcotest.(check bool) "expired deadline truncates" true (Stub.truncated l);
+  (* The deadline is consulted on every attempt, not every 2^k-th: with
+     an already-expired deadline the enumeration stops at the first
+     post-atom candidate, so only the depth-0 atoms can register. *)
+  Alcotest.(check bool)
+    "expired deadline stops at the first attempt" true
+    (Stub.size l <= List.length (Stub.atoms l) + 1)
 
 let test_costs_monotone () =
   let l = lib env2 in
@@ -91,6 +97,28 @@ let test_full_binary_superset () =
   Alcotest.(check bool) "full enumeration is larger" true
     (Stub.size l2 >= Stub.size l1 && Stub.attempts l2 > Stub.attempts l1)
 
+let test_cache_rejects_truncated () =
+  (* A deadline- or cap-truncated library is complete only for the run
+     that built it; serving it from the cache would hand later requests
+     a partial library as if it were the full bounded space. *)
+  let cache = Stub.Cache.create () in
+  let capped = { Stub.default_config with max_stubs = 5 } in
+  let l1, shared1 =
+    Stub.Cache.enumerate cache ~config:capped ~model ~consts:[ 1. ] env2
+  in
+  Alcotest.(check bool) "capped run truncates" true (Stub.truncated l1);
+  Alcotest.(check bool) "first build not shared" false shared1;
+  let _, shared2 =
+    Stub.Cache.enumerate cache ~config:capped ~model ~consts:[ 1. ] env2
+  in
+  Alcotest.(check bool) "truncated library never served from cache" false
+    shared2;
+  (* an untruncated library for the same fingerprint shape is shared *)
+  let _, s1 = Stub.Cache.enumerate cache ~model ~consts:[ 1. ] env2 in
+  let _, s2 = Stub.Cache.enumerate cache ~model ~consts:[ 1. ] env2 in
+  Alcotest.(check bool) "complete library built once" false s1;
+  Alcotest.(check bool) "complete library cached" true s2
+
 let test_const_stub () =
   let l = lib env2 in
   match Stub.const_stub l (Symbolic.Q.of_int 4) with
@@ -108,5 +136,7 @@ let suite =
     Alcotest.test_case "stub invariants" `Quick test_costs_monotone;
     Alcotest.test_case "full binary enumeration" `Quick
       test_full_binary_superset;
+    Alcotest.test_case "cache rejects truncated" `Quick
+      test_cache_rejects_truncated;
     Alcotest.test_case "conjured constants" `Quick test_const_stub;
   ]

@@ -59,6 +59,43 @@ let test_perf_shapes_larger () =
         b.env b.perf_env)
     B.all
 
+let test_ml_unique_names () =
+  (* extension tiers must not shadow the paper suite or each other *)
+  let names =
+    List.map (fun (b : B.t) -> b.name) (B.all @ B.masking @ B.ml)
+  in
+  Alcotest.(check int) "names unique across all tiers" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_ml_tier () =
+  Alcotest.(check bool) "at least 8 ML benchmarks" true
+    (List.length B.ml >= 8);
+  (* roofline, not flops: it weighs transcendentals (pow/exp/sqrt), so
+     it sees the strength reductions the plain FLOP count is blind to *)
+  let model = Cost.Model.roofline () in
+  List.iter
+    (fun (b : B.t) ->
+      (* the pair must be provably equivalent — at the synthesis shapes
+         and (when shape-free) at perturbed ones *)
+      if
+        not
+          (Stenso.Superopt.robust_equivalent ~env:b.env b.program
+             b.expected_opt)
+      then Alcotest.failf "%s: orig and opt are not robustly equivalent" b.name;
+      (* and the optimization must actually pay at perf shapes *)
+      let orig =
+        Cost.Model.program_cost model b.perf_env b.perf_program
+      and opt =
+        Cost.Model.program_cost model b.perf_env b.perf_expected_opt
+      in
+      if not (opt < orig) then
+        Alcotest.failf "%s: expected_opt not cheaper (%g >= %g)" b.name opt
+          orig;
+      (* reachable through the named-benchmark CLI path *)
+      if B.find_opt b.name = None then
+        Alcotest.failf "%s: not reachable via find_opt" b.name)
+    B.ml
+
 let suite =
   [
     Alcotest.test_case "suite sizes" `Quick test_counts;
@@ -68,4 +105,6 @@ let suite =
     Alcotest.test_case "lookup" `Quick test_lookup;
     Alcotest.test_case "table expressions" `Quick test_programs_match_table;
     Alcotest.test_case "perf shapes dominate" `Quick test_perf_shapes_larger;
+    Alcotest.test_case "ML tier names unique" `Quick test_ml_unique_names;
+    Alcotest.test_case "ML tier equivalence and cost" `Quick test_ml_tier;
   ]

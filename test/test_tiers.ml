@@ -64,6 +64,45 @@ let test_mine_env () =
         (Sexec.equivalent env2 concrete prog)
   | None -> Alcotest.fail "spec missing from the optima table"
 
+let test_truncated_mine () =
+  (* A capped enumeration must stamp the entry truncated and refuse to
+     mint optima from the partial library — a "cheapest known program"
+     claim over a space the miner never finished exploring would let
+     tier 2 certify beatable answers. *)
+  let db, stats = Mine.mine_env ~max_stubs:5 ~depth:2 ~model env2 in
+  Alcotest.(check bool) "stats flag truncation" true stats.truncated;
+  Alcotest.(check bool) "entry stamped truncated" true db.truncated;
+  Alcotest.(check int) "no optima from a truncated library" 0
+    (Hashtbl.length db.optima);
+  (* the flag survives the store round-trip *)
+  let dir = fresh_dir () in
+  let key =
+    Rules_db.key ~env:env2 ~model_id:model.Cost.Model.name ~depth:2
+  in
+  let store = Store.open_store ~dir () in
+  Rules_db.record store ~key db;
+  let store' = Store.open_store ~dir () in
+  (match Rules_db.find store' ~key with
+  | Some db' ->
+      Alcotest.(check bool) "truncated flag round-trips" true db'.truncated
+  | None -> Alcotest.fail "recorded entry not found");
+  (* tier-3 feedback grows the entry without clearing the mark *)
+  Rules_db.record_feedback store' ~key ~model_id:model.Cost.Model.name
+    ~depth:2 ~spec_digest:"deadbeef" ~cost:1. ~prog:"A" ();
+  (match Rules_db.find store' ~key with
+  | Some db' ->
+      Alcotest.(check bool) "feedback preserves truncation" true
+        db'.truncated;
+      Alcotest.(check int) "feedback optimum recorded" 1
+        (Hashtbl.length db'.optima)
+  | None -> Alcotest.fail "entry lost after feedback");
+  (* an uncapped mine of the same environment is complete *)
+  let db_full, stats_full = Mine.mine_env ~depth:2 ~model env2 in
+  Alcotest.(check bool) "uncapped mine not truncated" false
+    stats_full.truncated;
+  Alcotest.(check bool) "uncapped mine publishes optima" true
+    (Hashtbl.length db_full.optima > 0)
+
 let test_db_roundtrip_and_corruption () =
   let dir = fresh_dir () in
   let db, _ = Mine.mine_env ~depth:2 ~model env2 in
@@ -235,6 +274,8 @@ let test_config_fingerprint () =
 let suite =
   [
     Alcotest.test_case "mine one environment" `Quick test_mine_env;
+    Alcotest.test_case "truncated mine refuses optima" `Quick
+      test_truncated_mine;
     Alcotest.test_case "rules db round-trip + corruption" `Quick
       test_db_roundtrip_and_corruption;
     Alcotest.test_case "tier 2 then tier 1" `Quick test_tier2_then_tier1;
