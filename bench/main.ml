@@ -800,6 +800,153 @@ let mlsuite ~full () =
   write_report ~label:"mlsuite" doc
 
 (* ------------------------------------------------------------------ *)
+(* Lifting front-end: success rate, lift time, end-to-end speedup      *)
+(* ------------------------------------------------------------------ *)
+
+let lift_bench ~full () =
+  header
+    "Lifting front-end: scalar loop nests -> certified DSL -> superoptimized\n\
+     success rate and lift/verify time at synthesis shapes; end-to-end\n\
+     speedup of the VM on the optimized lift vs the scalar loop\n\
+     interpreter at performance shapes";
+  let budget = if full then 0.5 else 0.1 in
+  let options = !exec_opts in
+  let config =
+    Stenso.Config.default
+    |> Stenso.Config.with_estimator `Flops
+    |> Stenso.Config.with_exec_options options
+  in
+  let stub_cache = Stenso.Stub.Cache.create () in
+  Printf.printf "%-16s %-6s %8s %10s %8s %8s %9s\n%s\n" "kernel" "lifted"
+    "sketches" "pruned" "library" "lift s" "speedup" subline;
+  let t0 = Unix.gettimeofday () in
+  let entries =
+    List.map
+      (fun (k : Suite.Lifted.t) ->
+        let kernel = Stenso.Lift.Loop_parser.kernel k.source in
+        match Stenso.Lift.optimize ~config ~stub_cache kernel with
+        | Error e ->
+            Printf.printf "%-16s %-6s %s\n%!" k.name "NO"
+              (Stenso.Lift.error_message e);
+            let s =
+              match e with
+              | Stenso.Lift.Not_lifted s -> s
+              | Stenso.Lift.Unsupported _ ->
+                  {
+                    Stenso.Lift.sketches = 0;
+                    pruned_by_value = 0;
+                    certified = 0;
+                    library_size = 0;
+                    lift_s = 0.;
+                    verify_s = 0.;
+                  }
+            in
+            {
+              Suite.Driver.lift_name = k.name;
+              lifted = false;
+              lifted_program = "";
+              optimized_program = "";
+              lift_improved = false;
+              sketches = s.sketches;
+              pruned_by_value = s.pruned_by_value;
+              certified = s.certified;
+              library_size = s.library_size;
+              lift_s = s.lift_s;
+              lift_verify_s = s.verify_s;
+              lift_speedup = None;
+            }
+        | Ok (l, outcome) ->
+            (* End-to-end point at performance shapes: the scalar loop
+               interpreter running the kernel vs the VM running the
+               tier's optimized form (the lift's program with the
+               shape attributes rescaled), checked against each other
+               on the measured inputs before timing. *)
+            let b = B.find k.name in
+            let perf_kernel = Stenso.Lift.Loop_parser.kernel k.perf_source in
+            let st = Random.State.make [| 0x5eed |] in
+            let inputs = Dsl.Interp.random_inputs st b.perf_env in
+            let lookup n = List.assoc n inputs in
+            let expected =
+              Stenso.Lift.Loop_interp.run_tensors perf_kernel inputs
+            in
+            let compiled =
+              Stenso.Exec.compile ~options ~env:b.perf_env b.perf_expected_opt
+            in
+            let got = Stenso.Exec.run compiled lookup in
+            if
+              not
+                (Tensor.Ftensor.shape got = Tensor.Ftensor.shape expected
+                && Tensor.Ftensor.allclose ~rtol:1e-6 ~atol:1e-9 got expected)
+            then
+              Printf.printf
+                "  WARNING: %s: VM disagrees with the loop interpreter at \
+                 performance shapes\n\
+                 %!"
+                k.name;
+            let loop_s =
+              time_min ~budget (fun () ->
+                  ignore
+                    (Stenso.Lift.Loop_interp.run_tensors perf_kernel inputs))
+            in
+            let vm_s =
+              time_min ~budget (fun () -> ignore (Stenso.Exec.run compiled lookup))
+            in
+            let speedup = if vm_s > 0. then loop_s /. vm_s else 1. in
+            Printf.printf "%-16s %-6s %8d %10d %8d %8.2f %8.1fx\n%!" k.name
+              "yes" l.stats.sketches l.stats.pruned_by_value
+              l.stats.library_size l.stats.lift_s speedup;
+            {
+              Suite.Driver.lift_name = k.name;
+              lifted = true;
+              lifted_program = Ast.to_string l.Stenso.Lift.prog;
+              optimized_program =
+                Ast.to_string outcome.Stenso.Superopt.optimized;
+              lift_improved = outcome.Stenso.Superopt.improved;
+              sketches = l.stats.sketches;
+              pruned_by_value = l.stats.pruned_by_value;
+              certified = l.stats.certified;
+              library_size = l.stats.library_size;
+              lift_s = l.stats.lift_s;
+              lift_verify_s = l.stats.verify_s;
+              lift_speedup = Some speedup;
+            })
+      Suite.Lifted.all
+  in
+  let n = List.length entries in
+  let n_lifted =
+    List.length (List.filter (fun e -> e.Suite.Driver.lifted) entries)
+  in
+  Printf.printf "%s\n%d/%d kernels lifted and certified\n" subline n_lifted n;
+  emit_csv "lift"
+    [ "name"; "lifted"; "sketches"; "pruned_by_value"; "library"; "lift_s";
+      "verify_s"; "speedup" ]
+    (List.map
+       (fun (e : Suite.Driver.lift_entry) ->
+         [
+           e.lift_name;
+           (if e.lifted then "1" else "0");
+           string_of_int e.sketches;
+           string_of_int e.pruned_by_value;
+           string_of_int e.library_size;
+           Printf.sprintf "%.4f" e.lift_s;
+           Printf.sprintf "%.4f" e.lift_verify_s;
+           (match e.lift_speedup with
+           | Some s -> Printf.sprintf "%.2f" s
+           | None -> "");
+         ])
+       entries);
+  let doc =
+    Suite.Driver.lift_report ~config
+      ~elapsed:(Unix.gettimeofday () -. t0)
+      entries
+  in
+  (match Suite.Driver.validate_lift_report ~min_success:(7. /. 8.) doc with
+  | Ok () -> Printf.printf "lift report valid (>= 7/8 kernels lifted)\n"
+  | Error msg ->
+      Printf.printf "  WARNING: lift report failed validation: %s\n" msg);
+  write_report ~label:"lift" doc
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: real wall-clock on the tensor substrate                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -932,6 +1079,7 @@ let () =
   if want "ablation" then ablations ();
   if want "vm" then exec_bench ~full ();
   if want "mlsuite" then mlsuite ~full ();
+  if want "lift" then lift_bench ~full ();
   if want "masking" then masking ();
   if want "scaling" then scaling ();
   if want "bechamel" then bechamel (need results)

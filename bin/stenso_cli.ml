@@ -16,6 +16,13 @@
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("stenso: " ^ s); exit 1) fmt
 
+(* EX_DATAERR: the input file is malformed (positioned parse error). *)
+let ex_dataerr = 65
+
+let die_dataerr file msg =
+  prerr_endline (Printf.sprintf "stenso: %s: %s" file msg);
+  exit ex_dataerr
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -132,23 +139,34 @@ let optimize_run program_path synth_out estimator engine exec timeout jobs
 (* ------------------------------------------------------------------ *)
 
 (* Group tokens expand to whole tiers; anything else must be a
-   benchmark name. *)
+   benchmark name.  A token matching neither is fatal — a typo must
+   not quietly shrink the selection. *)
+let benchmark_groups =
+  [
+    ("github", Suite.Benchmarks.github);
+    ("synthetic", Suite.Benchmarks.synthetic);
+    ("masking", Suite.Benchmarks.masking);
+    ("ml", Suite.Benchmarks.ml);
+    ("lifted", Suite.Benchmarks.lifted);
+  ]
+
 let select_benchmarks names =
   match names with
   | [] -> Suite.Benchmarks.all
   | names ->
       List.concat_map
         (fun name ->
-          match name with
-          | "github" -> Suite.Benchmarks.github
-          | "synthetic" -> Suite.Benchmarks.synthetic
-          | "masking" -> Suite.Benchmarks.masking
-          | "ml" -> Suite.Benchmarks.ml
-          | name -> (
+          match List.assoc_opt name benchmark_groups with
+          | Some tier -> tier
+          | None -> (
               match Suite.Benchmarks.find_opt name with
               | Some b -> [ b ]
               | None ->
-                  die "unknown benchmark %S (see `stenso suite --list')" name))
+                  die
+                    "unknown benchmark or group %S (groups: %s; see `stenso \
+                     suite --list')"
+                    name
+                    (String.concat ", " (List.map fst benchmark_groups))))
         names
 
 (* The three-pass tiered-serving comparison behind [--tiers-report]:
@@ -202,12 +220,7 @@ let suite_run list_only names jobs timeout estimator engine exec cost_cache
             Printf.printf "%-16s %s\n" b.name
               (Dsl.Ast.to_string b.program))
           benches)
-      [
-        ("github", Suite.Benchmarks.github);
-        ("synthetic", Suite.Benchmarks.synthetic);
-        ("masking", Suite.Benchmarks.masking);
-        ("ml", Suite.Benchmarks.ml);
-      ]
+      benchmark_groups
   else begin
     let benches = select_benchmarks names in
     let config =
@@ -330,7 +343,10 @@ let run_run program_path engine exec seed trace verbose =
      engine — a quick way to exercise the compiled path and inspect its
      fusion/arena statistics on a concrete program. *)
   let source = read_file program_path in
-  let env, prog = Dsl.Parser.program source in
+  let env, prog =
+    try Dsl.Parser.program source
+    with Dsl.Parser.Parse_error msg -> die_dataerr program_path msg
+  in
   ignore (Dsl.Types.infer env prog);
   let engine = engine_of engine in
   let tel =
@@ -375,6 +391,158 @@ let run_run program_path engine exec seed trace verbose =
         ~finally:(fun () -> close_out_noerr oc)
         (fun () -> Stenso.Telemetry.write_ndjson tel oc)
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* stenso lift                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let zero_lift_stats =
+  {
+    Stenso.Lift.sketches = 0;
+    pruned_by_value = 0;
+    certified = 0;
+    library_size = 0;
+    lift_s = 0.;
+    verify_s = 0.;
+  }
+
+let lift_entry_of name ~lifted ~program ~optimized ~improved
+    (s : Stenso.Lift.stats) =
+  {
+    Suite.Driver.lift_name = name;
+    lifted;
+    lifted_program = program;
+    optimized_program = optimized;
+    lift_improved = improved;
+    sketches = s.sketches;
+    pruned_by_value = s.pruned_by_value;
+    certified = s.certified;
+    library_size = s.library_size;
+    lift_s = s.lift_s;
+    lift_verify_s = s.verify_s;
+    lift_speedup = None;
+  }
+
+let lift_run file benches estimator engine exec timeout jobs cost_cache
+    no_store store_dir samples seed synth_out report trace quiet =
+  (* Lift scalar loop-nest kernels into the DSL and superoptimize the
+     result: FILE is a kernel in the loop language, [--bench] names a
+     bundled kernel from the lifted tier (or [all]). *)
+  let sources =
+    (match file with
+    | Some p ->
+        [ (Filename.remove_extension (Filename.basename p), read_file p) ]
+    | None -> [])
+    @ List.concat_map
+        (fun name ->
+          if String.equal name "all" then
+            List.map
+              (fun (k : Suite.Lifted.t) -> (k.name, k.source))
+              Suite.Lifted.all
+          else
+            match Suite.Lifted.find_opt name with
+            | Some k -> [ (k.name, k.source) ]
+            | None ->
+                die "unknown bundled kernel %S (kernels: %s)" name
+                  (String.concat ", "
+                     (List.map
+                        (fun (k : Suite.Lifted.t) -> k.name)
+                        Suite.Lifted.all)))
+        benches
+  in
+  if sources = [] then die "nothing to lift: pass a kernel FILE or --bench";
+  (match synth_out with
+  | Some _ when List.length sources > 1 ->
+      die "--synth-out applies to a single kernel"
+  | _ -> ());
+  let config =
+    config_of ~estimator ~engine ~exec ~timeout ~jobs ~no_bnb:false
+      ~no_simplification:false ~extended_ops:false ~cost_cache ()
+  in
+  let tel =
+    match trace with
+    | Some _ -> Stenso.Telemetry.create ()
+    | None -> Stenso.Telemetry.null
+  in
+  let store = if no_store then None else Some (open_store ~tel store_dir) in
+  let stub_cache = Stenso.Stub.Cache.create () in
+  let t0 = Unix.gettimeofday () in
+  let entries, failures =
+    List.fold_left
+      (fun (entries, failures) (name, source) ->
+        let kernel =
+          try Stenso.Lift.Loop_parser.kernel source
+          with Stenso.Lift.Loop_parser.Parse_error msg ->
+            die_dataerr name msg
+        in
+        match
+          Stenso.Lift.optimize ~tel ~config ?store ~stub_cache ~samples
+            ~seed kernel
+        with
+        | Ok (l, outcome) ->
+            if not quiet then
+              Printf.printf
+                "# %s: lifted (%d sketches, %d value-pruned, library %d, \
+                 %.2fs + %.2fs verify)%s\n\
+                 %!"
+                name l.stats.sketches l.stats.pruned_by_value
+                l.stats.library_size l.stats.lift_s l.stats.verify_s
+                (if outcome.Stenso.Superopt.improved then
+                   "; superoptimized"
+                 else "");
+            let rendered =
+              render_program l.env outcome.Stenso.Superopt.optimized
+            in
+            (match synth_out with
+            | Some path ->
+                write_file path rendered;
+                if not quiet then Printf.printf "# written to %s\n" path
+            | None -> print_string rendered);
+            let entry =
+              lift_entry_of name ~lifted:true
+                ~program:(Dsl.Ast.to_string l.prog)
+                ~optimized:
+                  (Dsl.Ast.to_string outcome.Stenso.Superopt.optimized)
+                ~improved:outcome.Stenso.Superopt.improved l.stats
+            in
+            (entry :: entries, failures)
+        | Error e ->
+            Printf.eprintf "stenso: %s: %s\n%!" name
+              (Stenso.Lift.error_message e);
+            let stats =
+              match e with
+              | Stenso.Lift.Not_lifted s -> s
+              | Stenso.Lift.Unsupported _ -> zero_lift_stats
+            in
+            let entry =
+              lift_entry_of name ~lifted:false ~program:"" ~optimized:""
+                ~improved:false stats
+            in
+            (entry :: entries, failures + 1))
+      ([], 0) sources
+  in
+  let entries = List.rev entries in
+  (match report with
+  | Some path ->
+      let doc =
+        Suite.Driver.lift_report ~config
+          ~elapsed:(Unix.gettimeofday () -. t0)
+          entries
+      in
+      (match Suite.Driver.validate_lift_report doc with
+      | Ok () -> ()
+      | Error msg -> die "generated lift report is invalid: %s" msg);
+      write_file path (Stenso.Telemetry.Json.to_string doc ^ "\n");
+      if not quiet then Printf.printf "# wrote lift report to %s\n" path
+  | None -> ());
+  (match trace with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Stenso.Telemetry.write_ndjson tel oc)
+  | None -> ());
+  if failures > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* stenso profile                                                      *)
@@ -426,7 +594,7 @@ let profile_run names cost_cache extended_ops =
 (* stenso report                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let report_run file min_speedup =
+let report_run file min_speedup min_success =
   (* Validate an archived report: parse, dispatch on the schema field,
      check structure (and, for exec-bench documents, the optional
      performance floor), print a one-line summary.  CI runs this on
@@ -449,7 +617,29 @@ let report_run file min_speedup =
           (Option.bind (J.member name doc) J.to_float_opt)
       in
       let schema = str "schema" in
-      if String.equal schema Suite.Driver.exec_bench_schema_version then (
+      (match min_success with
+      | Some _
+        when not (String.equal schema Suite.Driver.lift_schema_version) ->
+          die "%s: --min-success only applies to %s reports" file
+            Suite.Driver.lift_schema_version
+      | _ -> ());
+      if String.equal schema Suite.Driver.lift_schema_version then (
+        (match min_speedup with
+        | Some _ ->
+            die "%s: --min-speedup only applies to %s reports" file
+              Suite.Driver.exec_bench_schema_version
+        | None -> ());
+        match Suite.Driver.validate_lift_report ?min_success doc with
+        | Error msg -> die "%s: invalid lift report: %s" file msg
+        | Ok () ->
+            Printf.printf
+              "%s: valid %s (%d kernels, %d lifted, %.0f%% success%s)\n" file
+              schema (int "n_kernels") (int "n_lifted")
+              (100. *. float "success_rate")
+              (match min_success with
+              | None -> ""
+              | Some m -> Printf.sprintf ", at least %.0f%% required" (100. *. m)))
+      else if String.equal schema Suite.Driver.exec_bench_schema_version then (
         match Suite.Driver.validate_exec_bench ?min_speedup doc with
         | Error msg -> die "%s: invalid exec-bench report: %s" file msg
         | Ok () ->
@@ -978,7 +1168,7 @@ let suite_cmd =
       & info [ "benchmarks" ] ~docv:"NAMES"
           ~doc:
             "Comma-separated benchmark names or group tokens (github, \
-             synthetic, masking, ml); default: the paper's 33.")
+             synthetic, masking, ml, lifted); default: the paper's 33.")
   in
   let out_arg =
     Arg.(
@@ -1101,6 +1291,75 @@ let run_cmd =
       const run_run $ prog_pos_arg $ engine_arg $ exec_options_term
       $ seed_arg $ trace_arg $ verbose_arg)
 
+let lift_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Scalar loop-nest kernel to lift (the loop language).")
+  in
+  let bench_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "bench" ] ~docv:"NAME"
+          ~doc:
+            "Lift a bundled kernel from the lifted benchmark tier \
+             (repeatable; $(b,all) expands to every bundled kernel).")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Input draws forming the value signature candidates are \
+             pruned against before symbolic verification.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x11f7
+      & info [ "seed" ] ~docv:"N" ~doc:"Random seed for the input draws.")
+  in
+  let synth_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "synth-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the lifted-and-optimized DSL program (inputs + \
+             expression, re-parseable) to FILE instead of stdout.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a $(b,stenso.lift/1) JSON report: per-kernel sketch, \
+             value-pruning and certification counters, lift/verify \
+             times, success rate.  Validate with $(b,stenso report \
+             --min-success).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Print only the emitted DSL programs.")
+  in
+  Cmd.v
+    (Cmd.info "lift"
+       ~doc:
+         "Lift a scalar loop-nest kernel into the tensor DSL by \
+          sketch-guided synthesis with value-based pruning, certify the \
+          result symbolically and differentially against the loop \
+          interpreter, then superoptimize it.  Exit status: 0 when every \
+          kernel lifts, 1 on a failed lift, 65 ($(b,EX_DATAERR)) on a \
+          malformed kernel file.")
+    Term.(
+      const lift_run $ file_arg $ bench_arg $ estimator_arg $ engine_arg
+      $ exec_options_term $ timeout_arg $ jobs_arg $ cost_cache_arg
+      $ no_store_arg $ store_dir_arg $ samples_arg $ seed_arg
+      $ synth_out_arg $ report_arg $ trace_arg $ quiet_arg)
+
 let profile_cmd =
   let cache_arg =
     Arg.(
@@ -1116,7 +1375,7 @@ let profile_cmd =
       & info [ "benchmarks" ] ~docv:"NAMES"
           ~doc:
             "Comma-separated benchmark names or group tokens (github, \
-             synthetic, masking, ml); default: the paper's 33.")
+             synthetic, masking, ml, lifted); default: the paper's 33.")
   in
   Cmd.v
     (Cmd.info "profile"
@@ -1142,13 +1401,22 @@ let report_cmd =
              benchmark's VM speedup is at least $(docv) and every \
              reduction-rooted benchmark fused at least one op.")
   in
+  let min_success_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-success" ] ~docv:"RATE"
+          ~doc:
+            "For $(b,stenso.lift/1) reports: fail unless the lift \
+             success rate is at least $(docv) (a fraction, e.g. 1.0).")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Validate a JSON report — $(b,stenso.suite-report/1) or \
-          $(b,stenso.exec-bench/1), dispatched on its schema field — \
-          and print its summary.")
-    Term.(const report_run $ file_arg $ min_speedup_arg)
+         "Validate a JSON report — $(b,stenso.suite-report/1), \
+          $(b,stenso.exec-bench/1), $(b,stenso.lift/1) and friends, \
+          dispatched on its schema field — and print its summary.")
+    Term.(const report_run $ file_arg $ min_speedup_arg $ min_success_arg)
 
 let serve_cmd =
   let workers_arg =
@@ -1385,6 +1653,7 @@ let cmd =
       suite_cmd;
       mine_cmd;
       run_cmd;
+      lift_cmd;
       profile_cmd;
       report_cmd;
       serve_cmd;

@@ -405,3 +405,101 @@ let const_stub lib q =
   match lookup_exact lib sem with
   | Some s when s.cost < fresh.cost -> Some s
   | Some _ | None -> Some fresh
+
+(* ------------------------------------------------------------------ *)
+(* Concrete value tables (TF-Coder-style signatures)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Values = struct
+  type table = {
+    tbl : (string, Tensor.Ftensor.t list) Hashtbl.t;
+        (* Spec.key of the stub -> one output tensor per sample *)
+    ordered : (t * Tensor.Ftensor.t list) list;
+    fp : string;
+    samples : (string * Tensor.Ftensor.t) list list;
+  }
+
+  (* Sampled inputs are identified by the IEEE-754 bit pattern of every
+     element (plus name and shape), like the enumeration fingerprint's
+     constants: printf rounding or NaN comparison must never make two
+     different input draws share a cache entry. *)
+  let inputs_fingerprint (samples : (string * Tensor.Ftensor.t) list list) =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun sample ->
+        Buffer.add_char buf '(';
+        List.iter
+          (fun (name, t) ->
+            Buffer.add_string buf name;
+            Buffer.add_char buf ':';
+            Array.iter
+              (fun d -> Buffer.add_string buf (Printf.sprintf "%dx" d))
+              (Tensor.Ftensor.shape t);
+            Buffer.add_char buf '=';
+            Array.iter
+              (fun v ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%Lx," (Int64.bits_of_float v)))
+              (Tensor.Ftensor.to_array t))
+          sample;
+        Buffer.add_char buf ')')
+      samples;
+    (* The raw rendering is long (every element of every sample); the
+       table key only needs to distinguish draws, so hash it down. *)
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  let fingerprint ~library_fp samples =
+    Printf.sprintf "values:%s;inputs=%s" library_fp
+      (inputs_fingerprint samples)
+
+  let fingerprint_of t = t.fp
+  let samples t = t.samples
+
+  let build ~library_fp (lib : library) samples =
+    let tbl = Hashtbl.create (List.length lib.all) in
+    let ordered =
+      List.filter_map
+        (fun stub ->
+          (* Ill-behaved evaluations (a stub is well-typed but its
+             value may still overflow or hit 0/0 on a given draw) keep
+             their non-finite floats: they simply never match a finite
+             target signature. *)
+          match
+            List.map
+              (fun inputs -> Dsl.Interp.eval_alist inputs stub.prog)
+              samples
+          with
+          | outs ->
+              Hashtbl.replace tbl (Spec.key stub.sem) outs;
+              Some (stub, outs)
+          | exception _ -> None)
+        lib.all
+    in
+    { tbl; ordered; fp = fingerprint ~library_fp samples; samples }
+
+  let outputs t (stub : t) = Hashtbl.find_opt t.tbl (Spec.key stub.sem)
+  let to_list t = t.ordered
+
+  (* One table per (library, input draw) fingerprint, shared across
+     lifts the same way [Cache] shares enumerated libraries.  Truncated
+     libraries are never cached (their contents are not determined by
+     their fingerprint), mirroring [Cache.enumerate]. *)
+  let cache : (string, table) Hashtbl.t = Hashtbl.create 8
+  let cache_mutex = Mutex.create ()
+
+  let get ?(tel = Obs.Telemetry.null) ~library_fp (lib : library) samples =
+    let fp = fingerprint ~library_fp samples in
+    let cached =
+      Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache fp)
+    in
+    match cached with
+    | Some t ->
+        Obs.Telemetry.incr tel "stub.values_cache_hits";
+        t
+    | None ->
+        let t = build ~library_fp lib samples in
+        if not lib.hit_cap then
+          Mutex.protect cache_mutex (fun () ->
+              if not (Hashtbl.mem cache fp) then Hashtbl.replace cache fp t);
+        t
+end

@@ -125,3 +125,49 @@ val const_stub : library -> Symbolic.Q.t -> t option
 (** A [Const] leaf for a uniform-constant spec (the solver may conjure
     constants not present in the library, e.g. the 4 in
     [AB + 3AB -> 4AB]). *)
+
+(** Concrete value tables: every stub's outputs on a fixed list of
+    sampled input draws — the TF-Coder-style behavioral signatures the
+    lifting front-end prunes candidates against before any symbolic
+    work ([Stenso.Lift]). *)
+module Values : sig
+  type table
+
+  val inputs_fingerprint : (string * Tensor.Ftensor.t) list list -> string
+  (** Canonical identity of an input draw: name, shape, and the
+      IEEE-754 bit pattern of every element of every sample (hashed).
+      Two different draws — even from the same distribution — never
+      share a fingerprint, so value tables and any store entries keyed
+      through them cannot collide across distributions. *)
+
+  val fingerprint :
+    library_fp:string -> (string * Tensor.Ftensor.t) list list -> string
+  (** Cache identity of a table: the stub-library fingerprint
+      ({!fingerprint} of the enumeration, including the cost-model id
+      if the caller keys by it) combined with {!inputs_fingerprint}. *)
+
+  val build :
+    library_fp:string ->
+    library ->
+    (string * Tensor.Ftensor.t) list list ->
+    table
+
+  val get :
+    ?tel:Obs.Telemetry.t ->
+    library_fp:string ->
+    library ->
+    (string * Tensor.Ftensor.t) list list ->
+    table
+  (** Like {!build}, but shares one table per {!fingerprint} across
+      lifts (never for truncated libraries, mirroring {!Cache}).  A
+      shared hit increments the [stub.values_cache_hits] counter. *)
+
+  val outputs : table -> t -> Tensor.Ftensor.t list option
+  (** The stub's output on each sample, in sample order. *)
+
+  val to_list : table -> (t * Tensor.Ftensor.t list) list
+  (** All stubs with their outputs, in library (cost) order. *)
+
+  val fingerprint_of : table -> string
+  val samples : table -> (string * Tensor.Ftensor.t) list list
+end

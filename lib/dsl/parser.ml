@@ -1,6 +1,12 @@
 exception Parse_error of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+(* Every diagnostic carries the 1-based line and column of the
+   offending token, so `stenso run`/`lift` can point at the source. *)
+let fail_at line col fmt =
+  Format.kasprintf
+    (fun m ->
+      raise (Parse_error (Printf.sprintf "line %d, column %d: %s" line col m)))
+    fmt
 
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                              *)
@@ -50,13 +56,24 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
+type ptok = { tok : token; tline : int; tcol : int }
+
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
   let i = ref 0 in
+  let line = ref 1 in
+  let bol = ref 0 in
+  (* Position of the token that starts at the cursor. *)
+  let tline = ref 1 and tcol = ref 1 in
+  let mark () =
+    tline := !line;
+    tcol := !i - !bol + 1
+  in
+  let emit t = toks := { tok = t; tline = !tline; tcol = !tcol } :: !toks in
   while !i < n do
     let c = src.[!i] in
+    mark ();
     if c = '#' then begin
       while !i < n && src.[!i] <> '\n' do
         incr i
@@ -64,7 +81,9 @@ let tokenize src =
     end
     else if c = '\n' then begin
       emit NEWLINE;
-      incr i
+      incr i;
+      incr line;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if is_ident_start c then begin
@@ -91,7 +110,7 @@ let tokenize src =
       let text = String.sub src start (!i - start) in
       match float_of_string_opt text with
       | Some f -> emit (NUMBER f)
-      | None -> fail "bad numeric literal %S" text
+      | None -> fail_at !tline !tcol "bad numeric literal %S" text
     end
     else begin
       incr i;
@@ -114,9 +133,10 @@ let tokenize src =
       | '/' -> emit SLASH
       | '@' -> emit AT
       | '=' -> emit EQUALS
-      | c -> fail "unexpected character %C" c
+      | c -> fail_at !tline !tcol "unexpected character %C" c
     end
   done;
+  mark ();
   emit EOF;
   List.rev !toks
 
@@ -124,9 +144,24 @@ let tokenize src =
 (* Token stream                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type stream = { mutable toks : token list }
+(* [line]/[col] track the most recently peeked token, so a failure
+   raised right after [peek]/[next] points at it. *)
+type stream = { mutable toks : ptok list; mutable line : int; mutable col : int }
 
-let peek s = match s.toks with t :: _ -> t | [] -> EOF
+let stream src =
+  let toks = tokenize src in
+  match toks with
+  | [] -> { toks; line = 1; col = 1 }
+  | t :: _ -> { toks; line = t.tline; col = t.tcol }
+
+let peek s =
+  match s.toks with
+  | t :: _ ->
+      s.line <- t.tline;
+      s.col <- t.tcol;
+      t.tok
+  | [] -> EOF
+
 let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
 
 let next s =
@@ -134,9 +169,12 @@ let next s =
   advance s;
   t
 
+let sfail s fmt = fail_at s.line s.col fmt
+
 let expect s tok =
   let t = next s in
-  if t <> tok then fail "expected %s but found %s" (pp_token tok) (pp_token t)
+  if t <> tok then
+    sfail s "expected %s but found %s" (pp_token tok) (pp_token t)
 
 let skip_newlines s =
   while peek s = NEWLINE do
@@ -159,8 +197,8 @@ let kwarg_axis s =
   | MINUS -> (
       match next s with
       | NUMBER f when Float.is_integer f -> -int_of_float f
-      | t -> fail "expected integer axis, found %s" (pp_token t))
-  | t -> fail "expected integer axis, found %s" (pp_token t)
+      | t -> sfail s "expected integer axis, found %s" (pp_token t))
+  | t -> sfail s "expected integer axis, found %s" (pp_token t)
 
 let rec parse_expr s = parse_additive s
 
@@ -225,7 +263,7 @@ and parse_postfix s =
         advance s;
         match next s with
         | IDENT "T" -> e := Ast.App (Transpose None, [ !e ])
-        | t -> fail "expected .T, found .%s" (pp_token t))
+        | t -> sfail s "expected .T, found .%s" (pp_token t))
     | _ -> continue_ := false
   done;
   !e
@@ -241,11 +279,11 @@ and parse_atom s =
       expect s DOT;
       let fn = match next s with
         | IDENT name -> name
-        | t -> fail "expected function name after np., found %s" (pp_token t)
+        | t -> sfail s "expected function name after np., found %s" (pp_token t)
       in
       parse_np_call s fn
   | IDENT name -> Ast.Input name
-  | t -> fail "unexpected token %s in expression" (pp_token t)
+  | t -> sfail s "unexpected token %s in expression" (pp_token t)
 
 and parse_int s =
   match next s with
@@ -253,8 +291,8 @@ and parse_int s =
   | MINUS -> (
       match next s with
       | NUMBER f when Float.is_integer f -> -int_of_float f
-      | t -> fail "expected integer, found %s" (pp_token t))
-  | t -> fail "expected integer, found %s" (pp_token t)
+      | t -> sfail s "expected integer, found %s" (pp_token t))
+  | t -> sfail s "expected integer, found %s" (pp_token t)
 
 and parse_int_seq s close =
   (* Comma-separated integers up to (and consuming) [close]. *)
@@ -268,7 +306,7 @@ and parse_int_seq s close =
       match next s with
       | COMMA -> if peek s = close then (advance s; List.rev (n :: acc)) else go (n :: acc)
       | t when t = close -> List.rev (n :: acc)
-      | t -> fail "expected , or %s, found %s" (pp_token close) (pp_token t)
+      | t -> sfail s "expected , or %s, found %s" (pp_token close) (pp_token t)
     in
     go []
 
@@ -290,7 +328,7 @@ and parse_expr_list s =
     match next s with
     | COMMA -> if peek s = RBRACKET then (advance s; List.rev (e :: acc)) else go (e :: acc)
     | RBRACKET -> List.rev (e :: acc)
-    | t -> fail "expected , or ] in list, found %s" (pp_token t)
+    | t -> sfail s "expected , or ] in list, found %s" (pp_token t)
   in
   go []
 
@@ -340,7 +378,7 @@ and parse_np_call s fn =
         match next s with
         | IDENT "True" -> keepdims := true
         | IDENT "False" -> keepdims := false
-        | t -> fail "expected True or False for keepdims, found %s" (pp_token t)
+        | t -> sfail s "expected True or False for keepdims, found %s" (pp_token t)
       in
       let rec args () =
         match peek s with
@@ -354,9 +392,9 @@ and parse_np_call s fn =
                 match next s with
                 | NUMBER f when Float.is_integer f ->
                     axis := Some (-int_of_float f)
-                | t -> fail "bad axis: %s" (pp_token t))
+                | t -> sfail s "bad axis: %s" (pp_token t))
             | t ->
-                fail "expected axis or keepdims argument, found %s"
+                sfail s "expected axis or keepdims argument, found %s"
                   (pp_token t));
             args ()
         | _ -> ()
@@ -409,14 +447,14 @@ and parse_np_call s fn =
           advance s;
           let var = match next s with
             | IDENT v -> v
-            | t -> fail "expected comprehension variable, found %s" (pp_token t)
+            | t -> sfail s "expected comprehension variable, found %s" (pp_token t)
           in
           (match next s with
           | IDENT "in" -> ()
-          | t -> fail "expected 'in', found %s" (pp_token t));
+          | t -> sfail s "expected 'in', found %s" (pp_token t));
           let iter = match next s with
             | IDENT v -> v
-            | t -> fail "comprehension source must be an input name, found %s"
+            | t -> sfail s "comprehension source must be an input name, found %s"
                      (pp_token t)
           in
           expect s RBRACKET;
@@ -426,11 +464,11 @@ and parse_np_call s fn =
                 advance s;
                 match next s with
                 | IDENT "axis" -> kwarg_axis s
-                | t -> fail "expected axis=, found %s" (pp_token t))
+                | t -> sfail s "expected axis=, found %s" (pp_token t))
             | _ -> 0
           in
           expect s RPAREN;
-          if axis <> 0 then fail "comprehension stack only supports axis=0";
+          if axis <> 0 then sfail s "comprehension stack only supports axis=0";
           Ast.For_stack { var; iter; body = first }
       | COMMA | RBRACKET ->
           let rest =
@@ -446,13 +484,13 @@ and parse_np_call s fn =
                 advance s;
                 match next s with
                 | IDENT "axis" -> kwarg_axis s
-                | t -> fail "expected axis=, found %s" (pp_token t))
+                | t -> sfail s "expected axis=, found %s" (pp_token t))
             | _ -> 0
           in
           expect s RPAREN;
           Ast.App (Stack axis, first :: rest)
-      | t -> fail "unexpected %s in stack literal" (pp_token t))
-  | fn -> fail "unknown numpy function np.%s" fn
+      | t -> sfail s "unexpected %s in stack literal" (pp_token t))
+  | fn -> sfail s "unknown numpy function np.%s" fn
 
 (* ------------------------------------------------------------------ *)
 (* Declarations                                                       *)
@@ -463,7 +501,7 @@ let parse_dtype_shape s =
     match next s with
     | IDENT ("f" | "f32" | "f64" | "float") -> Types.Float
     | IDENT ("b" | "bool") -> Types.Bool
-    | t -> fail "expected dtype (f32 or bool), found %s" (pp_token t)
+    | t -> sfail s "expected dtype (f32 or bool), found %s" (pp_token t)
   in
   expect s LBRACKET;
   let dims = parse_int_seq s RBRACKET in
@@ -473,7 +511,7 @@ let parse_dtype_shape s =
   | Types.Bool -> Types.bool_t shape
 
 let program src =
-  let s = { toks = tokenize src } in
+  let s = stream src in
   let env = ref [] in
   let result = ref None in
   let rec loop () =
@@ -484,11 +522,11 @@ let program src =
         advance s;
         let name = match next s with
           | IDENT n -> n
-          | t -> fail "expected input name, found %s" (pp_token t)
+          | t -> sfail s "expected input name, found %s" (pp_token t)
         in
         expect s COLON;
         let vt = parse_dtype_shape s in
-        if List.mem_assoc name !env then fail "duplicate input %s" name;
+        if List.mem_assoc name !env then sfail s "duplicate input %s" name;
         env := (name, vt) :: !env;
         loop ()
     | IDENT "return" ->
@@ -496,23 +534,23 @@ let program src =
         let e = parse_expr s in
         (match !result with
         | None -> result := Some e
-        | Some _ -> fail "multiple return statements");
+        | Some _ -> sfail s "multiple return statements");
         loop ()
-    | t -> fail "expected 'input' or 'return', found %s" (pp_token t)
+    | t -> sfail s "expected 'input' or 'return', found %s" (pp_token t)
   in
   loop ();
   match !result with
-  | None -> fail "missing return statement"
+  | None -> sfail s "missing return statement"
   | Some e -> (List.rev !env, e)
 
 let expression src =
-  let s = { toks = tokenize src } in
+  let s = stream src in
   skip_newlines s;
   let e = parse_expr s in
   skip_newlines s;
   (match peek s with
   | EOF -> ()
-  | t -> fail "trailing input after expression: %s" (pp_token t));
+  | t -> sfail s "trailing input after expression: %s" (pp_token t));
   e
 
 (* The inverse of [program]: render an environment and expression back

@@ -1,0 +1,137 @@
+(* AST for the scalar loop-nest kernel language (see loop_parser.ml for
+   the surface syntax).  The language is deliberately tiny: C-like
+   [for] loops with constant bounds over float scalars and dense float
+   arrays, affine index expressions, and the float intrinsics the DSL
+   can express.  Everything a kernel can compute is a function from its
+   [`In] parameters to its single [`Out] parameter, which is what the
+   lifting engine rediscovers as a tensor-DSL program. *)
+
+type binop = Add | Sub | Mul | Div
+type intrinsic = Sqrt | Exp | Log | Fmax
+
+type expr =
+  | Num of float
+  | Var of string  (** scalar parameter, local, or loop index *)
+  | Load of string * expr list  (** [A[i][j]]; indices are int-valued *)
+  | Neg of expr
+  | Binop of binop * expr * expr
+  | Intrinsic of intrinsic * expr list
+
+type lhs = { base : string; indices : expr list }
+
+type stmt =
+  | Decl of { name : string; init : expr }  (** [float x = e;] *)
+  | Assign of lhs * expr
+      (** [x = e;] or [A[i] = e;]; [+=] desugars to this in the parser *)
+  | For of { var : string; lo : int; hi : int; body : stmt list }
+      (** [for (int i = lo; i < hi; i++) { ... }] *)
+
+type io = In | Out
+
+type param = { pname : string; dims : int list; io : io }
+(** [dims = []] is a scalar parameter. *)
+
+type kernel = { kname : string; params : param list; body : stmt list }
+
+let binop_name = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let intrinsic_name = function
+  | Sqrt -> "sqrtf"
+  | Exp -> "expf"
+  | Log -> "logf"
+  | Fmax -> "fmaxf"
+
+let intrinsic_arity = function Sqrt | Exp | Log -> 1 | Fmax -> 2
+
+let in_params k = List.filter (fun p -> p.io = In) k.params
+
+let out_param k =
+  match List.filter (fun p -> p.io = Out) k.params with
+  | [ p ] -> p
+  | _ -> invalid_arg "Loop_ast.out_param: kernel must have exactly one out"
+
+(* The typing environment the lifted DSL program runs in: every [`In]
+   parameter becomes a float input of the same shape (scalars have the
+   empty shape). *)
+let dsl_env k : Dsl.Types.env =
+  List.map
+    (fun p -> (p.pname, Dsl.Types.float_t (Array.of_list p.dims)))
+    (in_params k)
+
+(* Float literals appearing anywhere in the kernel body — the constant
+   terminals handed to stub enumeration, mirroring how the synthesizer
+   collects [FCons] from a DSL program. *)
+let literals k =
+  let acc = ref [] in
+  let add f = if not (List.mem f !acc) then acc := f :: !acc in
+  let rec expr = function
+    | Num f -> add f
+    | Var _ -> ()
+    | Load (_, idx) -> List.iter expr idx
+    | Neg e -> expr e
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Intrinsic (_, args) -> List.iter expr args
+  in
+  let rec stmt = function
+    | Decl { init; _ } -> expr init
+    | Assign (lhs, e) ->
+        List.iter expr lhs.indices;
+        expr e
+    | For { body; _ } -> List.iter stmt body
+  in
+  List.iter stmt k.body;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Printing (round-trips through the parser)                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_expr fmt = function
+  | Num f -> Format.fprintf fmt "%g" f
+  | Var v -> Format.pp_print_string fmt v
+  | Load (a, idx) ->
+      Format.pp_print_string fmt a;
+      List.iter (fun i -> Format.fprintf fmt "[%a]" pp_expr i) idx
+  | Neg e -> Format.fprintf fmt "(-%a)" pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Intrinsic (f, args) ->
+      Format.fprintf fmt "%s(%a)" (intrinsic_name f)
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        args
+
+let pp_lhs fmt { base; indices } =
+  Format.pp_print_string fmt base;
+  List.iter (fun i -> Format.fprintf fmt "[%a]" pp_expr i) indices
+
+let rec pp_stmt indent fmt = function
+  | Decl { name; init } ->
+      Format.fprintf fmt "%sfloat %s = %a;@." indent name pp_expr init
+  | Assign (lhs, e) ->
+      Format.fprintf fmt "%s%a = %a;@." indent pp_lhs lhs pp_expr e
+  | For { var; lo; hi; body } ->
+      Format.fprintf fmt "%sfor (int %s = %d; %s < %d; %s++) {@." indent var
+        lo var hi var;
+      List.iter (pp_stmt (indent ^ "  ") fmt) body;
+      Format.fprintf fmt "%s}@." indent
+
+let pp_param fmt p =
+  Format.fprintf fmt "%s float %s%s"
+    (match p.io with In -> "in" | Out -> "out")
+    p.pname
+    (String.concat "" (List.map (Printf.sprintf "[%d]") p.dims))
+
+let pp fmt k =
+  Format.fprintf fmt "kernel %s(%a) {@." k.kname
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_param)
+    k.params;
+  List.iter (pp_stmt "  " fmt) k.body;
+  Format.fprintf fmt "}@."
+
+let to_string k = Format.asprintf "%a" pp k

@@ -1,0 +1,435 @@
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | EQUALS
+  | PLUSEQ
+  | PLUSPLUS
+  | EOF
+
+let pp_token = function
+  | IDENT s -> Printf.sprintf "'%s'" s
+  | NUMBER f -> Printf.sprintf "'%g'" f
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | LT -> "'<'"
+  | EQUALS -> "'='"
+  | PLUSEQ -> "'+='"
+  | PLUSPLUS -> "'++'"
+  | EOF -> "end of input"
+
+(* Every token carries the 1-based line/column where it starts, so any
+   parse error can point at the offending token. *)
+type ptok = { tok : token; line : int; col : int }
+
+let fail_at line col fmt =
+  Format.kasprintf
+    (fun s ->
+      raise (Parse_error (Printf.sprintf "line %d, column %d: %s" line col s)))
+    fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let advance () =
+    if !i < n && src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let emit t ~line ~col = toks := { tok = t; line; col } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    let tline = !line and tcol = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      emit (IDENT (String.sub src start (!i - start))) ~line:tline ~col:tcol
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1])
+    then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit src.[!i]
+           || src.[!i] = '.'
+           || src.[!i] = 'e'
+           || src.[!i] = 'E'
+           || ((src.[!i] = '+' || src.[!i] = '-')
+              && !i > start
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        advance ()
+      done;
+      (* A trailing [f] suffix (C float literals) is accepted. *)
+      let text = String.sub src start (!i - start) in
+      if !i < n && src.[!i] = 'f' then advance ();
+      match float_of_string_opt text with
+      | Some f -> emit (NUMBER f) ~line:tline ~col:tcol
+      | None -> fail_at tline tcol "bad numeric literal %S" text
+    end
+    else begin
+      advance ();
+      let two c' t1 t0 =
+        if !i < n && src.[!i] = c' then begin
+          advance ();
+          t1
+        end
+        else t0
+      in
+      let t =
+        match c with
+        | '(' -> LPAREN
+        | ')' -> RPAREN
+        | '{' -> LBRACE
+        | '}' -> RBRACE
+        | '[' -> LBRACKET
+        | ']' -> RBRACKET
+        | ',' -> COMMA
+        | ';' -> SEMI
+        | '+' -> (
+            match two '=' PLUSEQ PLUS with
+            | PLUS -> two '+' PLUSPLUS PLUS
+            | t -> t)
+        | '-' -> MINUS
+        | '*' -> STAR
+        | '/' -> SLASH
+        | '<' -> LT
+        | '=' -> EQUALS
+        | c -> fail_at tline tcol "unexpected character %C" c
+      in
+      emit t ~line:tline ~col:tcol
+    end
+  done;
+  emit EOF ~line:!line ~col:!col;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : ptok list }
+
+let peek s =
+  match s.toks with
+  | t :: _ -> t
+  | [] -> { tok = EOF; line = 0; col = 0 }
+
+let next s =
+  let t = peek s in
+  (match s.toks with _ :: rest -> s.toks <- rest | [] -> ());
+  t
+
+let fail_tok (t : ptok) fmt = fail_at t.line t.col fmt
+
+let expect s tok =
+  let t = next s in
+  if t.tok <> tok then
+    fail_tok t "expected %s but found %s" (pp_token tok) (pp_token t.tok)
+
+let ident s what =
+  match next s with
+  | { tok = IDENT name; _ } -> name
+  | t -> fail_tok t "expected %s, found %s" what (pp_token t.tok)
+
+let int_lit s what =
+  match next s with
+  | { tok = NUMBER f; _ } when Float.is_integer f -> int_of_float f
+  | t -> fail_tok t "expected %s, found %s" what (pp_token t.tok)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Loop_ast
+
+let intrinsic_of_name = function
+  | "sqrtf" | "sqrt" -> Some Sqrt
+  | "expf" | "exp" -> Some Exp
+  | "logf" | "log" -> Some Log
+  | "fmaxf" | "fmax" -> Some Fmax
+  | _ -> None
+
+let rec parse_expr s = parse_additive s
+
+and parse_additive s =
+  let lhs = ref (parse_multiplicative s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek s).tok with
+    | PLUS ->
+        ignore (next s);
+        lhs := Binop (Add, !lhs, parse_multiplicative s)
+    | MINUS ->
+        ignore (next s);
+        lhs := Binop (Sub, !lhs, parse_multiplicative s)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative s =
+  let lhs = ref (parse_unary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek s).tok with
+    | STAR ->
+        ignore (next s);
+        lhs := Binop (Mul, !lhs, parse_unary s)
+    | SLASH ->
+        ignore (next s);
+        lhs := Binop (Div, !lhs, parse_unary s)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary s =
+  match (peek s).tok with
+  | MINUS -> (
+      ignore (next s);
+      match parse_unary s with Num f -> Num (-.f) | e -> Neg e)
+  | _ -> parse_atom s
+
+and parse_atom s =
+  let t = next s in
+  match t.tok with
+  | NUMBER f -> Num f
+  | LPAREN ->
+      let e = parse_expr s in
+      expect s RPAREN;
+      e
+  | IDENT name -> (
+      match (peek s).tok with
+      | LPAREN -> (
+          match intrinsic_of_name name with
+          | None ->
+              fail_tok t "unknown function '%s' (expected %s)" name
+                "sqrtf, expf, logf or fmaxf"
+          | Some f ->
+              ignore (next s);
+              let rec args acc =
+                let e = parse_expr s in
+                match next s with
+                | { tok = COMMA; _ } -> args (e :: acc)
+                | { tok = RPAREN; _ } -> List.rev (e :: acc)
+                | t ->
+                    fail_tok t "expected ',' or ')' in %s call, found %s"
+                      (intrinsic_name f) (pp_token t.tok)
+              in
+              let args = args [] in
+              if List.length args <> intrinsic_arity f then
+                fail_tok t "%s takes %d argument%s" (intrinsic_name f)
+                  (intrinsic_arity f)
+                  (if intrinsic_arity f = 1 then "" else "s");
+              Intrinsic (f, args))
+      | LBRACKET -> Load (name, parse_indices s)
+      | _ -> Var name)
+  | tok -> fail_tok t "unexpected token %s in expression" (pp_token tok)
+
+and parse_indices s =
+  let rec go acc =
+    match (peek s).tok with
+    | LBRACKET ->
+        ignore (next s);
+        let e = parse_expr s in
+        expect s RBRACKET;
+        go (e :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_lhs s =
+  let base = ident s "an assignment target" in
+  { base; indices = parse_indices s }
+
+let rec parse_stmt s =
+  let t = peek s in
+  match t.tok with
+  | IDENT "float" ->
+      ignore (next s);
+      let name = ident s "a local variable name" in
+      expect s EQUALS;
+      let init = parse_expr s in
+      expect s SEMI;
+      Decl { name; init }
+  | IDENT "for" ->
+      ignore (next s);
+      expect s LPAREN;
+      (match next s with
+      | { tok = IDENT "int"; _ } -> ()
+      | t -> fail_tok t "expected 'int', found %s" (pp_token t.tok));
+      let var = ident s "a loop variable" in
+      expect s EQUALS;
+      let lo = int_lit s "a constant lower bound" in
+      expect s SEMI;
+      let v2 = ident s "the loop variable" in
+      if v2 <> var then
+        fail_tok t "loop condition tests '%s' but the loop variable is '%s'"
+          v2 var;
+      expect s LT;
+      let hi = int_lit s "a constant upper bound" in
+      expect s SEMI;
+      let v3 = ident s "the loop variable" in
+      if v3 <> var then
+        fail_tok t "loop increment updates '%s' but the loop variable is '%s'"
+          v3 var;
+      (match next s with
+      | { tok = PLUSPLUS; _ } -> ()
+      | { tok = PLUSEQ; _ } ->
+          let one = int_lit s "the literal 1" in
+          if one <> 1 then fail_tok t "only unit-stride loops are supported"
+      | { tok = EQUALS; _ } -> (
+          let v4 = ident s "the loop variable" in
+          expect s PLUS;
+          let one = int_lit s "the literal 1" in
+          if v4 <> var || one <> 1 then
+            fail_tok t "only unit-stride loops are supported")
+      | t ->
+          fail_tok t "expected '++', '+= 1' or '= %s + 1', found %s" var
+            (pp_token t.tok));
+      expect s RPAREN;
+      let body = parse_block s in
+      For { var; lo; hi; body }
+  | IDENT _ ->
+      let lhs = parse_lhs s in
+      let stmt =
+        match next s with
+        | { tok = EQUALS; _ } -> Assign (lhs, parse_expr s)
+        | { tok = PLUSEQ; _ } ->
+            let cur = Load (lhs.base, lhs.indices) in
+            let cur = if lhs.indices = [] then Var lhs.base else cur in
+            Assign (lhs, Binop (Add, cur, parse_expr s))
+        | t ->
+            fail_tok t "expected '=' or '+=' after %s, found %s" lhs.base
+              (pp_token t.tok)
+      in
+      expect s SEMI;
+      stmt
+  | tok -> fail_tok t "expected a statement, found %s" (pp_token tok)
+
+and parse_block s =
+  expect s LBRACE;
+  let rec go acc =
+    match (peek s).tok with
+    | RBRACE ->
+        ignore (next s);
+        List.rev acc
+    | _ -> go (parse_stmt s :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Kernel                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_param s =
+  let t = peek s in
+  let io =
+    match next s with
+    | { tok = IDENT "in"; _ } -> In
+    | { tok = IDENT "out"; _ } -> Out
+    | t -> fail_tok t "expected 'in' or 'out', found %s" (pp_token t.tok)
+  in
+  (match next s with
+  | { tok = IDENT "float"; _ } -> ()
+  | t -> fail_tok t "expected 'float', found %s" (pp_token t.tok));
+  let pname = ident s "a parameter name" in
+  let rec dims acc =
+    match (peek s).tok with
+    | LBRACKET ->
+        ignore (next s);
+        let d = int_lit s "a constant dimension" in
+        if d <= 0 then fail_tok t "dimension of %s must be positive" pname;
+        expect s RBRACKET;
+        dims (d :: acc)
+    | _ -> List.rev acc
+  in
+  { pname; dims = dims []; io }
+
+let kernel src =
+  let s = { toks = tokenize src } in
+  let t0 = peek s in
+  (match next s with
+  | { tok = IDENT "kernel"; _ } -> ()
+  | t -> fail_tok t "expected 'kernel', found %s" (pp_token t.tok));
+  let kname = ident s "a kernel name" in
+  expect s LPAREN;
+  let rec params acc =
+    let p = parse_param s in
+    match next s with
+    | { tok = COMMA; _ } -> params (p :: acc)
+    | { tok = RPAREN; _ } -> List.rev (p :: acc)
+    | t ->
+        fail_tok t "expected ',' or ')' in parameter list, found %s"
+          (pp_token t.tok)
+  in
+  let params = params [] in
+  let body = parse_block s in
+  (match (peek s).tok with
+  | EOF -> ()
+  | tok -> fail_tok (peek s) "trailing input after kernel: %s" (pp_token tok));
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.pname then
+        fail_tok t0 "duplicate parameter '%s'" p.pname;
+      Hashtbl.add seen p.pname ())
+    params;
+  (match List.filter (fun p -> p.io = Out) params with
+  | [ _ ] -> ()
+  | [] -> fail_tok t0 "kernel %s has no 'out' parameter" kname
+  | _ -> fail_tok t0 "kernel %s must have exactly one 'out' parameter" kname);
+  { kname; params; body }

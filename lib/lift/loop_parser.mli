@@ -1,0 +1,30 @@
+(** Parser for the scalar loop-nest kernel language.
+
+    Surface syntax, by example:
+    {v
+    // inner product of two 8-vectors
+    kernel dot(in float A[8], in float B[8], out float y) {
+      y = 0.0;
+      for (int i = 0; i < 8; i++) {
+        y += A[i] * B[i];
+      }
+    }
+    v}
+
+    Parameters are [in] or [out] (exactly one [out]); arrays declare
+    constant dimensions ([A[3][4]]); statements are scalar locals
+    ([float acc = 0.0;]), assignments [=]/[+=] to scalars or array
+    elements, and unit-stride [for] loops with constant bounds;
+    expressions use [+ - * /], unary minus, parentheses, float
+    literals, and the intrinsics [sqrtf]/[expf]/[logf]/[fmaxf] (the
+    suffix-free spellings are accepted too).  Comments run [//] or [#]
+    to end of line.
+
+    All parse errors carry the 1-based line and column of the offending
+    token, e.g. ["line 3, column 7: expected ';' but found '+'"]. *)
+
+exception Parse_error of string
+
+val kernel : string -> Loop_ast.kernel
+(** Parse one kernel definition.  Raises {!Parse_error} with a
+    positioned message on malformed input. *)

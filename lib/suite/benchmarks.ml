@@ -366,6 +366,63 @@ let ml =
       ~opt_big:"np.max(np.reshape(x, (262144, 2)), axis=1)";
   ]
 
+(* The lifting tier: DSL-side ground truth for the bundled scalar
+   loop kernels in [Lifted].  [program] is the form the lifting
+   front-end is expected to synthesize (the test oracle for
+   round-trips), [expected_opt] the superoptimized form; [perf_env] /
+   [perf_expected_opt] give the large-shape program whose VM time is
+   compared against the scalar loop interpreter in BENCH_lift. *)
+let lifted =
+  [
+    mk "lift_dot" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Inner product accumulated over one loop."
+      ~small:"input A : f32[8]\ninput B : f32[8]"
+      ~big:"input A : f32[65536]\ninput B : f32[65536]"
+      ~orig:"np.sum(A * B)" ~opt:"np.dot(A, B)";
+    mk "lift_saxpy" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Scaled vector addition a*x + y."
+      ~small:"input a : f32[]\ninput x : f32[8]\ninput y : f32[8]"
+      ~big:"input a : f32[]\ninput x : f32[65536]\ninput y : f32[65536]"
+      ~orig:"a * x + y" ~opt:"a * x + y";
+    mk "lift_rowsum" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Row-wise sum of a matrix."
+      ~small:"input A : f32[4,8]" ~big:"input A : f32[512,512]"
+      ~orig:"np.sum(A, axis=1)" ~opt:"np.sum(A, axis=1)";
+    mk "lift_matmul" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Textbook triple-loop matrix multiply."
+      ~small:"input A : f32[3,4]\ninput B : f32[4,5]"
+      ~big:"input A : f32[48,64]\ninput B : f32[64,56]"
+      ~orig:"np.dot(A, B)" ~opt:"np.dot(A, B)";
+    mk "lift_normalize" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Divide a vector by its own sum."
+      ~small:"input x : f32[8]" ~big:"input x : f32[65536]"
+      ~orig:"x / np.sum(x)" ~opt:"x / np.sum(x)";
+    mk "lift_maxpool" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Window-2 sliding max pooling."
+      ~small:"input x : f32[8]" ~big:"input x : f32[524288]"
+      ~orig:"np.max(np.reshape(x, (4, 2)), axis=1)"
+      ~opt:"np.max(np.reshape(x, (4, 2)), axis=1)"
+      ~orig_big:"np.max(np.reshape(x, (262144, 2)), axis=1)"
+      ~opt_big:"np.max(np.reshape(x, (262144, 2)), axis=1)";
+    mk "lift_softmax" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Two-pass softmax over a vector."
+      ~small:"input x : f32[8]" ~big:"input x : f32[65536]"
+      ~orig:"np.exp(x) / np.sum(np.exp(x))"
+      ~opt:"np.exp(x) / np.sum(np.exp(x))";
+    mk "lift_mse" gh Vectorization ~domain:"Lifted"
+      ~pattern:"Mean squared error between two vectors."
+      ~small:"input A : f32[8]\ninput B : f32[8]"
+      ~big:"input A : f32[65536]\ninput B : f32[65536]"
+      ~orig:"np.sum((A - B) * (A - B)) / 8.0"
+      ~opt:"np.dot(A - B, A - B) / 8.0"
+      ~orig_big:"np.sum((A - B) * (A - B)) / 65536.0"
+      ~opt_big:"np.dot(A - B, A - B) / 65536.0";
+  ]
+
 let all = github @ synthetic
-let find name = List.find (fun b -> b.name = name) (all @ masking @ ml)
-let find_opt name = List.find_opt (fun b -> b.name = name) (all @ masking @ ml)
+
+let find name =
+  List.find (fun b -> b.name = name) (all @ masking @ ml @ lifted)
+
+let find_opt name =
+  List.find_opt (fun b -> b.name = name) (all @ masking @ ml @ lifted)

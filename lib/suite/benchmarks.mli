@@ -54,6 +54,13 @@ val ml : t list
     common-factor extraction) and keepdims-style broadcasting of
     reduced tensors.  Not included in {!all} (the paper's 33). *)
 
+val lifted : t list
+(** DSL-side ground truth for the {!Lifted} scalar loop kernels: each
+    entry's [program] is the form the lifting front-end is expected to
+    synthesize (round-trip test oracle) and [perf_expected_opt] the
+    large-shape program whose VM time BENCH_lift compares against the
+    scalar loop interpreter.  Not included in {!all}. *)
+
 val all : t list
 (** The paper's 33 benchmarks (Tables I and II). *)
 

@@ -652,3 +652,132 @@ let validate_serve_load (j : Json.t) : (unit, string) result =
   in
   if tier_total = n_ok then Ok ()
   else Error "per-tier sample counts disagree with n_ok"
+
+(* ------------------------------------------------------------------ *)
+(* Lift report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lift_schema_version = "stenso.lift/1"
+
+type lift_entry = {
+  lift_name : string;
+  lifted : bool;
+  lifted_program : string;
+  optimized_program : string;
+  lift_improved : bool;
+  sketches : int;
+  pruned_by_value : int;
+  certified : int;
+  library_size : int;
+  lift_s : float;
+  lift_verify_s : float;
+  lift_speedup : float option;
+}
+
+let lift_entry_json (e : lift_entry) =
+  Json.Obj
+    ([
+       ("name", Json.Str e.lift_name);
+       ("lifted", Json.Bool e.lifted);
+       ("program", Json.Str e.lifted_program);
+       ("optimized", Json.Str e.optimized_program);
+       ("improved", Json.Bool e.lift_improved);
+       ("sketches", Json.Int e.sketches);
+       ("pruned_by_value", Json.Int e.pruned_by_value);
+       ("certified", Json.Int e.certified);
+       ("library", Json.Int e.library_size);
+       ("lift_ms", Json.Float (1000. *. e.lift_s));
+       ("verify_ms", Json.Float (1000. *. e.lift_verify_s));
+     ]
+    @
+    match e.lift_speedup with
+    | None -> []
+    | Some s -> [ ("speedup", Json.Float s) ])
+
+let lift_report ?(config = Stenso.Config.default) ~elapsed entries : Json.t =
+  let n = List.length entries in
+  let n_lifted = List.length (List.filter (fun e -> e.lifted) entries) in
+  let rate =
+    if n = 0 then 0. else float_of_int n_lifted /. float_of_int n
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str lift_schema_version);
+      ("version", Json.Str Stenso.Version.current);
+      ( "estimator",
+        Json.Str
+          (Stenso.Config.estimator_name (Stenso.Config.estimator config)) );
+      ("elapsed", Json.Float elapsed);
+      ("n_kernels", Json.Int n);
+      ("n_lifted", Json.Int n_lifted);
+      ("success_rate", Json.Float rate);
+      ("kernels", Json.List (List.map lift_entry_json entries));
+    ]
+
+let validate_lift_report ?min_success (j : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let need name extract j =
+    match Option.bind (Json.member name j) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* schema = need "schema" Json.to_string_opt j in
+  let* () =
+    if String.equal schema lift_schema_version then Ok ()
+    else Error (Printf.sprintf "unknown schema %S" schema)
+  in
+  let* _ = need "version" Json.to_string_opt j in
+  let* _ = need "estimator" Json.to_string_opt j in
+  let* _ = need "elapsed" Json.to_float_opt j in
+  let* n = need "n_kernels" Json.to_int_opt j in
+  let* n_lifted = need "n_lifted" Json.to_int_opt j in
+  let* rate = need "success_rate" Json.to_float_opt j in
+  let* kernels = need "kernels" Json.to_list_opt j in
+  let* () =
+    if List.length kernels = n then Ok ()
+    else Error "n_kernels disagrees with the kernels array"
+  in
+  let* counted =
+    List.fold_left
+      (fun acc k ->
+        let* lifted_so_far = acc in
+        let* name = need "name" Json.to_string_opt k in
+        let* lifted = need "lifted" Json.to_bool_opt k in
+        let* program = need "program" Json.to_string_opt k in
+        let* _ = need "optimized" Json.to_string_opt k in
+        let* _ = need "improved" Json.to_bool_opt k in
+        let* _ = need "sketches" Json.to_int_opt k in
+        let* _ = need "pruned_by_value" Json.to_int_opt k in
+        let* certified = need "certified" Json.to_int_opt k in
+        let* _ = need "library" Json.to_int_opt k in
+        let* _ = need "lift_ms" Json.to_float_opt k in
+        let* _ = need "verify_ms" Json.to_float_opt k in
+        let* () =
+          (* A lifted entry must carry the certified program; a failed
+             one must not pretend to. *)
+          if lifted && (String.equal program "" || certified < 1) then
+            Error
+              (Printf.sprintf
+                 "kernel %S claims a lift without a certified program" name)
+          else if (not lifted) && not (String.equal program "") then
+            Error (Printf.sprintf "kernel %S failed but carries a program" name)
+          else Ok ()
+        in
+        Ok (lifted_so_far + if lifted then 1 else 0))
+      (Ok 0) kernels
+  in
+  let* () =
+    if counted = n_lifted then Ok ()
+    else Error "n_lifted disagrees with the kernels array"
+  in
+  let* () =
+    let expect = if n = 0 then 0. else float_of_int n_lifted /. float_of_int n in
+    if Float.abs (rate -. expect) <= 1e-9 then Ok ()
+    else Error "success_rate disagrees with n_lifted / n_kernels"
+  in
+  match min_success with
+  | Some floor when rate < floor ->
+      Error
+        (Printf.sprintf "success_rate %.3f below required minimum %.3f" rate
+           floor)
+  | _ -> Ok ()

@@ -158,3 +158,45 @@ val validate_serve_load : Stenso.Telemetry.Json.t -> (unit, string) result
     sample counts summing to [n_ok]) and percentile monotonicity
     (p50 ≤ p95 ≤ p99, overall and per tier).  Used by [stenso report]
     and the CI loadgen smoke on [BENCH_serve_load.json]. *)
+
+val lift_schema_version : string
+(** ["stenso.lift/1"] — the lifting report written by
+    [bench lift --report] / [stenso lift --report]
+    ([BENCH_lift.json]). *)
+
+type lift_entry = {
+  lift_name : string;  (** kernel name ({!Lifted} / CLI file stem) *)
+  lifted : bool;
+  lifted_program : string;  (** certified DSL program; [""] on failure *)
+  optimized_program : string;  (** after {!Stenso.Superopt.optimize} *)
+  lift_improved : bool;  (** superoptimizer found a cheaper form *)
+  sketches : int;
+  pruned_by_value : int;
+  certified : int;  (** candidates submitted to certification *)
+  library_size : int;
+  lift_s : float;
+  lift_verify_s : float;
+  lift_speedup : float option;
+      (** large-shape scalar-loop-interpreter time over VM time for the
+          lifted-and-optimized program; absent when not measured *)
+}
+
+val lift_report :
+  ?config:Stenso.Config.t ->
+  elapsed:float ->
+  lift_entry list ->
+  Stenso.Telemetry.Json.t
+(** Render lifting results as the [stenso.lift/1] document: run
+    metadata, [n_kernels] / [n_lifted] / [success_rate], and one
+    record per kernel (sketch, pruning and certification counters,
+    lift and verify times, optional end-to-end speedup). *)
+
+val validate_lift_report :
+  ?min_success:float ->
+  Stenso.Telemetry.Json.t ->
+  (unit, string) result
+(** Conformance check for [stenso.lift/1]: structure, count
+    consistency ([n_lifted] and [success_rate] agreeing with the
+    kernels array, lifted entries carrying a certified program and
+    failed ones none), and optionally a [success_rate] floor.  Used by
+    [stenso report] and the CI lifting smoke on [BENCH_lift.json]. *)

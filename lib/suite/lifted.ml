@@ -1,0 +1,152 @@
+(* Bundled scalar loop-nest kernels for the lifting front-end
+   ([Stenso.Lift]).  Each kernel exists at two shapes, mirroring the
+   [Benchmarks] convention: [source] uses small dims so lifting
+   (symbolic execution of every stub) stays compact, [perf_source]
+   uses representative large dims for the end-to-end speedup measure
+   (scalar loop interpreter vs the VM running the lifted-and-optimized
+   DSL program).  Names match the [Benchmarks.lifted] tier entries. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  perf_source : string;
+}
+
+let mk name description source perf_source =
+  { name; description; source; perf_source }
+
+let dot n =
+  Printf.sprintf
+    {|kernel dot(in float A[%d], in float B[%d], out float y) {
+  y = 0.0;
+  for (int i = 0; i < %d; i++) {
+    y += A[i] * B[i];
+  }
+}
+|}
+    n n n
+
+let saxpy n =
+  Printf.sprintf
+    {|kernel saxpy(in float a, in float x[%d], in float y[%d], out float z[%d]) {
+  for (int i = 0; i < %d; i++) {
+    z[i] = a * x[i] + y[i];
+  }
+}
+|}
+    n n n n
+
+let rowsum r c =
+  Printf.sprintf
+    {|kernel rowsum(in float A[%d][%d], out float y[%d]) {
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      y[i] += A[i][j];
+    }
+  }
+}
+|}
+    r c r r c
+
+let matmul m k n =
+  Printf.sprintf
+    {|kernel matmul(in float A[%d][%d], in float B[%d][%d], out float C[%d][%d]) {
+  for (int i = 0; i < %d; i++) {
+    for (int j = 0; j < %d; j++) {
+      for (int k = 0; k < %d; k++) {
+        C[i][j] += A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+    m k k n m n m n k
+
+let normalize n =
+  Printf.sprintf
+    {|kernel normalize(in float x[%d], out float y[%d]) {
+  float s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    s += x[i];
+  }
+  for (int i = 0; i < %d; i++) {
+    y[i] = x[i] / s;
+  }
+}
+|}
+    n n n n
+
+let maxpool n =
+  Printf.sprintf
+    {|kernel maxpool(in float x[%d], out float y[%d]) {
+  for (int i = 0; i < %d; i++) {
+    float m = x[2*i];
+    for (int j = 0; j < 2; j++) {
+      m = fmaxf(m, x[2*i + j]);
+    }
+    y[i] = m;
+  }
+}
+|}
+    (2 * n) n n
+
+let softmax n =
+  Printf.sprintf
+    {|kernel softmax(in float x[%d], out float y[%d]) {
+  float s = 0.0;
+  for (int i = 0; i < %d; i++) {
+    s += expf(x[i]);
+  }
+  for (int i = 0; i < %d; i++) {
+    y[i] = expf(x[i]) / s;
+  }
+}
+|}
+    n n n n
+
+let mse n =
+  Printf.sprintf
+    {|kernel mse(in float A[%d], in float B[%d], out float e) {
+  e = 0.0;
+  for (int i = 0; i < %d; i++) {
+    float d = A[i] - B[i];
+    e += d * d;
+  }
+  e = e / %d.0;
+}
+|}
+    n n n n
+
+let all =
+  [
+    mk "lift_dot" "Inner product accumulated over one loop." (dot 8)
+      (dot 65536);
+    mk "lift_saxpy" "Scaled vector addition a*x + y." (saxpy 8) (saxpy 65536);
+    mk "lift_rowsum" "Row-wise sum of a matrix." (rowsum 4 8) (rowsum 512 512);
+    mk "lift_matmul" "Textbook triple-loop matrix multiply." (matmul 3 4 5)
+      (matmul 48 64 56);
+    mk "lift_normalize" "Divide a vector by its own sum." (normalize 8)
+      (normalize 65536);
+    mk "lift_maxpool" "Window-2 sliding max pooling." (maxpool 4)
+      (maxpool 262144);
+    mk "lift_softmax" "Two-pass softmax over a vector." (softmax 8)
+      (softmax 65536);
+    mk "lift_mse" "Mean squared error between two vectors." (mse 8) (mse 65536);
+  ]
+
+let find_opt name = List.find_opt (fun k -> k.name = name) all
+
+(* A loop-carried dependency: [y[i]] reads [y[i-1]], so no
+   single-assignment tensor expression over the grammar's operators
+   computes it.  Used by the negative lifting tests — the front-end
+   must fail cleanly ([lift.failed]) rather than certify a wrong
+   program. *)
+let negative =
+  {|kernel prefix_sum(in float x[8], out float y[8]) {
+  y[0] = x[0];
+  for (int i = 1; i < 8; i++) {
+    y[i] = y[i-1] + x[i];
+  }
+}
+|}

@@ -1,0 +1,23 @@
+(** Bundled scalar loop-nest kernels for the lifting front-end: the
+    [lifted] benchmark tier's ground-truth sources.  Each kernel's
+    [name] matches a {!Benchmarks.lifted} entry whose [program] /
+    [expected_opt] record the DSL forms the lift is expected to reach
+    (used as test oracles, and at [perf_env] shapes for the bench's
+    end-to-end speedup measurement). *)
+
+type t = {
+  name : string;  (** matches the {!Benchmarks.lifted} entry *)
+  description : string;
+  source : string;  (** small-shape kernel, used for lifting *)
+  perf_source : string;  (** large-shape variant, used for speedups *)
+}
+
+val all : t list
+(** The eight bundled kernels: dot, saxpy, row-sum, matmul, normalize,
+    max-pool, softmax, MSE. *)
+
+val find_opt : string -> t option
+
+val negative : string
+(** A prefix-sum kernel with a loop-carried dependency — inexpressible
+    in the DSL, so lifting must fail cleanly.  Test fixture. *)

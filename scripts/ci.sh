@@ -225,3 +225,28 @@ dune exec --no-build bin/stenso_cli.exe -- report "$mlsuite_report" \
 ./_build/default/test/main.exe test stub > /dev/null
 ./_build/default/test/main.exe test tiers > /dev/null
 echo "ml-suite smoke check passed"
+
+# Lift smoke check: a bundled scalar kernel must lift through the CLI,
+# the emitted DSL must re-parse and execute (`stenso run` on the
+# synthesized program), and the regenerated stenso.lift/1 report must
+# validate with a 100% success floor.  A loop-language parse error must
+# exit 65 (EX_DATAERR) with a line/column diagnostic.
+"$stenso" lift --bench lift_dot --no-store --cost-estimator flops \
+  --synth-out "$scratch/dot.tdsl" --report "$scratch/lift.json" --quiet
+"$stenso" run "$scratch/dot.tdsl" > /dev/null
+"$stenso" report "$scratch/lift.json" --min-success 1.0
+printf 'kernel broken(in float x[4], out float y) {\n  y = x[0]\n}\n' \
+  > "$scratch/broken.loop"
+lift_rc=0
+lift_err=$("$stenso" lift "$scratch/broken.loop" --no-store 2>&1) \
+  || lift_rc=$?
+if [ "$lift_rc" -ne 65 ]; then
+  echo "FAIL: lift of a malformed loop exited $lift_rc, want 65" >&2
+  exit 1
+fi
+case "$lift_err" in
+  *'line '*'column '*) ;;
+  *) echo "FAIL: lift parse error lacks line/column: $lift_err" >&2
+     exit 1 ;;
+esac
+echo "lift smoke check passed"

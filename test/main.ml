@@ -22,6 +22,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("rules", Test_rules.suite);
       ("suite-defs", Test_suite_defs.suite);
+      ("lift", Test_lift.suite);
       ("masking", Test_masking.suite);
       ("soak", Test_soak.suite);
       ("printer", Test_printer.suite);
